@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs against the same SMALL-preset corpus (seed 2011) so
+that results are deterministic and the expensive artefacts (corpus,
+extraction, offline learning, synthesis) are computed once per session.
+The paper's absolute numbers cannot be matched (different data), so each
+benchmark asserts the *qualitative* claim of its table/figure instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.config import CorpusPreset
+from repro.experiments.harness import ExperimentHarness
+
+
+#: Preset used by all benchmarks.  SMALL keeps the full four-department
+#: taxonomy (needed by Table 3) while staying laptop-friendly.
+BENCH_PRESET = CorpusPreset.SMALL
+BENCH_SEED = 2011
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    """The shared experiment harness (corpus + learning + synthesis)."""
+    bench_harness = ExperimentHarness(BENCH_PRESET.config(seed=BENCH_SEED))
+    # Materialise the expensive artefacts up front so individual benchmarks
+    # measure their own experiment, not the shared setup.
+    _ = bench_harness.offline_result
+    _ = bench_harness.synthesis_result
+    return bench_harness
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark.
+
+    The experiments are macro-benchmarks (seconds each); a single round is
+    both representative and keeps the whole suite fast.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

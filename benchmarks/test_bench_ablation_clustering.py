@@ -1,0 +1,61 @@
+"""Ablation: key-attribute clustering vs title-similarity clustering.
+
+The paper clusters reconciled offers by their key attributes (MPN/UPC) and
+notes that other strategies could be plugged in.  This ablation swaps in a
+title-overlap clusterer and measures cluster purity — the fraction of
+clusters whose offers all come from the same true product — which is what
+"each cluster corresponds to exactly one product" requires.
+"""
+
+from collections import Counter
+
+from conftest import run_once
+
+from repro.synthesis.clustering import TitleClusterer
+
+
+def _purity(clusters, ground_truth) -> float:
+    if not clusters:
+        return 0.0
+    pure = 0
+    for cluster in clusters:
+        true_products = {
+            ground_truth.offer_to_product.get(offer_id) for offer_id in cluster.offer_ids()
+        }
+        if len(true_products) == 1:
+            pure += 1
+    return pure / len(clusters)
+
+
+def test_bench_ablation_clustering_strategy(benchmark, harness):
+    truth = harness.corpus.ground_truth
+
+    def run_ablation():
+        # Reconciled offers are what the clustering component actually sees.
+        reconciled, _ = harness.synthesis_result, None
+        key_clusters = harness.synthesis_result.clusters
+        # Re-cluster the same offers (already categorised + extracted) by title.
+        offers = [offer for cluster in key_clusters for offer in cluster.offers]
+        title_clusters = TitleClusterer(similarity_threshold=0.6).cluster(offers)
+        return key_clusters, title_clusters
+
+    key_clusters, title_clusters = run_once(benchmark, run_ablation)
+
+    key_purity = _purity(key_clusters, truth)
+    title_purity = _purity(title_clusters, truth)
+
+    assert key_purity >= 0.95
+    assert key_purity >= title_purity
+
+    # Key-attribute clustering should reconstruct roughly one cluster per
+    # true product; title clustering tends to over-merge or over-split.
+    true_products = {
+        truth.offer_to_product[offer.offer_id]
+        for cluster in key_clusters
+        for offer in cluster.offers
+    }
+    assert 0.7 <= len(key_clusters) / max(len(true_products), 1) <= 1.5
+
+    print()
+    print(f"key-attribute clustering: {len(key_clusters)} clusters, purity {key_purity:.3f}")
+    print(f"title clustering:        {len(title_clusters)} clusters, purity {title_purity:.3f}")

@@ -1,0 +1,49 @@
+"""Ablation: all six feature groupings vs merchant+category features only.
+
+Generalisation of the Figure 6 comparison: the paper's classifier combines
+features at three aggregation levels (MC, C, M) precisely because the
+merchant+category signal alone is weak for sparse merchants.  The ablation
+trains one classifier on the MC features only and one on all six features
+and compares their precision-vs-coverage behaviour on the same candidates.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures_common import build_series
+from repro.matching.learner import OfflineLearner
+
+
+def test_bench_ablation_feature_groupings(benchmark, harness):
+    oracle = harness.oracle
+
+    def run_ablation():
+        mc_only = OfflineLearner(
+            harness.corpus.catalog, feature_names=("JS-MC", "Jaccard-MC")
+        ).learn(harness.historical_offers, harness.corpus.matches)
+        return mc_only
+
+    mc_only_result = run_once(benchmark, run_ablation)
+    full_result = harness.offline_result
+
+    full_series = build_series("all groupings", full_result.scored_candidates, oracle)
+    mc_series = build_series("MC only", mc_only_result.scored_candidates, oracle)
+
+    # Both rank the same candidate space.
+    assert full_series.max_coverage() == mc_series.max_coverage()
+
+    # Adding the category- and merchant-level groupings never hurts, and the
+    # combined classifier reaches at least as much coverage at high precision.
+    assert full_series.coverage_at_precision(0.9) >= 0.95 * mc_series.coverage_at_precision(0.9)
+    assert full_series.coverage_at_precision(0.8) >= 0.95 * mc_series.coverage_at_precision(0.8)
+    reference = max(20, full_series.coverage_at_precision(0.95) // 2)
+    assert full_series.precision_at(reference) >= mc_series.precision_at(reference) - 0.01
+
+    print()
+    print(
+        f"all groupings: coverage@0.9 = {full_series.coverage_at_precision(0.9)}, "
+        f"coverage@0.8 = {full_series.coverage_at_precision(0.8)}"
+    )
+    print(
+        f"MC only:       coverage@0.9 = {mc_series.coverage_at_precision(0.9)}, "
+        f"coverage@0.8 = {mc_series.coverage_at_precision(0.8)}"
+    )

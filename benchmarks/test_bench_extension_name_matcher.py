@@ -1,0 +1,47 @@
+"""Extension benchmark: adding a name matcher to the feature set (paper future work).
+
+Paper Section 5.2 / Conclusions: "It is likely that our approach would
+perform even better if we combined name and instance matches, which we
+leave as future work."  This benchmark trains the correspondence classifier
+with the six Table 1 features plus an attribute-name-similarity feature and
+compares it against the paper's instance-only configuration.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures_common import build_series
+from repro.matching.features import EXTENDED_FEATURE_NAMES
+from repro.matching.learner import OfflineLearner
+
+
+def test_bench_extension_name_augmented_features(benchmark, harness):
+    oracle = harness.oracle
+
+    def run_extension():
+        learner = OfflineLearner(harness.corpus.catalog, feature_names=EXTENDED_FEATURE_NAMES)
+        return learner.learn(harness.historical_offers, harness.corpus.matches)
+
+    extended_result = run_once(benchmark, run_extension)
+
+    instance_only = build_series(
+        "instance features only", harness.offline_result.scored_candidates, oracle
+    )
+    name_augmented = build_series(
+        "instance + name features", extended_result.scored_candidates, oracle
+    )
+
+    # Same candidate space; the name feature must not hurt high-precision
+    # coverage, and usually helps (the paper's conjecture).
+    assert name_augmented.max_coverage() == instance_only.max_coverage()
+    assert name_augmented.coverage_at_precision(0.9) >= 0.95 * instance_only.coverage_at_precision(0.9)
+    assert name_augmented.coverage_at_precision(0.8) >= 0.95 * instance_only.coverage_at_precision(0.8)
+
+    print()
+    print(
+        f"instance-only features:  coverage@0.9 = {instance_only.coverage_at_precision(0.9)}, "
+        f"coverage@0.8 = {instance_only.coverage_at_precision(0.8)}"
+    )
+    print(
+        f"instance + name feature: coverage@0.9 = {name_augmented.coverage_at_precision(0.9)}, "
+        f"coverage@0.8 = {name_augmented.coverage_at_precision(0.8)}"
+    )

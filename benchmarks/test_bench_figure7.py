@@ -1,0 +1,29 @@
+"""Benchmark for paper Figure 7 — match-restricted value bags vs no-matching.
+
+Paper claim: computing distributional features only over historically
+matched offer/product pairs outperforms the configuration that uses all
+products of the category and all offers, "confirm[ing] that historical
+instance matches produce more accurate distributions".
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7_history_vs_no_matching(benchmark, harness):
+    result = run_once(benchmark, figure7.run, harness)
+
+    ours = result.get(figure7.SERIES_OUR_APPROACH)
+    baseline = result.get(figure7.SERIES_NO_MATCHING)
+
+    reference = result.comparison_coverage()
+    assert reference >= 50
+
+    assert ours.precision_at(reference) >= baseline.precision_at(reference)
+    assert ours.coverage_at_precision(0.9) >= baseline.coverage_at_precision(0.9)
+    assert ours.coverage_at_precision(0.8) >= baseline.coverage_at_precision(0.8)
+    assert ours.precision_at(reference) >= 0.95
+
+    print()
+    print(result.to_text())

@@ -1,0 +1,43 @@
+"""Benchmark for paper Figure 9 / Appendix D — COMA++ δ = 0.01 vs δ = ∞.
+
+Paper claims asserted:
+
+* the proposed approach leads to higher precision at the same coverage than
+  every COMA++ configuration;
+* COMA++ with the default δ = 0.01 achieves at least the precision of the
+  δ = ∞ configuration (δ selection trades relative recall for precision);
+* the δ = ∞ configuration reaches strictly more raw candidates (its
+  candidate set is a superset), i.e. the recall cost of δ selection.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure9
+
+
+def test_bench_figure9_coma_delta_configurations(benchmark, harness):
+    result = run_once(benchmark, figure9.run, harness)
+
+    ours = result.get(figure9.SERIES_OUR_APPROACH)
+    combined_default = result.get(figure9.SERIES_COMBINED_DEFAULT)
+    combined_inf = result.get(figure9.SERIES_COMBINED_INF)
+    name_default = result.get(figure9.SERIES_NAME_DEFAULT)
+    name_inf = result.get(figure9.SERIES_NAME_INF)
+
+    reference = result.comparison_coverage()
+    assert reference >= 50
+
+    # Our approach dominates every COMA++ configuration.
+    for baseline in (combined_default, combined_inf, name_default, name_inf):
+        assert ours.precision_at(reference) >= baseline.precision_at(reference)
+        assert ours.coverage_at_precision(0.9) >= baseline.coverage_at_precision(0.9)
+
+    # delta = 0.01 vs delta = inf: higher (or equal) precision, fewer candidates.
+    assert combined_default.precision_at(reference) >= combined_inf.precision_at(reference)
+    assert name_default.precision_at(reference) >= name_inf.precision_at(reference)
+    assert combined_default.max_coverage() < combined_inf.max_coverage()
+    assert name_default.max_coverage() < name_inf.max_coverage()
+    assert combined_default.coverage_at_precision(0.9) >= combined_inf.coverage_at_precision(0.9)
+
+    print()
+    print(result.to_text())

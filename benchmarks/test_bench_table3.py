@@ -1,0 +1,39 @@
+"""Benchmark for paper Table 3 — synthesis quality per top-level category.
+
+Paper-shape claims asserted here:
+
+* Computing and Cameras products carry clearly more synthesized attributes
+  than Home Furnishings and Kitchen & Housewares products (4.3-5.1 vs
+  1.1-1.4 in the paper);
+* attribute precision is uniformly high across departments;
+* the strict product precision of the attribute-sparse Kitchen department
+  is at least as high as that of the attribute-rich Computing department
+  (the paper's explanation of why Computing's product precision is lower).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_bench_table3_per_top_level_quality(benchmark, harness):
+    result = run_once(benchmark, table3.run, harness)
+
+    rows = {row.top_level_id: row for row in result.rows}
+    assert {"computing", "cameras", "furnishings", "kitchen"} <= set(rows)
+
+    rich = [rows["computing"], rows["cameras"]]
+    sparse = [rows["furnishings"], rows["kitchen"]]
+
+    rich_avg_attrs = sum(row.avg_attributes_per_product for row in rich) / len(rich)
+    sparse_avg_attrs = sum(row.avg_attributes_per_product for row in sparse) / len(sparse)
+    assert rich_avg_attrs > 1.3 * sparse_avg_attrs
+
+    for row in result.rows:
+        assert row.attribute_precision >= 0.85
+        assert row.num_products > 0
+
+    assert rows["kitchen"].product_precision >= rows["computing"].product_precision
+
+    print()
+    print(result.to_text())

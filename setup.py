@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only lets
+``pip install -e .`` fall back to the legacy editable-install path when
+PEP 660 editable wheels cannot be built (offline machines without the
+``wheel`` distribution).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Baseline schema matchers the paper compares against (Section 5.2, Figures 6-9).
+
+Every baseline consumes the same candidate space as the paper's approach
+(:func:`repro.matching.candidates.generate_candidates`) and emits
+:class:`~repro.matching.correspondence.ScoredCandidate` objects, so the
+precision-vs-coverage evaluation treats all matchers uniformly.
+
+* :class:`~repro.baselines.single_feature.SingleFeatureMatcher` — score a
+  candidate by one raw distributional feature (JS-MC or Jaccard-MC),
+  no classifier (Figure 6).
+* :class:`~repro.baselines.no_history.NoHistoryMatcher` — the full
+  classifier but with value bags that ignore the historical
+  offer-to-product matches (Figure 7).
+* :class:`~repro.baselines.dumas.DumasMatcher` — duplicate-based matching
+  with SoftTFIDF similarity matrices and bipartite matching (Figure 8,
+  Appendix C).
+* :class:`~repro.baselines.lsd_naive_bayes.InstanceNaiveBayesMatcher` —
+  the instance-based Naive Bayes matcher used by LSD (Figure 8, Appendix C).
+* :class:`~repro.baselines.coma.ComaStyleMatcher` — COMA++-style name,
+  instance and combined matchers with the δ candidate-selection knob
+  (Figures 8 and 9, Appendix D).
+"""
+
+from repro.baselines.coma import ComaConfiguration, ComaStyleMatcher
+from repro.baselines.dumas import DumasMatcher
+from repro.baselines.lsd_naive_bayes import InstanceNaiveBayesMatcher
+from repro.baselines.no_history import NoHistoryMatcher
+from repro.baselines.single_feature import SingleFeatureMatcher
+
+__all__ = [
+    "ComaConfiguration",
+    "ComaStyleMatcher",
+    "DumasMatcher",
+    "InstanceNaiveBayesMatcher",
+    "NoHistoryMatcher",
+    "SingleFeatureMatcher",
+]

@@ -1,0 +1,198 @@
+"""COMA++-style schema matchers (paper Figures 8 and 9, Appendix D).
+
+COMA++ is a matcher-combination framework.  The configurations evaluated
+in the paper are approximated with:
+
+* **name-based** matching — the average of edit-distance similarity,
+  character-trigram similarity and token-set similarity between attribute
+  names;
+* **instance-based** matching — the average of Jaccard term overlap and
+  TF-IDF cosine similarity between the full value bags of the two
+  attributes (no use of historical matches — COMA++ has no notion of
+  them);
+* **combined** — the average of the name and instance scores;
+* the **δ candidate-selection knob** (Appendix D): per catalog attribute
+  only the candidates whose score is within δ of the best candidate are
+  retained.  ``delta=0.01`` reproduces COMA++'s default; ``delta=None``
+  (∞) retains every pair ranked by score.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.extraction.extractor import WebPageAttributeExtractor
+from repro.matching.candidates import CandidateTuple, generate_candidates
+from repro.matching.correspondence import ScoredCandidate
+from repro.matching.features import attribute_name_similarity
+from repro.model.catalog import Catalog
+from repro.model.matches import MatchStore
+from repro.model.offers import Offer
+from repro.text.distributions import BagOfWords
+from repro.text.setsim import cosine_similarity, jaccard_coefficient
+from repro.text.normalize import normalize_attribute_name
+
+__all__ = ["ComaConfiguration", "ComaStyleMatcher"]
+
+
+class ComaConfiguration(enum.Enum):
+    """Which matchers a :class:`ComaStyleMatcher` combines."""
+
+    NAME = "name"
+    INSTANCE = "instance"
+    COMBINED = "combined"
+
+
+class ComaStyleMatcher:
+    """Name/instance/combined matcher with COMA++-style δ selection.
+
+    Parameters
+    ----------
+    catalog:
+        The product catalog.
+    configuration:
+        Which similarity signals to combine.
+    delta:
+        Per-catalog-attribute candidate-selection width; ``None`` means ∞
+        (keep every candidate).  COMA++'s default is 0.01.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        configuration: ComaConfiguration = ComaConfiguration.COMBINED,
+        delta: Optional[float] = 0.01,
+    ) -> None:
+        if delta is not None and delta < 0:
+            raise ValueError(f"delta must be non-negative or None, got {delta}")
+        self.catalog = catalog
+        self.configuration = configuration
+        self.delta = delta
+
+    # -- similarity components ------------------------------------------------------
+
+    @staticmethod
+    def name_similarity(catalog_attribute: str, offer_attribute: str) -> float:
+        """Average of edit-distance, trigram and token similarities."""
+        return attribute_name_similarity(catalog_attribute, offer_attribute)
+
+    @staticmethod
+    def instance_similarity(product_bag: Optional[BagOfWords], offer_bag: Optional[BagOfWords]) -> float:
+        """Average of Jaccard term overlap and TF cosine over value bags."""
+        if not product_bag or not offer_bag:
+            return 0.0
+        jaccard = jaccard_coefficient(product_bag, offer_bag)
+        cosine = cosine_similarity(product_bag.counts(), offer_bag.counts())
+        return (jaccard + cosine) / 2.0
+
+    # -- matching -----------------------------------------------------------------------
+
+    def match(
+        self,
+        historical_offers: Sequence[Offer],
+        matches: MatchStore,
+        extractor: Optional[WebPageAttributeExtractor] = None,
+        category_ids: Sequence[str] = (),
+    ) -> List[ScoredCandidate]:
+        """Score candidates and apply the δ selection per catalog attribute."""
+        offers = list(historical_offers)
+        if extractor is not None:
+            offers = [
+                extractor.extract_offer(offer) if len(offer.specification) == 0 else offer
+                for offer in offers
+            ]
+        candidates = generate_candidates(
+            self.catalog, offers, matches, require_match=True, category_ids=category_ids
+        )
+        product_bags, offer_bags = self._build_bags(offers, matches, set(category_ids))
+
+        scored: List[ScoredCandidate] = []
+        for candidate in candidates:
+            score = self._score(candidate, product_bags, offer_bags)
+            scored.append(ScoredCandidate(candidate=candidate, score=score))
+        return self._apply_delta(scored)
+
+    def _score(
+        self,
+        candidate: CandidateTuple,
+        product_bags: Dict[Tuple[str, str], BagOfWords],
+        offer_bags: Dict[Tuple[str, str, str], BagOfWords],
+    ) -> float:
+        name_score = self.name_similarity(candidate.catalog_attribute, candidate.offer_attribute)
+        if self.configuration is ComaConfiguration.NAME:
+            return name_score
+        product_bag = product_bags.get(
+            (candidate.category_id, normalize_attribute_name(candidate.catalog_attribute))
+        )
+        offer_bag = offer_bags.get(
+            (
+                candidate.merchant_id,
+                candidate.category_id,
+                normalize_attribute_name(candidate.offer_attribute),
+            )
+        )
+        instance_score = self.instance_similarity(product_bag, offer_bag)
+        if self.configuration is ComaConfiguration.INSTANCE:
+            return instance_score
+        return (name_score + instance_score) / 2.0
+
+    def _build_bags(
+        self,
+        offers: Sequence[Offer],
+        matches: MatchStore,
+        allowed: set,
+    ) -> Tuple[Dict[Tuple[str, str], BagOfWords], Dict[Tuple[str, str, str], BagOfWords]]:
+        # Product bags: all catalog products of the category (COMA++ does not
+        # know about offer-to-product matches).
+        product_bags: Dict[Tuple[str, str], BagOfWords] = {}
+        for product in self.catalog.products():
+            if allowed and product.category_id not in allowed:
+                continue
+            for pair in product.specification:
+                key = (product.category_id, pair.normalized_name())
+                product_bags.setdefault(key, BagOfWords()).add_value(pair.value)
+
+        # Offer bags: values per (merchant, category, attribute).
+        offer_bags: Dict[Tuple[str, str, str], BagOfWords] = {}
+        for offer in offers:
+            product_id = matches.product_for_offer(offer.offer_id)
+            if product_id is None or not self.catalog.has_product(product_id):
+                continue
+            category_id = self.catalog.product(product_id).category_id
+            if allowed and category_id not in allowed:
+                continue
+            for pair in offer.specification:
+                key = (offer.merchant_id, category_id, pair.normalized_name())
+                offer_bags.setdefault(key, BagOfWords()).add_value(pair.value)
+        return product_bags, offer_bags
+
+    # -- δ candidate selection ---------------------------------------------------------------
+
+    def _apply_delta(self, scored: Sequence[ScoredCandidate]) -> List[ScoredCandidate]:
+        if self.delta is None or math.isinf(self.delta):
+            return list(scored)
+        # Group by (merchant, category, catalog attribute) and keep only the
+        # candidates within delta of the best score in each group.
+        best: Dict[Tuple[str, str, str], float] = {}
+        for item in scored:
+            candidate = item.candidate
+            key = (
+                candidate.merchant_id,
+                candidate.category_id,
+                normalize_attribute_name(candidate.catalog_attribute),
+            )
+            if item.score > best.get(key, -math.inf):
+                best[key] = item.score
+        kept: List[ScoredCandidate] = []
+        for item in scored:
+            candidate = item.candidate
+            key = (
+                candidate.merchant_id,
+                candidate.category_id,
+                normalize_attribute_name(candidate.catalog_attribute),
+            )
+            if item.score >= best[key] - self.delta:
+                kept.append(item)
+        return kept

@@ -1,0 +1,161 @@
+"""DUMAS-style duplicate-based schema matching (paper Appendix C).
+
+Bilke & Naumann's DUMAS leverages known duplicate records (here: the
+historical offer-to-product matches) to discover attribute
+correspondences:
+
+1. For each matched product/offer pair of merchant M in category C,
+   compute an ``m x n`` similarity matrix ``S_k`` between the product's
+   field values and the offer's field values using SoftTFIDF.
+2. Average the matrices of all matched pairs of M (per category) into
+   ``S_M``.
+3. Solve a bipartite weighted matching over ``S_M``; each matched cell
+   becomes a candidate correspondence scored by its averaged similarity.
+
+Unlike the paper's approach, DUMAS is not classification-based and does
+not use distributional similarity — it compares the *aligned values of
+individual duplicates* rather than value distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.extraction.extractor import WebPageAttributeExtractor
+from repro.learning.matching_lp import max_weight_bipartite_matching
+from repro.matching.candidates import CandidateTuple
+from repro.matching.correspondence import ScoredCandidate
+from repro.model.catalog import Catalog
+from repro.model.matches import MatchStore
+from repro.model.offers import Offer
+from repro.text.normalize import normalize_attribute_name
+from repro.text.tfidf import SoftTfIdf
+
+__all__ = ["DumasMatcher"]
+
+
+class DumasMatcher:
+    """Duplicate-based matcher with SoftTFIDF value similarity.
+
+    Parameters
+    ----------
+    catalog:
+        The product catalog.
+    soft_tfidf_threshold:
+        Inner Jaro-Winkler threshold of the SoftTFIDF measure.
+    min_score:
+        Matched cells with an averaged similarity at or below this value
+        are not reported as correspondences.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        soft_tfidf_threshold: float = 0.9,
+        min_score: float = 0.0,
+    ) -> None:
+        self.catalog = catalog
+        self.soft_tfidf_threshold = soft_tfidf_threshold
+        self.min_score = min_score
+
+    # -- public API -------------------------------------------------------------
+
+    def match(
+        self,
+        historical_offers: Sequence[Offer],
+        matches: MatchStore,
+        extractor: Optional[WebPageAttributeExtractor] = None,
+        category_ids: Sequence[str] = (),
+    ) -> List[ScoredCandidate]:
+        """Produce scored correspondences for every (merchant, category) group."""
+        offers = list(historical_offers)
+        if extractor is not None:
+            offers = [
+                extractor.extract_offer(offer) if len(offer.specification) == 0 else offer
+                for offer in offers
+            ]
+        allowed = set(category_ids)
+
+        # Group matched (product, offer) pairs by (merchant, category).
+        pairs_by_group: Dict[Tuple[str, str], List[Tuple[str, Offer]]] = {}
+        corpus_values: List[str] = []
+        for offer in offers:
+            product_id = matches.product_for_offer(offer.offer_id)
+            if product_id is None or not self.catalog.has_product(product_id):
+                continue
+            product = self.catalog.product(product_id)
+            if allowed and product.category_id not in allowed:
+                continue
+            pairs_by_group.setdefault((offer.merchant_id, product.category_id), []).append(
+                (product_id, offer)
+            )
+            corpus_values.extend(pair.value for pair in offer.specification)
+            corpus_values.extend(pair.value for pair in product.specification)
+
+        soft_tfidf = SoftTfIdf(corpus_values, threshold=self.soft_tfidf_threshold)
+        similarity_cache: Dict[Tuple[str, str], float] = {}
+
+        def cached_similarity(value_a: str, value_b: str) -> float:
+            key = (value_a, value_b)
+            cached = similarity_cache.get(key)
+            if cached is None:
+                cached = soft_tfidf.similarity(value_a, value_b)
+                similarity_cache[key] = cached
+            return cached
+
+        scored: List[ScoredCandidate] = []
+        for (merchant_id, category_id), pairs in sorted(pairs_by_group.items()):
+            scored.extend(
+                self._match_group(
+                    merchant_id, category_id, pairs, cached_similarity
+                )
+            )
+        return scored
+
+    # -- per-group matching --------------------------------------------------------
+
+    def _match_group(
+        self,
+        merchant_id: str,
+        category_id: str,
+        pairs: List[Tuple[str, Offer]],
+        similarity,
+    ) -> List[ScoredCandidate]:
+        schema = self.catalog.schema_for(category_id)
+        catalog_attributes = schema.attribute_names()
+        # Merchant attribute names observed in this group (original casing kept).
+        offer_attribute_names: Dict[str, str] = {}
+        for _, offer in pairs:
+            for pair in offer.specification:
+                offer_attribute_names.setdefault(pair.normalized_name(), pair.name)
+        offer_attributes = list(offer_attribute_names.values())
+        if not catalog_attributes or not offer_attributes:
+            return []
+
+        accumulated = np.zeros((len(catalog_attributes), len(offer_attributes)))
+        for product_id, offer in pairs:
+            product = self.catalog.product(product_id)
+            for row, catalog_attribute in enumerate(catalog_attributes):
+                product_value = product.get(catalog_attribute)
+                if not product_value:
+                    continue
+                for column, offer_attribute in enumerate(offer_attributes):
+                    offer_value = offer.get(offer_attribute)
+                    if not offer_value:
+                        continue
+                    accumulated[row, column] += similarity(product_value, offer_value)
+        averaged = accumulated / max(len(pairs), 1)
+
+        matching = max_weight_bipartite_matching(averaged, min_weight=self.min_score)
+        scored: List[ScoredCandidate] = []
+        for row, column, weight in matching:
+            candidate = CandidateTuple(
+                catalog_attribute=catalog_attributes[row],
+                offer_attribute=offer_attributes[column],
+                merchant_id=merchant_id,
+                category_id=category_id,
+            )
+            scored.append(ScoredCandidate(candidate=candidate, score=float(weight)))
+        return scored

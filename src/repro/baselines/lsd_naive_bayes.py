@@ -1,0 +1,123 @@
+"""The instance-based Naive Bayes matcher used by LSD (paper Appendix C).
+
+For each category a multi-class Naive Bayes classifier is trained with the
+catalog attribute names as classes and the catalog products' values as
+training documents.  At matching time, every value ``v`` observed for a
+merchant attribute ``B`` is classified; the score of the candidate
+⟨A, B, M, C⟩ is the average posterior probability P(A | v) over all such
+values.  Like LSD, the matcher uses learning but no distributional
+similarity and no historical instance matches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.extraction.extractor import WebPageAttributeExtractor
+from repro.learning.naive_bayes import MultinomialNaiveBayes
+from repro.matching.candidates import CandidateTuple
+from repro.matching.correspondence import ScoredCandidate
+from repro.model.catalog import Catalog
+from repro.model.matches import MatchStore
+from repro.model.offers import Offer
+from repro.text.tokenize import tokenize_value
+
+__all__ = ["InstanceNaiveBayesMatcher"]
+
+
+class InstanceNaiveBayesMatcher:
+    """LSD-style instance-based Naive Bayes schema matcher."""
+
+    def __init__(self, catalog: Catalog, alpha: float = 1.0) -> None:
+        self.catalog = catalog
+        self.alpha = alpha
+
+    # -- training ------------------------------------------------------------------
+
+    def _train_category_model(self, category_id: str) -> Optional[MultinomialNaiveBayes]:
+        """Train the per-category classifier from the catalog's own products."""
+        model = MultinomialNaiveBayes(alpha=self.alpha)
+        num_documents = 0
+        for product in self.catalog.products_in_category(category_id):
+            for pair in product.specification:
+                tokens = tokenize_value(pair.value)
+                if not tokens:
+                    continue
+                model.update(pair.name, tokens)
+                num_documents += 1
+        if num_documents == 0:
+            return None
+        model.fit_finalize()
+        return model
+
+    # -- matching ----------------------------------------------------------------------
+
+    def match(
+        self,
+        historical_offers: Sequence[Offer],
+        matches: MatchStore,
+        extractor: Optional[WebPageAttributeExtractor] = None,
+        category_ids: Sequence[str] = (),
+    ) -> List[ScoredCandidate]:
+        """Score every (catalog attribute, merchant attribute) pair per category."""
+        offers = list(historical_offers)
+        if extractor is not None:
+            offers = [
+                extractor.extract_offer(offer) if len(offer.specification) == 0 else offer
+                for offer in offers
+            ]
+        allowed = set(category_ids)
+
+        # Collect the values of every merchant attribute per (merchant, category).
+        values_by_group: Dict[Tuple[str, str], Dict[str, List[str]]] = {}
+        attribute_names: Dict[Tuple[str, str], Dict[str, str]] = {}
+        for offer in offers:
+            product_id = matches.product_for_offer(offer.offer_id)
+            if product_id is None or not self.catalog.has_product(product_id):
+                continue
+            category_id = self.catalog.product(product_id).category_id
+            if allowed and category_id not in allowed:
+                continue
+            group = (offer.merchant_id, category_id)
+            group_values = values_by_group.setdefault(group, {})
+            group_names = attribute_names.setdefault(group, {})
+            for pair in offer.specification:
+                key = pair.normalized_name()
+                group_values.setdefault(key, []).append(pair.value)
+                group_names.setdefault(key, pair.name)
+
+        models: Dict[str, Optional[MultinomialNaiveBayes]] = {}
+        scored: List[ScoredCandidate] = []
+        for (merchant_id, category_id), group_values in sorted(values_by_group.items()):
+            if category_id not in models:
+                models[category_id] = self._train_category_model(category_id)
+            model = models[category_id]
+            if model is None:
+                continue
+            schema_attributes = self.catalog.schema_for(category_id).attribute_names()
+            for normalized_offer_attribute, values in group_values.items():
+                original_name = attribute_names[(merchant_id, category_id)][
+                    normalized_offer_attribute
+                ]
+                posterior_sums: Dict[str, float] = {name: 0.0 for name in schema_attributes}
+                evaluated = 0
+                for value in values:
+                    tokens = tokenize_value(value)
+                    if not tokens:
+                        continue
+                    posterior = model.posterior(tokens)
+                    evaluated += 1
+                    for attribute_name in schema_attributes:
+                        posterior_sums[attribute_name] += posterior.get(attribute_name, 0.0)
+                if evaluated == 0:
+                    continue
+                for attribute_name in schema_attributes:
+                    score = posterior_sums[attribute_name] / evaluated
+                    candidate = CandidateTuple(
+                        catalog_attribute=attribute_name,
+                        offer_attribute=original_name,
+                        merchant_id=merchant_id,
+                        category_id=category_id,
+                    )
+                    scored.append(ScoredCandidate(candidate=candidate, score=score))
+        return scored

@@ -1,0 +1,45 @@
+"""The no-historical-matching baseline of Figure 7.
+
+"The baseline uses the same similarity measures (Jaccard and JS
+divergence) as our approach, but instead of considering only products that
+match to offers, it takes into account all products in a given category C
+and all offers associated with C."
+
+Implementation-wise this is the full :class:`~repro.matching.learner.OfflineLearner`
+with ``use_matches=False``: the candidate space, training-set construction
+and classifier are identical — only the value bags change.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.extraction.extractor import WebPageAttributeExtractor
+from repro.matching.correspondence import ScoredCandidate
+from repro.matching.learner import OfflineLearner
+from repro.model.catalog import Catalog
+from repro.model.matches import MatchStore
+from repro.model.offers import Offer
+
+__all__ = ["NoHistoryMatcher"]
+
+
+class NoHistoryMatcher:
+    """Distributional matcher whose value bags ignore instance matches."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    def match(
+        self,
+        historical_offers: Sequence[Offer],
+        matches: MatchStore,
+        extractor: Optional[WebPageAttributeExtractor] = None,
+        category_ids: Sequence[str] = (),
+    ) -> List[ScoredCandidate]:
+        """Score every candidate tuple without match-restricted value bags."""
+        learner = OfflineLearner(self.catalog, use_matches=False)
+        result = learner.learn(
+            historical_offers, matches, extractor=extractor, category_ids=category_ids
+        )
+        return result.scored_candidates

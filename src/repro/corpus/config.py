@@ -1,0 +1,174 @@
+"""Corpus generation configuration and presets."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["CorpusConfig", "CorpusPreset"]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs of the synthetic shopping-corpus generator.
+
+    The defaults produce a corpus with the same *structural* properties as
+    the paper's Bing Shopping data (many merchants per category, merchant
+    dialects, assortment bias, sparse feeds, rich Computing/Cameras
+    specifications vs terse Furnishings/Kitchen ones) at a laptop-friendly
+    scale.
+
+    Attributes
+    ----------
+    seed:
+        Root RNG seed; every derived generator is seeded from it, so equal
+        configs produce byte-identical corpora.
+    num_merchants:
+        Number of merchants to create.
+    products_per_category:
+        Baseline number of catalog-domain products per leaf category
+        (scaled by each category's popularity).
+    offers_per_product:
+        Inclusive (min, max) range of offers generated per product.
+    novel_product_fraction:
+        Fraction of generated products that are withheld from the catalog.
+        Their offers have no historical match and flow into the run-time
+        synthesis pipeline; the withheld specification is the ground truth
+        the evaluation oracle scores against.
+    legacy_product_fraction:
+        Additional catalog-only products generated per category (as a
+        fraction of the category's product count).  Legacy products have no
+        offers and their values are skewed towards the "older" end of each
+        value pool — reproducing the paper's observation that catalog value
+        distributions differ from any one merchant's offer distributions
+        (e.g. 10,000 rpm drives present in the catalog but absent from the
+        merchant's offers), which is what penalises matchers that do not
+        restrict value bags to historically matched instances.
+    value_rephrase_rate:
+        Probability that a merchant rephrases a multi-token textual value
+        (dropping a leading/trailing token, e.g. "Serial ATA-300" ->
+        "ATA-300").  Rephrasing weakens per-instance string similarity
+        (hurting duplicate-based matchers such as DUMAS) while leaving the
+        term distributions largely intact.
+    match_fraction:
+        Fraction of offers for *cataloged* products that carry a historical
+        offer-to-product match.
+    merchant_assortment_bias:
+        Fraction of the brand pool each merchant actually sells; lower
+        values make merchant value distributions diverge more from the
+        catalog (which is what penalises the no-history baseline).
+    name_identity_probability:
+        Probability that a merchant uses the catalog attribute name
+        verbatim (creates the name-identity training candidates).
+    junk_attributes_per_offer:
+        Inclusive (min, max) number of merchant-specific junk attributes
+        added to each offer specification.
+    value_format_noise:
+        Probability that an offer value is reformatted (unit added/removed,
+        spacing changed, casing changed).
+    value_error_rate:
+        Probability that an offer value is outright wrong (a different
+        sample from the attribute's value space) — exercised by value
+        fusion and the precision metrics.
+    missing_page_rate:
+        Probability that an offer's landing page does not render the
+        specification as a table (bullet list instead), exercising the
+        extractor's known blind spot.
+    top_level_ids:
+        Restrict generation to these top-level categories (``None`` = all).
+    """
+
+    seed: int = 2011
+    num_merchants: int = 40
+    products_per_category: int = 60
+    offers_per_product: Tuple[int, int] = (2, 14)
+    novel_product_fraction: float = 0.45
+    legacy_product_fraction: float = 0.5
+    value_rephrase_rate: float = 0.45
+    match_fraction: float = 0.85
+    merchant_assortment_bias: float = 0.45
+    name_identity_probability: float = 0.35
+    junk_attributes_per_offer: Tuple[int, int] = (1, 3)
+    value_format_noise: float = 0.5
+    value_error_rate: float = 0.06
+    missing_page_rate: float = 0.08
+    top_level_ids: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_merchants < 1:
+            raise ValueError("num_merchants must be >= 1")
+        if self.products_per_category < 1:
+            raise ValueError("products_per_category must be >= 1")
+        low, high = self.offers_per_product
+        if low < 1 or high < low:
+            raise ValueError(f"invalid offers_per_product range: {self.offers_per_product}")
+        for name in (
+            "novel_product_fraction",
+            "legacy_product_fraction",
+            "value_rephrase_rate",
+            "match_fraction",
+            "merchant_assortment_bias",
+            "name_identity_probability",
+            "value_format_noise",
+            "value_error_rate",
+            "missing_page_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        junk_low, junk_high = self.junk_attributes_per_offer
+        if junk_low < 0 or junk_high < junk_low:
+            raise ValueError(
+                f"invalid junk_attributes_per_offer range: {self.junk_attributes_per_offer}"
+            )
+
+    def scaled(self, factor: float) -> "CorpusConfig":
+        """A copy with the product volume scaled by ``factor`` (>= 1 product)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            products_per_category=max(1, int(round(self.products_per_category * factor))),
+        )
+
+
+class CorpusPreset(enum.Enum):
+    """Named corpus sizes used by tests, examples and benchmarks."""
+
+    #: A few hundred offers — unit/integration tests.
+    TINY = "tiny"
+    #: A few thousand offers — examples and fast benchmarks.
+    SMALL = "small"
+    #: Tens of thousands of offers — the headline experiment runs.
+    DEFAULT = "default"
+    #: Computing subtree only — Figures 7/8/9 restrict to computing categories.
+    COMPUTING = "computing"
+
+    def config(self, seed: int = 2011) -> CorpusConfig:
+        """The :class:`CorpusConfig` behind the preset."""
+        if self is CorpusPreset.TINY:
+            return CorpusConfig(
+                seed=seed,
+                num_merchants=12,
+                products_per_category=8,
+                offers_per_product=(1, 6),
+                top_level_ids=("computing", "cameras"),
+            )
+        if self is CorpusPreset.SMALL:
+            return CorpusConfig(
+                seed=seed,
+                num_merchants=36,
+                products_per_category=25,
+                offers_per_product=(2, 10),
+            )
+        if self is CorpusPreset.DEFAULT:
+            return CorpusConfig(seed=seed, num_merchants=70)
+        if self is CorpusPreset.COMPUTING:
+            return CorpusConfig(
+                seed=seed,
+                num_merchants=50,
+                products_per_category=45,
+                top_level_ids=("computing",),
+            )
+        raise AssertionError(f"unhandled preset: {self}")  # pragma: no cover

@@ -1,0 +1,468 @@
+"""Category specifications for the synthetic catalog taxonomy.
+
+Each :class:`CategorySpec` describes one leaf category: its place in the
+taxonomy, the brand/model vocabulary domain it draws from, and the typed
+attributes of its catalog schema together with the value space each
+attribute samples from.
+
+The four top-level departments mirror the ones reported in the paper's
+Table 3 (Cameras, Computing, Home Furnishings, Kitchen & Housewares), and
+the leaf categories reproduce the paper's qualitative observation that
+Computing/Cameras products carry rich specifications while Furnishings and
+Kitchen products carry only a handful of attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.vocabulary import COLOR_POOL, MATERIAL_POOL
+from repro.model.schema import AttributeKind
+
+__all__ = [
+    "ValueSpace",
+    "AttributeSpec",
+    "CategorySpec",
+    "TOP_LEVEL_CATEGORIES",
+    "CATEGORY_SPECS",
+    "specs_for_top_level",
+]
+
+
+@dataclass(frozen=True)
+class ValueSpace:
+    """How values of one attribute are sampled.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"brand"``, ``"model"``, ``"mpn"``, ``"upc"``,
+        ``"categorical"``, ``"numeric"``, ``"dimensions"``.
+    pool:
+        For categorical/numeric value spaces: the candidate values.
+    unit:
+        Canonical unit appended by the catalog rendering (``"GB"``).
+    """
+
+    kind: str
+    pool: Tuple[str, ...] = ()
+    unit: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute in a category specification."""
+
+    name: str
+    values: ValueSpace
+    attribute_kind: AttributeKind = AttributeKind.TEXT
+    is_key: bool = False
+    #: Probability that a catalog product actually has a value for this
+    #: attribute (products in real catalogs have gaps too).
+    catalog_coverage: float = 0.95
+    #: Probability that a merchant offer exposes this attribute on its
+    #: landing page.
+    offer_coverage: float = 0.8
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """A leaf category of the synthetic taxonomy."""
+
+    category_id: str
+    name: str
+    top_level_id: str
+    domain: str
+    attributes: Tuple[AttributeSpec, ...]
+    #: Relative popularity; scales how many products the category gets.
+    popularity: float = 1.0
+
+    def attribute_names(self) -> List[str]:
+        """Names of all attributes in schema order."""
+        return [attribute.name for attribute in self.attributes]
+
+
+#: (category_id, display name) of the four top-level departments.
+TOP_LEVEL_CATEGORIES: Tuple[Tuple[str, str], ...] = (
+    ("computing", "Computing"),
+    ("cameras", "Cameras"),
+    ("furnishings", "Home Furnishings"),
+    ("kitchen", "Kitchen & Housewares"),
+)
+
+
+def _key_attributes() -> Tuple[AttributeSpec, ...]:
+    """The key attributes shared by every category (MPN + UPC)."""
+    return (
+        AttributeSpec(
+            name="Model Part Number",
+            values=ValueSpace(kind="mpn"),
+            attribute_kind=AttributeKind.IDENTIFIER,
+            is_key=True,
+            catalog_coverage=1.0,
+            offer_coverage=0.9,
+        ),
+        AttributeSpec(
+            name="UPC",
+            values=ValueSpace(kind="upc"),
+            attribute_kind=AttributeKind.IDENTIFIER,
+            is_key=True,
+            catalog_coverage=0.9,
+            offer_coverage=0.55,
+        ),
+    )
+
+
+def _brand_model(domain_coverage: float = 0.95) -> Tuple[AttributeSpec, ...]:
+    return (
+        AttributeSpec(
+            name="Brand",
+            values=ValueSpace(kind="brand"),
+            attribute_kind=AttributeKind.CATEGORICAL,
+            catalog_coverage=1.0,
+            offer_coverage=domain_coverage,
+        ),
+        AttributeSpec(
+            name="Model",
+            values=ValueSpace(kind="model"),
+            attribute_kind=AttributeKind.TEXT,
+            catalog_coverage=1.0,
+            offer_coverage=domain_coverage,
+        ),
+    )
+
+
+def _categorical(
+    name: str,
+    pool: Sequence[str],
+    unit: Optional[str] = None,
+    offer_coverage: float = 0.75,
+    catalog_coverage: float = 0.9,
+) -> AttributeSpec:
+    return AttributeSpec(
+        name=name,
+        values=ValueSpace(kind="categorical", pool=tuple(pool), unit=unit),
+        attribute_kind=AttributeKind.CATEGORICAL,
+        offer_coverage=offer_coverage,
+        catalog_coverage=catalog_coverage,
+    )
+
+
+def _numeric(
+    name: str,
+    pool: Sequence[str],
+    unit: Optional[str],
+    offer_coverage: float = 0.75,
+    catalog_coverage: float = 0.9,
+) -> AttributeSpec:
+    return AttributeSpec(
+        name=name,
+        values=ValueSpace(kind="numeric", pool=tuple(pool), unit=unit),
+        attribute_kind=AttributeKind.NUMERIC,
+        offer_coverage=offer_coverage,
+        catalog_coverage=catalog_coverage,
+    )
+
+
+def _computing_specs() -> List[CategorySpec]:
+    hard_drives = CategorySpec(
+        category_id="computing.storage.hard-drives",
+        name="Hard Drives",
+        top_level_id="computing",
+        domain="storage",
+        popularity=1.4,
+        attributes=_key_attributes()
+        + _brand_model()
+        + (
+            _numeric("Capacity", ("80", "160", "250", "320", "400", "500", "640", "750", "1000", "1500", "2000"), "GB", offer_coverage=0.9),
+            _categorical("Interface", ("Serial ATA-300", "Serial ATA-150", "ATA-100", "ATA-133", "SCSI Ultra320", "SAS")),
+            _numeric("Spindle Speed", ("5400", "7200", "10000", "15000"), "rpm"),
+            _numeric("Buffer Size", ("2", "8", "16", "32", "64"), "MB"),
+            _categorical("Form Factor", ('3.5"', '2.5"', '1.8"')),
+            _numeric("Data Transfer Rate", ("150", "300", "600"), "MBps", offer_coverage=0.55),
+        ),
+    )
+    laptops = CategorySpec(
+        category_id="computing.laptops",
+        name="Laptops",
+        top_level_id="computing",
+        domain="computing",
+        popularity=1.5,
+        attributes=_key_attributes()
+        + _brand_model()
+        + (
+            _numeric("Screen Size", ("11.6", "12.1", "13.3", "14.1", "15.4", "15.6", "17.3"), "inches", offer_coverage=0.85),
+            _categorical("Processor Type", ("Intel Core 2 Duo", "Intel Core i3", "Intel Core i5", "Intel Core i7", "AMD Turion", "AMD Athlon X2", "Intel Atom")),
+            _numeric("Processor Speed", ("1.6", "1.86", "2.0", "2.26", "2.4", "2.53", "2.66", "2.8"), "GHz"),
+            _numeric("Memory", ("1", "2", "3", "4", "6", "8"), "GB", offer_coverage=0.85),
+            _numeric("Hard Drive", ("160", "250", "320", "500", "640", "750"), "GB"),
+            _categorical("Operating System", ("Windows 7 Home Premium", "Windows 7 Professional", "Windows Vista Home Basic", "Windows XP Professional", "Mac OS X", "Linux")),
+            _categorical("Graphics", ("Intel GMA 4500MHD", "NVIDIA GeForce 9400M", "ATI Radeon HD 4570", "NVIDIA GeForce GT 330M", "Intel HD Graphics"), offer_coverage=0.5),
+            _numeric("Weight", ("3.5", "4.2", "4.8", "5.4", "6.2", "7.5"), "lbs", offer_coverage=0.6),
+            _numeric("Battery Life", ("3", "4", "5", "6", "8", "10"), "hours", offer_coverage=0.45),
+        ),
+    )
+    monitors = CategorySpec(
+        category_id="computing.monitors",
+        name="Monitors",
+        top_level_id="computing",
+        domain="computing",
+        popularity=1.0,
+        attributes=_key_attributes()
+        + _brand_model()
+        + (
+            _numeric("Screen Size", ("17", "19", "20", "22", "23", "24", "27", "30"), "inches", offer_coverage=0.9),
+            _categorical("Resolution", ("1280 x 1024", "1440 x 900", "1680 x 1050", "1920 x 1080", "1920 x 1200", "2560 x 1600")),
+            _numeric("Refresh Rate", ("60", "75", "120"), "Hz", offer_coverage=0.5),
+            _categorical("Contrast Ratio", ("1000:1", "3000:1", "10000:1", "50000:1", "1000000:1")),
+            _numeric("Brightness", ("250", "300", "350", "400"), "cd/m2", offer_coverage=0.55),
+            _categorical("Interface", ("VGA", "DVI", "VGA, DVI", "DVI, HDMI", "DisplayPort, DVI, HDMI")),
+        ),
+    )
+    memory = CategorySpec(
+        category_id="computing.memory",
+        name="Computer Memory",
+        top_level_id="computing",
+        domain="computing",
+        popularity=0.8,
+        attributes=_key_attributes()
+        + _brand_model()
+        + (
+            _numeric("Capacity", ("512", "1024", "2048", "4096", "8192"), "MB", offer_coverage=0.9),
+            _categorical("Memory Technology", ("DDR2 SDRAM", "DDR3 SDRAM", "DDR SDRAM", "SDRAM")),
+            _numeric("Speed", ("533", "667", "800", "1066", "1333", "1600"), "MHz"),
+            _categorical("Form Factor", ("DIMM 240-pin", "SODIMM 200-pin", "DIMM 184-pin")),
+        ),
+    )
+    workstations = CategorySpec(
+        category_id="computing.desktops",
+        name="Desktop Computers",
+        top_level_id="computing",
+        domain="computing",
+        popularity=1.0,
+        attributes=_key_attributes()
+        + _brand_model()
+        + (
+            _categorical("Processor Type", ("Intel Core i5", "Intel Core i7", "Intel Core 2 Quad", "AMD Phenom II X4", "Intel Xeon")),
+            _numeric("Processor Speed", ("2.4", "2.66", "2.8", "3.0", "3.2", "3.4"), "GHz"),
+            _numeric("Memory", ("2", "4", "6", "8", "12", "16"), "GB"),
+            _numeric("Hard Drive", ("320", "500", "750", "1000", "1500", "2000"), "GB"),
+            _categorical("Operating System", ("Windows 7 Home Premium", "Windows 7 Professional", "Windows Vista Business", "Linux", "No OS")),
+            _categorical("Graphics", ("Intel HD Graphics", "NVIDIA GeForce GT 220", "ATI Radeon HD 5450", "NVIDIA Quadro FX 580"), offer_coverage=0.55),
+        ),
+    )
+    return [hard_drives, laptops, monitors, memory, workstations]
+
+
+def _camera_specs() -> List[CategorySpec]:
+    digital_cameras = CategorySpec(
+        category_id="cameras.digital-cameras",
+        name="Digital Cameras",
+        top_level_id="cameras",
+        domain="camera",
+        popularity=1.5,
+        attributes=_key_attributes()
+        + _brand_model()
+        + (
+            _numeric("Megapixels", ("8", "10", "10.1", "12", "12.1", "14.1", "16", "18"), "MP", offer_coverage=0.9),
+            _numeric("Optical Zoom", ("3", "4", "5", "8", "10", "12", "15", "20"), "x"),
+            _categorical("Sensor Type", ("CCD", "CMOS", "Super HAD CCD", "Live MOS")),
+            _numeric("LCD Size", ("2.5", "2.7", "3.0", "3.5"), "inches"),
+            _categorical("ISO Rating", ("80-1600", "100-3200", "100-6400", "200-12800")),
+            _categorical("Color", COLOR_POOL[:6], offer_coverage=0.65),
+            _numeric("Weight", ("4.2", "5.1", "6.3", "7.7", "9.8", "12.5"), "oz", offer_coverage=0.5),
+        ),
+    )
+    slr_lenses = CategorySpec(
+        category_id="cameras.lenses",
+        name="Camera Lenses",
+        top_level_id="cameras",
+        domain="camera",
+        popularity=0.9,
+        attributes=_key_attributes()
+        + _brand_model()
+        + (
+            _categorical("Focal Length", ("18-55mm", "55-200mm", "70-300mm", "50mm", "85mm", "24-70mm", "100-400mm"), offer_coverage=0.9),
+            _categorical("Aperture", ("f/1.4", "f/1.8", "f/2.8", "f/3.5-5.6", "f/4-5.6", "f/4")),
+            _categorical("Lens Type", ("Canon EF", "Canon EF-S", "Nikon F", "Sony Alpha", "Four Thirds", "Pentax K")),
+            _numeric("Weight", ("6.8", "9.2", "13.9", "21.2", "33.5"), "oz", offer_coverage=0.55),
+        ),
+    )
+    camcorders = CategorySpec(
+        category_id="cameras.camcorders",
+        name="Camcorders",
+        top_level_id="cameras",
+        domain="camera",
+        popularity=0.8,
+        attributes=_key_attributes()
+        + _brand_model()
+        + (
+            _categorical("Resolution", ("1920 x 1080", "1280 x 720", "720 x 480")),
+            _numeric("Optical Zoom", ("10", "12", "20", "25", "30", "60"), "x"),
+            _numeric("LCD Size", ("2.7", "3.0", "3.5"), "inches"),
+            _categorical("Sensor Type", ("CMOS", "CCD", "3CCD", "Exmor R CMOS")),
+            _categorical("Color", COLOR_POOL[:5], offer_coverage=0.6),
+        ),
+    )
+    return [digital_cameras, slr_lenses, camcorders]
+
+
+def _furnishing_specs() -> List[CategorySpec]:
+    bedspreads = CategorySpec(
+        category_id="furnishings.bedding.bedspreads",
+        name="Bedspreads",
+        top_level_id="furnishings",
+        domain="furnishing",
+        popularity=1.2,
+        attributes=_key_attributes()
+        + (
+            AttributeSpec(
+                name="Brand",
+                values=ValueSpace(kind="brand"),
+                attribute_kind=AttributeKind.CATEGORICAL,
+                catalog_coverage=1.0,
+                offer_coverage=0.85,
+            ),
+            _categorical("Size", ("Twin", "Full", "Queen", "King", "California King"), offer_coverage=0.85),
+            _categorical("Color", COLOR_POOL, offer_coverage=0.8),
+            _categorical("Material", MATERIAL_POOL[:9], offer_coverage=0.6),
+            _categorical("Pattern", ("Floral", "Striped", "Solid", "Paisley", "Plaid", "Geometric"), offer_coverage=0.4),
+        ),
+    )
+    lighting = CategorySpec(
+        category_id="furnishings.lighting",
+        name="Home Lighting",
+        top_level_id="furnishings",
+        domain="furnishing",
+        popularity=1.0,
+        attributes=_key_attributes()
+        + (
+            AttributeSpec(
+                name="Brand",
+                values=ValueSpace(kind="brand"),
+                attribute_kind=AttributeKind.CATEGORICAL,
+                catalog_coverage=1.0,
+                offer_coverage=0.8,
+            ),
+            _categorical("Color", COLOR_POOL, offer_coverage=0.7),
+            _categorical("Material", ("Brushed Nickel", "Bronze", "Brass", "Chrome", "Wrought Iron", "Glass"), offer_coverage=0.55),
+            _numeric("Wattage", ("40", "60", "75", "100", "150"), "W", offer_coverage=0.5),
+        ),
+    )
+    chairs = CategorySpec(
+        category_id="furnishings.chairs",
+        name="Accent Chairs",
+        top_level_id="furnishings",
+        domain="furnishing",
+        popularity=0.8,
+        attributes=_key_attributes()
+        + (
+            AttributeSpec(
+                name="Brand",
+                values=ValueSpace(kind="brand"),
+                attribute_kind=AttributeKind.CATEGORICAL,
+                catalog_coverage=1.0,
+                offer_coverage=0.8,
+            ),
+            _categorical("Color", COLOR_POOL, offer_coverage=0.75),
+            _categorical("Material", ("Leather", "Microfiber", "Fabric", "Bonded Leather", "Velvet"), offer_coverage=0.6),
+            _numeric("Seat Height", ("17", "18", "19", "20", "21"), "inches", offer_coverage=0.35),
+        ),
+    )
+    return [bedspreads, lighting, chairs]
+
+
+def _kitchen_specs() -> List[CategorySpec]:
+    mixers = CategorySpec(
+        category_id="kitchen.mixers",
+        name="Stand Mixers",
+        top_level_id="kitchen",
+        domain="kitchen",
+        popularity=1.0,
+        attributes=_key_attributes()
+        + (
+            AttributeSpec(
+                name="Brand",
+                values=ValueSpace(kind="brand"),
+                attribute_kind=AttributeKind.CATEGORICAL,
+                catalog_coverage=1.0,
+                offer_coverage=0.9,
+            ),
+            _categorical("Color", COLOR_POOL, offer_coverage=0.75),
+            _numeric("Wattage", ("250", "300", "325", "450", "525", "575"), "W", offer_coverage=0.65),
+            _numeric("Bowl Capacity", ("4.5", "5", "6", "7"), "quarts", offer_coverage=0.55),
+            _numeric("Number of Settings", ("5", "6", "10", "12"), None, offer_coverage=0.4),
+        ),
+    )
+    coffee_makers = CategorySpec(
+        category_id="kitchen.coffee-makers",
+        name="Coffee Makers",
+        top_level_id="kitchen",
+        domain="kitchen",
+        popularity=1.2,
+        attributes=_key_attributes()
+        + (
+            AttributeSpec(
+                name="Brand",
+                values=ValueSpace(kind="brand"),
+                attribute_kind=AttributeKind.CATEGORICAL,
+                catalog_coverage=1.0,
+                offer_coverage=0.9,
+            ),
+            _categorical("Color", COLOR_POOL, offer_coverage=0.75),
+            _numeric("Number of Cups", ("1", "4", "8", "10", "12", "14"), "cups", offer_coverage=0.7),
+            _numeric("Wattage", ("600", "900", "1000", "1100", "1500"), "W", offer_coverage=0.5),
+        ),
+    )
+    air_conditioners = CategorySpec(
+        category_id="kitchen.air-conditioners",
+        name="Air Conditioners",
+        top_level_id="kitchen",
+        domain="kitchen",
+        popularity=0.8,
+        attributes=_key_attributes()
+        + (
+            AttributeSpec(
+                name="Brand",
+                values=ValueSpace(kind="brand"),
+                attribute_kind=AttributeKind.CATEGORICAL,
+                catalog_coverage=1.0,
+                offer_coverage=0.85,
+            ),
+            _numeric("Wattage", ("900", "1100", "1300", "1500"), "W", offer_coverage=0.45),
+            _categorical("Color", ("White", "Beige", "Gray"), offer_coverage=0.6),
+            _numeric("Voltage", ("110", "115", "220", "230"), "V", offer_coverage=0.4),
+        ),
+    )
+    cutlery = CategorySpec(
+        category_id="kitchen.cutlery",
+        name="Kitchen Knives",
+        top_level_id="kitchen",
+        domain="kitchen",
+        popularity=0.8,
+        attributes=_key_attributes()
+        + (
+            AttributeSpec(
+                name="Brand",
+                values=ValueSpace(kind="brand"),
+                attribute_kind=AttributeKind.CATEGORICAL,
+                catalog_coverage=1.0,
+                offer_coverage=0.85,
+            ),
+            _categorical("Blade Material", ("Stainless Steel", "High-Carbon Steel", "Ceramic", "Damascus Steel"), offer_coverage=0.6),
+            _categorical("Color", ("Black", "Silver", "White", "Red"), offer_coverage=0.5),
+        ),
+    )
+    return [mixers, coffee_makers, air_conditioners, cutlery]
+
+
+#: The full default set of leaf-category specifications.
+CATEGORY_SPECS: Tuple[CategorySpec, ...] = tuple(
+    _computing_specs() + _camera_specs() + _furnishing_specs() + _kitchen_specs()
+)
+
+
+def specs_for_top_level(top_level_id: str) -> List[CategorySpec]:
+    """All leaf-category specifications under one top-level department."""
+    return [spec for spec in CATEGORY_SPECS if spec.top_level_id == top_level_id]

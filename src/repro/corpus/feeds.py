@@ -1,0 +1,111 @@
+"""Offer feeds: the tab-separated files merchants send to the search engine.
+
+Paper Figure 3 shows a fragment of an offer feed with columns
+``Source Url | Title | Description | Price | Seller | Category``.  The
+classes here serialise offers into that shape and parse them back, so the
+run-time pipeline can be fed from files exactly like the production system
+is fed from merchant uploads.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.model.offers import Offer
+
+__all__ = ["FEED_COLUMNS", "write_feed", "read_feed", "offers_to_feed_rows"]
+
+#: Column order of the merchant feed (mirrors paper Figure 3 plus the ids
+#: needed to round-trip offers through files).
+FEED_COLUMNS: Sequence[str] = (
+    "offer_id",
+    "merchant_id",
+    "url",
+    "title",
+    "price",
+    "feed_category",
+    "image_url",
+)
+
+
+def offers_to_feed_rows(offers: Iterable[Offer]) -> List[List[str]]:
+    """Convert offers to feed rows (without the header)."""
+    rows: List[List[str]] = []
+    for offer in offers:
+        rows.append(
+            [
+                offer.offer_id,
+                offer.merchant_id,
+                offer.url,
+                offer.title,
+                f"{offer.price:.2f}",
+                offer.feed_category,
+                offer.image_url or "",
+            ]
+        )
+    return rows
+
+
+def write_feed(offers: Iterable[Offer], destination: Union[str, Path, io.TextIOBase]) -> int:
+    """Write offers as a tab-separated feed; returns the number of rows written."""
+    rows = offers_to_feed_rows(offers)
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="", encoding="utf-8") as handle:
+            return _write_rows(handle, rows)
+    return _write_rows(destination, rows)
+
+
+def _write_rows(handle: io.TextIOBase, rows: List[List[str]]) -> int:
+    writer = csv.writer(handle, delimiter="\t", lineterminator="\n")
+    writer.writerow(list(FEED_COLUMNS))
+    for row in rows:
+        writer.writerow(row)
+    return len(rows)
+
+
+def read_feed(source: Union[str, Path, io.TextIOBase]) -> List[Offer]:
+    """Parse a tab-separated feed back into offers (specifications empty).
+
+    Raises
+    ------
+    ValueError
+        If the header does not match :data:`FEED_COLUMNS`.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", newline="", encoding="utf-8") as handle:
+            return _read_rows(handle)
+    return _read_rows(source)
+
+
+def _read_rows(handle: io.TextIOBase) -> List[Offer]:
+    reader = csv.reader(handle, delimiter="\t")
+    try:
+        header = next(reader)
+    except StopIteration:
+        return []
+    if header != list(FEED_COLUMNS):
+        raise ValueError(
+            f"unexpected feed header: {header!r}; expected {list(FEED_COLUMNS)!r}"
+        )
+    offers: List[Offer] = []
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(FEED_COLUMNS):
+            raise ValueError(f"malformed feed row (expected {len(FEED_COLUMNS)} columns): {row!r}")
+        offer_id, merchant_id, url, title, price, feed_category, image_url = row
+        offers.append(
+            Offer(
+                offer_id=offer_id,
+                merchant_id=merchant_id,
+                title=title,
+                price=float(price) if price else 0.0,
+                url=url,
+                image_url=image_url or None,
+                feed_category=feed_category,
+            )
+        )
+    return offers

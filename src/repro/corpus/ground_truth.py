@@ -1,0 +1,123 @@
+"""Ground truth recorded by the corpus generator.
+
+The paper's evaluation required "a laborious task of labeling the output of
+product synthesis based on information from product manufacturers"
+(Section 5.1).  Because our corpus is synthetic, the generator can record
+the truth directly:
+
+* which true product every offer was derived from (including offers for
+  products deliberately withheld from the catalog);
+* the full true specification of every product, cataloged or withheld;
+* which catalog attribute every merchant attribute alias stands for
+  (or ``None`` for junk attributes);
+* the merchant-voiced specification rendered onto each landing page.
+
+The evaluation oracle (:mod:`repro.evaluation.oracle`) consumes this
+object to compute attribute precision, product precision, attribute recall
+and correspondence precision without any manual labelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.model.attributes import Specification
+from repro.model.products import Product
+from repro.text.normalize import normalize_attribute_name
+
+__all__ = ["GroundTruth"]
+
+
+@dataclass
+class GroundTruth:
+    """Complete generator-side truth for a synthetic corpus."""
+
+    #: offer_id -> true product_id (every offer, matched or not).
+    offer_to_product: Dict[str, str] = field(default_factory=dict)
+    #: product_id -> full true product (cataloged and withheld/novel alike).
+    true_products: Dict[str, Product] = field(default_factory=dict)
+    #: product ids withheld from the catalog ("novel" products the run-time
+    #: pipeline is expected to synthesize).
+    novel_product_ids: Set[str] = field(default_factory=set)
+    #: (merchant_id, category_id, normalised merchant attribute name) ->
+    #: catalog attribute name; junk attributes are absent from this map.
+    alias_to_catalog: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
+    #: offer_id -> merchant-voiced specification rendered on the landing page.
+    offer_page_specs: Dict[str, Specification] = field(default_factory=dict)
+    #: offer_id -> category_id assigned by the generator (true category).
+    offer_true_category: Dict[str, str] = field(default_factory=dict)
+
+    # -- recording (used by the generator) ---------------------------------
+
+    def record_offer(
+        self,
+        offer_id: str,
+        product_id: str,
+        category_id: str,
+        page_spec: Specification,
+    ) -> None:
+        """Record the provenance of one generated offer."""
+        self.offer_to_product[offer_id] = product_id
+        self.offer_true_category[offer_id] = category_id
+        self.offer_page_specs[offer_id] = page_spec
+
+    def record_product(self, product: Product, novel: bool) -> None:
+        """Record a true product and whether it was withheld from the catalog."""
+        self.true_products[product.product_id] = product
+        if novel:
+            self.novel_product_ids.add(product.product_id)
+
+    def record_alias(
+        self,
+        merchant_id: str,
+        category_id: str,
+        merchant_attribute: str,
+        catalog_attribute: Optional[str],
+    ) -> None:
+        """Record what a merchant attribute name means (``None`` = junk)."""
+        if catalog_attribute is None:
+            return
+        key = (merchant_id, category_id, normalize_attribute_name(merchant_attribute))
+        self.alias_to_catalog[key] = catalog_attribute
+
+    # -- queries (used by the evaluation oracle) ----------------------------
+
+    def true_product_for_offer(self, offer_id: str) -> Optional[Product]:
+        """The true product an offer was derived from."""
+        product_id = self.offer_to_product.get(offer_id)
+        if product_id is None:
+            return None
+        return self.true_products.get(product_id)
+
+    def catalog_attribute_for_alias(
+        self, merchant_id: str, category_id: str, merchant_attribute: str
+    ) -> Optional[str]:
+        """The catalog attribute a merchant alias stands for, or ``None``."""
+        key = (merchant_id, category_id, normalize_attribute_name(merchant_attribute))
+        return self.alias_to_catalog.get(key)
+
+    def is_correct_correspondence(
+        self,
+        catalog_attribute: str,
+        merchant_attribute: str,
+        merchant_id: str,
+        category_id: str,
+    ) -> bool:
+        """Whether ⟨catalog attr, merchant attr, merchant, category⟩ is correct."""
+        truth = self.catalog_attribute_for_alias(merchant_id, category_id, merchant_attribute)
+        if truth is None:
+            return False
+        return normalize_attribute_name(truth) == normalize_attribute_name(catalog_attribute)
+
+    def novel_products(self) -> List[Product]:
+        """All products withheld from the catalog."""
+        return [self.true_products[product_id] for product_id in sorted(self.novel_product_ids)]
+
+    def offers_of_product(self, product_id: str) -> List[str]:
+        """Ids of all offers derived from the given true product."""
+        return [
+            offer_id
+            for offer_id, true_product in self.offer_to_product.items()
+            if true_product == product_id
+        ]

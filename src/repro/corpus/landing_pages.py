@@ -1,0 +1,122 @@
+"""Rendering merchant landing pages as HTML.
+
+Each offer's landing page embeds the product specification as a
+two-column table — the layout the Web-page Attribute Extraction component
+targets (paper Section 4, "rows with two columns, where we consider the
+first column to be the attribute name and the second column to be the
+attribute value").  To make the extraction problem realistic the renderer
+also emits:
+
+* navigation, pricing and review tables that are *not* specifications
+  (noise the extractor will wrongly pick up, to be filtered downstream by
+  schema reconciliation);
+* with probability ``missing_page_rate``, a bullet-list layout instead of a
+  table, which the extractor legitimately misses (the paper notes the
+  extractor "misses offers that are not formatted as tables").
+"""
+
+from __future__ import annotations
+
+import html
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.attributes import Specification
+from repro.model.merchants import Merchant
+from repro.model.offers import Offer
+
+__all__ = ["LandingPageRenderer"]
+
+_REVIEW_SNIPPETS = (
+    "Great value for the money, would buy again.",
+    "Arrived quickly and works as described.",
+    "Stopped working after two weeks, returned it.",
+    "Exactly what I was looking for.",
+    "The color looks different from the photo.",
+)
+
+_NAV_LINKS = ("Home", "Electronics", "Clearance", "My Account", "Cart", "Help")
+
+
+class LandingPageRenderer:
+    """Render offers into merchant landing pages (HTML strings)."""
+
+    def __init__(self, rng: random.Random, missing_page_rate: float = 0.08) -> None:
+        if not 0.0 <= missing_page_rate <= 1.0:
+            raise ValueError(
+                f"missing_page_rate must be within [0, 1], got {missing_page_rate}"
+            )
+        self._rng = rng
+        self._missing_page_rate = missing_page_rate
+
+    # -- public API ---------------------------------------------------------
+
+    def render(
+        self,
+        offer: Offer,
+        merchant: Merchant,
+        specification: Specification,
+    ) -> str:
+        """Render the landing page for one offer.
+
+        The returned HTML always contains navigation and pricing noise; the
+        specification is rendered as a table unless the page is sampled as a
+        "non-table layout" page.
+        """
+        as_table = self._rng.random() >= self._missing_page_rate
+        parts: List[str] = []
+        parts.append("<html><head>")
+        parts.append(f"<title>{html.escape(offer.title)} | {html.escape(merchant.name)}</title>")
+        parts.append("</head><body>")
+        parts.append(self._navigation_table())
+        parts.append(f"<h1>{html.escape(offer.title)}</h1>")
+        parts.append(self._pricing_table(offer))
+        if as_table:
+            parts.append(self._specification_table(specification))
+        else:
+            parts.append(self._specification_list(specification))
+        parts.append(self._review_section())
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+    # -- sections -----------------------------------------------------------
+
+    def _navigation_table(self) -> str:
+        cells = "".join(f"<td><a href='#'>{link}</a></td>" for link in _NAV_LINKS)
+        return f"<table class='nav'><tr>{cells}</tr></table>"
+
+    def _pricing_table(self, offer: Offer) -> str:
+        # A two-column table that is *not* a product specification; the
+        # extractor will pick it up and schema reconciliation must drop it.
+        rows = [
+            ("Our Price", f"${offer.price:,.2f}"),
+            ("List Price", f"${offer.price * 1.2:,.2f}"),
+            ("You Save", f"${offer.price * 0.2:,.2f}"),
+        ]
+        return self._two_column_table(rows, css_class="pricing")
+
+    def _specification_table(self, specification: Specification) -> str:
+        rows = [(pair.name, pair.value) for pair in specification]
+        heading = "<h2>Product Specifications</h2>"
+        return heading + self._two_column_table(rows, css_class="specs")
+
+    def _specification_list(self, specification: Specification) -> str:
+        items = "".join(
+            f"<li>{html.escape(pair.name)}: {html.escape(pair.value)}</li>"
+            for pair in specification
+        )
+        return f"<h2>Product Specifications</h2><ul class='specs'>{items}</ul>"
+
+    def _review_section(self) -> str:
+        count = self._rng.randint(0, 3)
+        snippets = [self._rng.choice(_REVIEW_SNIPPETS) for _ in range(count)]
+        items = "".join(f"<p class='review'>{html.escape(text)}</p>" for text in snippets)
+        return f"<div class='reviews'><h2>Customer Reviews</h2>{items}</div>"
+
+    @staticmethod
+    def _two_column_table(rows: Sequence[Tuple[str, str]], css_class: str) -> str:
+        body = "".join(
+            f"<tr><td>{html.escape(str(name))}</td><td>{html.escape(str(value))}</td></tr>"
+            for name, value in rows
+        )
+        return f"<table class='{css_class}'>{body}</table>"

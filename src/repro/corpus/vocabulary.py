@@ -1,0 +1,299 @@
+"""Domain vocabularies: brands, model-name fragments, attribute synonyms.
+
+The vocabulary is intentionally plain data (tuples of strings) so that the
+category specifications in :mod:`repro.corpus.domains` stay readable and
+the generator stays deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "BRANDS",
+    "MODEL_WORDS",
+    "ATTRIBUTE_SYNONYMS",
+    "JUNK_ATTRIBUTES",
+    "MERCHANT_NAME_WORDS",
+    "COLOR_POOL",
+    "MATERIAL_POOL",
+]
+
+#: Brand pools per broad domain.  Merchant assortment bias picks a subset
+#: of these per merchant, which is what makes raw (unmatched) value
+#: distributions differ between a merchant and the catalog (paper
+#: Section 3.1, the SonyStyle.com example).
+BRANDS: Dict[str, Tuple[str, ...]] = {
+    "storage": (
+        "Seagate",
+        "Western Digital",
+        "Hitachi",
+        "Toshiba",
+        "Samsung",
+        "Fujitsu",
+        "Maxtor",
+        "Quantum",
+        "IBM",
+        "HP",
+    ),
+    "computing": (
+        "Dell",
+        "HP",
+        "Lenovo",
+        "Toshiba",
+        "Acer",
+        "Asus",
+        "Sony",
+        "Apple",
+        "Gateway",
+        "MSI",
+        "Samsung",
+        "Fujitsu",
+    ),
+    "camera": (
+        "Canon",
+        "Nikon",
+        "Sony",
+        "Olympus",
+        "Panasonic",
+        "Pentax",
+        "Fujifilm",
+        "Kodak",
+        "Casio",
+        "Leica",
+        "Sigma",
+        "Samsung",
+    ),
+    "furnishing": (
+        "Ashley",
+        "Croscill",
+        "Waverly",
+        "Laura Ashley",
+        "Pem America",
+        "Nautica",
+        "Tommy Hilfiger",
+        "Madison Park",
+        "Intelligent Design",
+        "Pinzon",
+    ),
+    "kitchen": (
+        "KitchenAid",
+        "Cuisinart",
+        "Hamilton Beach",
+        "Black & Decker",
+        "Oster",
+        "Breville",
+        "Krups",
+        "DeLonghi",
+        "Presto",
+        "Waring",
+        "GE",
+        "Whirlpool",
+    ),
+}
+
+#: Fragments combined into synthetic model names ("Barracuda 7200.10").
+MODEL_WORDS: Dict[str, Tuple[str, ...]] = {
+    "storage": (
+        "Barracuda",
+        "Cheetah",
+        "Momentus",
+        "Raptor",
+        "Caviar",
+        "Deskstar",
+        "Travelstar",
+        "Spinpoint",
+        "Scorpio",
+        "Constellation",
+    ),
+    "computing": (
+        "Latitude",
+        "Inspiron",
+        "Pavilion",
+        "ThinkPad",
+        "Satellite",
+        "Aspire",
+        "VAIO",
+        "MacBook",
+        "IdeaPad",
+        "Precision",
+        "EliteBook",
+        "Vostro",
+    ),
+    "camera": (
+        "EOS",
+        "PowerShot",
+        "Coolpix",
+        "Alpha",
+        "Cyber-shot",
+        "Lumix",
+        "FinePix",
+        "Stylus",
+        "EasyShare",
+        "Exilim",
+        "D-Series",
+    ),
+    "furnishing": (
+        "Serenity",
+        "Chelsea",
+        "Hampton",
+        "Willow",
+        "Madison",
+        "Regency",
+        "Vineyard",
+        "Cottage",
+        "Heritage",
+        "Somerset",
+    ),
+    "kitchen": (
+        "Artisan",
+        "Classic",
+        "Professional",
+        "Elite",
+        "Custom",
+        "Gourmet",
+        "Premier",
+        "Compact",
+        "Signature",
+        "Ultra",
+    ),
+}
+
+#: Merchant-side synonyms of catalog attribute names.  The first element of
+#: each tuple is implicitly the catalog name itself; the generator also
+#: uses the catalog name verbatim with some probability, which is what
+#: creates the name-identity candidates the automated training set relies
+#: on (paper Section 3.2).
+ATTRIBUTE_SYNONYMS: Dict[str, Tuple[str, ...]] = {
+    "Brand": ("Manufacturer", "Brand Name", "Make", "Mfg"),
+    "Model": ("Model Name", "Product Model", "Model No", "Series"),
+    "Model Part Number": ("MPN", "Mfr. Part #", "Manufacturers Part Number", "Part Number", "Mfg Part No"),
+    "UPC": ("UPC Code", "Universal Product Code", "UPC Number"),
+    "Capacity": ("Hard Disk Size", "Storage Capacity", "Hard Drive / Capacity", "Disk Capacity", "Size"),
+    "Interface": ("Interface Type", "Int. Type", "Connection Interface", "Drive Interface"),
+    "Spindle Speed": ("RPM", "Rotational Speed", "Drive Speed", "Speed"),
+    "Buffer Size": ("Cache", "Cache Size", "Buffer Memory", "Data Buffer"),
+    "Form Factor": ("Disk Size", "Drive Form Factor", "Physical Size"),
+    "Data Transfer Rate": ("Transfer Rate", "Max Transfer Rate", "Data Rate"),
+    "Screen Size": ("Display Size", "Monitor Size", "Diagonal Size", "LCD Size"),
+    "Resolution": ("Max Resolution", "Native Resolution", "Display Resolution", "Image Resolution"),
+    "Processor Speed": ("CPU Speed", "Clock Speed", "Processor Frequency"),
+    "Processor Type": ("CPU", "CPU Type", "Processor", "Chipset"),
+    "Memory": ("RAM", "Installed Memory", "System Memory", "Memory Size"),
+    "Hard Drive": ("HDD", "Hard Drive Capacity", "HD Size", "Storage"),
+    "Operating System": ("OS", "OS Provided", "Platform", "Pre-loaded OS"),
+    "Battery Life": ("Run Time", "Battery Run Time", "Max Battery Life"),
+    "Weight": ("Item Weight", "Shipping Weight", "Product Weight", "Net Weight"),
+    "Optical Zoom": ("Zoom", "Optical Zoom Factor", "Zoom Ratio"),
+    "Sensor Type": ("Image Sensor", "Sensor", "CCD Type"),
+    "Focal Length": ("Lens Focal Length", "Focal Range"),
+    "ISO Rating": ("ISO", "ISO Sensitivity", "Light Sensitivity"),
+    "LCD Size": ("Screen", "Display", "LCD Screen Size", "Monitor"),
+    "Megapixels": ("Resolution (MP)", "Effective Pixels", "Camera Resolution", "MP"),
+    "Color": ("Colour", "Color Family", "Finish", "Shade"),
+    "Material": ("Fabric", "Fabric Content", "Composition", "Made Of"),
+    "Thread Count": ("TC", "Threads Per Inch", "Fabric Thread Count"),
+    "Dimensions": ("Size (WxDxH)", "Product Dimensions", "Measurements", "Overall Size"),
+    "Pattern": ("Design", "Print", "Style"),
+    "Care Instructions": ("Care", "Washing Instructions", "Cleaning"),
+    "Wattage": ("Power", "Watts", "Power Consumption", "Power Rating"),
+    "Voltage": ("Volts", "Input Voltage", "Power Supply"),
+    "Number of Settings": ("Settings", "Speed Settings", "Speeds"),
+    "Bowl Capacity": ("Capacity (Qt)", "Bowl Size", "Mixing Bowl Capacity"),
+    "Number of Cups": ("Cup Capacity", "Cups", "Carafe Capacity"),
+    "Lens Type": ("Lens", "Lens Mount", "Mount Type"),
+    "Aperture": ("Max Aperture", "F-Stop", "Maximum Aperture"),
+    "Graphics": ("Video Card", "Graphics Card", "GPU", "Graphics Processor"),
+    "Refresh Rate": ("Vertical Refresh Rate", "Scan Rate"),
+    "Contrast Ratio": ("Dynamic Contrast", "Contrast"),
+    "Brightness": ("Luminance", "Brightness (cd/m2)"),
+    "Fill Material": ("Fill", "Filling", "Stuffing"),
+    "Seat Height": ("Height", "Chair Height", "Seat Elevation"),
+    "Blade Material": ("Blade", "Blade Type", "Blade Construction"),
+}
+
+#: Attributes merchants add that have no catalog counterpart; schema
+#: reconciliation should learn *no* correspondence for these and they
+#: should therefore be filtered out of synthesized products.
+JUNK_ATTRIBUTES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("Condition", ("New", "Refurbished", "Open Box", "Used")),
+    ("Availability", ("In Stock", "Out of Stock", "2-3 Weeks", "Backordered")),
+    ("Shipping", ("Free Shipping", "Ground", "2nd Day Air", "Freight")),
+    ("Warranty", ("1 Year", "90 Days", "2 Years Limited", "3 Years On-site")),
+    ("Returns", ("30 Day", "No Returns", "14 Day Restocking Fee")),
+    ("SKU", ()),  # value generated as a random merchant-specific code
+    ("Item Number", ()),
+    ("Rebate", ("None", "$10 Mail-in", "$25 Mail-in", "Instant")),
+)
+
+#: Word pool for synthetic merchant names ("TechDepot", "MegaOutlet"...).
+MERCHANT_NAME_WORDS: Tuple[Tuple[str, ...], Tuple[str, ...]] = (
+    (
+        "Tech",
+        "Mega",
+        "Super",
+        "Value",
+        "Prime",
+        "Direct",
+        "Digital",
+        "Global",
+        "Smart",
+        "Best",
+        "Quick",
+        "Metro",
+        "Urban",
+        "Home",
+        "Kitchen",
+        "Photo",
+    ),
+    (
+        "Depot",
+        "Outlet",
+        "Warehouse",
+        "Store",
+        "Mart",
+        "Shop",
+        "Source",
+        "Supply",
+        "World",
+        "Zone",
+        "Express",
+        "Center",
+        "Bazaar",
+        "Gallery",
+    ),
+)
+
+COLOR_POOL: Tuple[str, ...] = (
+    "Black",
+    "White",
+    "Silver",
+    "Blue",
+    "Red",
+    "Ivory",
+    "Sage",
+    "Chocolate",
+    "Burgundy",
+    "Taupe",
+    "Navy",
+    "Gold",
+    "Espresso",
+    "Stainless Steel",
+)
+
+MATERIAL_POOL: Tuple[str, ...] = (
+    "100% Cotton",
+    "Cotton Blend",
+    "Polyester",
+    "Microfiber",
+    "Silk",
+    "Linen",
+    "Egyptian Cotton",
+    "Rayon",
+    "Velvet",
+    "Stainless Steel",
+    "Cast Iron",
+    "Aluminum",
+    "Glass",
+    "Ceramic",
+)

@@ -1,0 +1,44 @@
+"""Evaluation methodology of paper Section 5.
+
+The paper's evaluation relies on manual labelling against manufacturer
+sites (for product synthesis quality) and manual labelling of sampled
+correspondences (for schema reconciliation quality).  The synthetic corpus
+records complete ground truth, so the :class:`~repro.evaluation.oracle.EvaluationOracle`
+plays the role of the human labellers:
+
+* **attribute precision** — fraction of synthesized attribute-value pairs
+  that agree with the true product specification;
+* **product precision** — fraction of synthesized products whose *every*
+  attribute is correct (the paper's strict notion);
+* **attribute recall** — fraction of the catalog attributes evidenced on
+  the source offers' landing pages that made it into the synthesized
+  product;
+* **correspondence precision / coverage** — precision of scored candidate
+  correspondences above a threshold θ, as a function of the number of
+  correspondences retained (paper Section 5.2 and Appendix B's relative
+  recall argument).
+"""
+
+from repro.evaluation.coverage import (
+    PrecisionCoveragePoint,
+    precision_at_coverage,
+    precision_coverage_curve,
+    relative_recall,
+)
+from repro.evaluation.oracle import EvaluationOracle, ProductEvaluation, SynthesisEvaluation
+from repro.evaluation.sampling import confidence_interval, sample_size_for_proportion
+from repro.evaluation.report import format_table, format_curve
+
+__all__ = [
+    "PrecisionCoveragePoint",
+    "precision_at_coverage",
+    "precision_coverage_curve",
+    "relative_recall",
+    "EvaluationOracle",
+    "ProductEvaluation",
+    "SynthesisEvaluation",
+    "confidence_interval",
+    "sample_size_for_proportion",
+    "format_table",
+    "format_curve",
+]

@@ -1,0 +1,158 @@
+"""Precision-vs-coverage evaluation of schema matchers (paper Section 5.2).
+
+Every matcher emits scored candidate correspondences.  For a threshold θ,
+*coverage* is the number of correspondences with score greater than θ and
+*precision* is the fraction of those that are correct.  Sweeping θ yields
+the curves of Figures 6-9.  Paper Appendix B shows that at equal
+precision, higher coverage implies higher recall relative to the other
+algorithm — :func:`relative_recall` implements that computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.matching.correspondence import ScoredCandidate
+
+__all__ = [
+    "PrecisionCoveragePoint",
+    "precision_coverage_curve",
+    "precision_at_coverage",
+    "coverage_at_precision",
+    "relative_recall",
+]
+
+
+@dataclass(frozen=True)
+class PrecisionCoveragePoint:
+    """One point of a precision-vs-coverage curve."""
+
+    threshold: float
+    coverage: int
+    precision: float
+
+
+def _sorted_labels(
+    candidates: Sequence[ScoredCandidate],
+    is_correct: Callable[[ScoredCandidate], bool],
+) -> List[Tuple[float, bool]]:
+    labelled = [(candidate.score, is_correct(candidate)) for candidate in candidates]
+    labelled.sort(key=lambda item: -item[0])
+    return labelled
+
+
+def precision_coverage_curve(
+    candidates: Sequence[ScoredCandidate],
+    is_correct: Callable[[ScoredCandidate], bool],
+    num_points: int = 25,
+) -> List[PrecisionCoveragePoint]:
+    """The precision-vs-coverage curve of a matcher's scored output.
+
+    Parameters
+    ----------
+    candidates:
+        Scored candidates (name-identity candidates should already be
+        excluded by the caller, mirroring the paper's methodology).
+    is_correct:
+        Ground-truth judgement for one candidate.
+    num_points:
+        Number of evenly spaced coverage points to report.
+
+    Returns
+    -------
+    list of PrecisionCoveragePoint
+        Ordered by increasing coverage.
+    """
+    if num_points < 1:
+        raise ValueError(f"num_points must be >= 1, got {num_points}")
+    labelled = _sorted_labels(candidates, is_correct)
+    if not labelled:
+        return []
+
+    total = len(labelled)
+    cumulative_correct = 0
+    cumulative_precision: List[float] = []
+    for index, (_, correct) in enumerate(labelled, start=1):
+        if correct:
+            cumulative_correct += 1
+        cumulative_precision.append(cumulative_correct / index)
+
+    step = max(1, total // num_points)
+    points: List[PrecisionCoveragePoint] = []
+    for coverage in range(step, total + 1, step):
+        score_at = labelled[coverage - 1][0]
+        points.append(
+            PrecisionCoveragePoint(
+                threshold=score_at,
+                coverage=coverage,
+                precision=cumulative_precision[coverage - 1],
+            )
+        )
+    if points and points[-1].coverage != total:
+        points.append(
+            PrecisionCoveragePoint(
+                threshold=labelled[-1][0],
+                coverage=total,
+                precision=cumulative_precision[-1],
+            )
+        )
+    return points
+
+
+def precision_at_coverage(
+    candidates: Sequence[ScoredCandidate],
+    is_correct: Callable[[ScoredCandidate], bool],
+    coverage: int,
+) -> float:
+    """Precision of the ``coverage`` highest-scoring candidates.
+
+    When fewer candidates are available than requested, the precision over
+    all of them is returned.
+    """
+    if coverage < 1:
+        raise ValueError(f"coverage must be >= 1, got {coverage}")
+    labelled = _sorted_labels(candidates, is_correct)
+    if not labelled:
+        return 0.0
+    top = labelled[: min(coverage, len(labelled))]
+    return sum(1 for _, correct in top if correct) / len(top)
+
+
+def coverage_at_precision(
+    candidates: Sequence[ScoredCandidate],
+    is_correct: Callable[[ScoredCandidate], bool],
+    precision: float,
+) -> int:
+    """The largest coverage at which the matcher still achieves ``precision``."""
+    if not 0.0 <= precision <= 1.0:
+        raise ValueError(f"precision must be within [0, 1], got {precision}")
+    labelled = _sorted_labels(candidates, is_correct)
+    best_coverage = 0
+    correct = 0
+    for index, (_, is_right) in enumerate(labelled, start=1):
+        if is_right:
+            correct += 1
+        if correct / index >= precision:
+            best_coverage = index
+    return best_coverage
+
+
+def relative_recall(
+    candidates_a: Sequence[ScoredCandidate],
+    candidates_b: Sequence[ScoredCandidate],
+    is_correct: Callable[[ScoredCandidate], bool],
+    precision: float,
+) -> Optional[float]:
+    """Recall of matcher A relative to matcher B at a common precision level.
+
+    Appendix B: at precision ``p`` the number of correct correspondences
+    retrieved by a matcher is ``coverage * p``; dividing A's by B's cancels
+    the unknown total number of correct correspondences.  Returns ``None``
+    when B achieves zero coverage at the requested precision.
+    """
+    coverage_a = coverage_at_precision(candidates_a, is_correct, precision)
+    coverage_b = coverage_at_precision(candidates_b, is_correct, precision)
+    if coverage_b == 0:
+        return None
+    return coverage_a / coverage_b

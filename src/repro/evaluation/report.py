@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment tables and curves.
+
+The experiment drivers print their results in the same shape as the
+paper's tables and figures; these helpers keep the formatting consistent
+and easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+from repro.evaluation.coverage import PrecisionCoveragePoint
+
+__all__ = ["format_table", "format_curve", "format_kv"]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line(list(headers)))
+    lines.append(render_line(["-" * width for width in widths]))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def format_curve(
+    curves: Mapping[str, Sequence[PrecisionCoveragePoint]], title: str = ""
+) -> str:
+    """Render one or more precision-vs-coverage curves as a text table."""
+    headers = ["series", "coverage", "precision", "threshold"]
+    rows: List[List[Cell]] = []
+    for name, points in curves.items():
+        for point in points:
+            rows.append([name, point.coverage, point.precision, point.threshold])
+    return format_table(headers, rows, title=title)
+
+
+def format_kv(values: Mapping[str, Cell], title: str = "") -> str:
+    """Render a mapping as an aligned key/value listing."""
+    width = max((len(key) for key in values), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for key, value in values.items():
+        lines.append(f"{key.ljust(width)}  {_format_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Command-line entry point: run the paper's experiments and print their tables.
+
+Installed as ``repro-synthesize``; also runnable as
+``python -m repro.experiments.cli``.
+
+Examples
+--------
+Run every experiment on the small preset::
+
+    repro-synthesize --preset small
+
+Run only Table 2 and Figure 8 on the default (larger) preset::
+
+    repro-synthesize --preset default --experiments table2 figure8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.corpus.config import CorpusPreset
+from repro.experiments import figure6, figure7, figure8, figure9, table2, table3, table4
+from repro.experiments.harness import ExperimentHarness
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment name -> runner taking the shared harness.
+EXPERIMENTS: Dict[str, Callable[[ExperimentHarness], object]] = {
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+}
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-synthesize",
+        description="Reproduce the evaluation of 'Synthesizing Products for Online Catalogs'",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=[preset.value for preset in CorpusPreset],
+        default=CorpusPreset.SMALL.value,
+        help="corpus size preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=2011, help="corpus RNG seed")
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS),
+        default=sorted(EXPERIMENTS),
+        help="experiments to run (default: all)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the selected experiments and print their results."""
+    args = _parse_args(argv)
+    preset = CorpusPreset(args.preset)
+    harness = ExperimentHarness(preset.config(seed=args.seed))
+
+    print(f"corpus preset: {preset.value} (seed {args.seed})")
+    start = time.time()
+    summary = harness.corpus.summary()
+    print(
+        "corpus: "
+        + ", ".join(f"{key}={value:,}" for key, value in summary.items())
+        + f"  [generated in {time.time() - start:.1f}s]"
+    )
+    print()
+
+    for name in args.experiments:
+        runner = EXPERIMENTS[name]
+        start = time.time()
+        result = runner(harness)
+        elapsed = time.time() - start
+        print(result.to_text())
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

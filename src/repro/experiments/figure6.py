@@ -1,0 +1,52 @@
+"""Figure 6 — The classifier vs single-feature baselines.
+
+Paper claim: combining the six distributional features with a classifier
+"consistently outperforms the use of individual similarity measures"; at
+20K correspondences the paper reports precision 0.87 for the full approach
+vs 0.76 (JS-MC alone) and 0.69 (Jaccard-MC alone).  The reproduction runs
+all three configurations over the same candidate space (all categories and
+merchants) and reports their precision-vs-coverage curves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.single_feature import SingleFeatureMatcher
+from repro.corpus.config import CorpusPreset
+from repro.experiments.figures_common import (
+    FigureResult,
+    build_series,
+    reference_coverage_for,
+)
+from repro.experiments.harness import ExperimentHarness, get_harness
+
+__all__ = ["run", "SERIES_OUR_APPROACH", "SERIES_JS_MC", "SERIES_JACCARD_MC"]
+
+SERIES_OUR_APPROACH = "Our approach"
+SERIES_JS_MC = "JS-MC"
+SERIES_JACCARD_MC = "Jaccard-MC"
+
+
+def run(harness: Optional[ExperimentHarness] = None) -> FigureResult:
+    """Run the Figure 6 experiment."""
+    harness = harness or get_harness(CorpusPreset.SMALL)
+    oracle = harness.oracle
+    result = FigureResult(title="Figure 6 — classifier vs single-feature baselines")
+    result.reference_coverage = reference_coverage_for(
+        harness.offline_result.scored_candidates, oracle
+    )
+
+    result.add(
+        build_series(SERIES_OUR_APPROACH, harness.offline_result.scored_candidates, oracle)
+    )
+
+    js_matcher = SingleFeatureMatcher(harness.corpus.catalog, feature_name="JS-MC")
+    js_scored = js_matcher.match(harness.historical_offers, harness.corpus.matches)
+    result.add(build_series(SERIES_JS_MC, js_scored, oracle))
+
+    jaccard_matcher = SingleFeatureMatcher(harness.corpus.catalog, feature_name="Jaccard-MC")
+    jaccard_scored = jaccard_matcher.match(harness.historical_offers, harness.corpus.matches)
+    result.add(build_series(SERIES_JACCARD_MC, jaccard_scored, oracle))
+
+    return result

@@ -1,0 +1,202 @@
+"""Shared helpers for the precision-vs-coverage figure experiments (6-9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.evaluation.coverage import (
+    PrecisionCoveragePoint,
+    precision_at_coverage,
+    precision_coverage_curve,
+)
+from repro.evaluation.oracle import EvaluationOracle
+from repro.evaluation.report import format_curve, format_table
+from repro.matching.correspondence import ScoredCandidate
+
+__all__ = [
+    "FigureSeries",
+    "FigureResult",
+    "build_series",
+    "filter_to_categories",
+    "count_correct",
+    "reference_coverage_for",
+]
+
+#: Number of points reported per curve.
+CURVE_POINTS = 20
+
+
+@dataclass
+class FigureSeries:
+    """One matcher's precision-vs-coverage behaviour.
+
+    ``labels`` holds the correctness of every retained candidate in
+    descending-score order, so precision can be computed exactly at any
+    coverage; ``curve`` is the down-sampled rendering used for display.
+    """
+
+    name: str
+    curve: List[PrecisionCoveragePoint]
+    num_candidates: int
+    labels: List[bool] = field(default_factory=list)
+
+    def precision_at(self, coverage: int) -> Optional[float]:
+        """Exact precision of the top-``coverage`` candidates."""
+        if not self.labels:
+            return None
+        top = self.labels[: min(max(coverage, 1), len(self.labels))]
+        return sum(top) / len(top)
+
+    def coverage_at_precision(self, precision: float) -> int:
+        """The largest coverage at which the series still reaches ``precision``."""
+        best = 0
+        correct = 0
+        for index, label in enumerate(self.labels, start=1):
+            if label:
+                correct += 1
+            if correct / index >= precision:
+                best = index
+        return best
+
+    def max_coverage(self) -> int:
+        """The largest coverage the matcher reaches."""
+        return len(self.labels) if self.labels else 0
+
+
+@dataclass
+class FigureResult:
+    """A set of named precision-vs-coverage series."""
+
+    title: str
+    series: Dict[str, FigureSeries] = field(default_factory=dict)
+    #: Coverage level used for the headline comparison; when unset, the
+    #: largest coverage reachable by every series is used.  Experiments set
+    #: it to roughly half the number of correct correspondences in scope,
+    #: which is the "interesting" region of the paper's figures.
+    reference_coverage: Optional[int] = None
+
+    def add(self, series: FigureSeries) -> None:
+        """Register a series."""
+        self.series[series.name] = series
+
+    def get(self, name: str) -> FigureSeries:
+        """The series with the given name.
+
+        Raises
+        ------
+        KeyError
+            If the series does not exist.
+        """
+        return self.series[name]
+
+    def common_coverage(self) -> int:
+        """A coverage level reachable by every series (for fair comparison)."""
+        coverages = [series.max_coverage() for series in self.series.values() if series.curve]
+        if not coverages:
+            return 0
+        return min(coverages)
+
+    def comparison_coverage(self) -> int:
+        """The coverage level used by :meth:`precision_comparison`."""
+        if self.reference_coverage is not None:
+            return self.reference_coverage
+        return self.common_coverage()
+
+    def precision_comparison(self, coverage: Optional[int] = None) -> Dict[str, float]:
+        """Precision of every series at a common coverage level."""
+        level = coverage or self.comparison_coverage()
+        comparison: Dict[str, float] = {}
+        for name, series in self.series.items():
+            precision = series.precision_at(level)
+            if precision is not None:
+                comparison[name] = precision
+        return comparison
+
+    def to_text(self) -> str:
+        """Human-readable rendering: the comparison table plus the curves."""
+        level = self.comparison_coverage()
+        comparison_rows = [
+            [name, level, precision]
+            for name, precision in sorted(
+                self.precision_comparison(level).items(), key=lambda item: -item[1]
+            )
+        ]
+        comparison = format_table(
+            ["series", "coverage", "precision"], comparison_rows, title=self.title
+        )
+        curves = format_curve(
+            {name: series.curve for name, series in self.series.items()},
+            title="precision-vs-coverage points",
+        )
+        return f"{comparison}\n\n{curves}"
+
+
+def count_correct(
+    scored: Sequence[ScoredCandidate],
+    oracle: EvaluationOracle,
+    exclude_identity: bool = True,
+) -> int:
+    """Number of correct (non-identity) candidates in a scored set."""
+    return sum(
+        1
+        for candidate, correct in oracle.correspondence_labels(
+            list(scored), exclude_identity=exclude_identity
+        )
+        if correct
+    )
+
+
+def reference_coverage_for(
+    scored: Sequence[ScoredCandidate],
+    oracle: EvaluationOracle,
+    fraction: float = 0.5,
+    minimum: int = 20,
+) -> int:
+    """A comparison coverage level: a fraction of the correct candidates in scope.
+
+    The paper compares matchers at coverage levels well inside the region
+    where a good matcher can still be precise (10K-20K correspondences out
+    of 414K candidates).  Scaling with the number of correct
+    correspondences keeps the comparison meaningful across corpus sizes.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    return max(minimum, int(count_correct(scored, oracle) * fraction))
+
+
+def filter_to_categories(
+    scored: Sequence[ScoredCandidate], category_ids: Sequence[str]
+) -> List[ScoredCandidate]:
+    """Keep only candidates whose category is in ``category_ids``."""
+    allowed = set(category_ids)
+    if not allowed:
+        return list(scored)
+    return [item for item in scored if item.candidate.category_id in allowed]
+
+
+def build_series(
+    name: str,
+    scored: Sequence[ScoredCandidate],
+    oracle: EvaluationOracle,
+    exclude_identity: bool = True,
+    num_points: int = CURVE_POINTS,
+) -> FigureSeries:
+    """Build one precision-vs-coverage series from scored candidates.
+
+    Name-identity candidates are excluded by default, matching the paper's
+    evaluation methodology (they seed the training set).
+    """
+    retained = [
+        item
+        for item in scored
+        if not (exclude_identity and item.is_name_identity())
+    ]
+    curve = precision_coverage_curve(
+        retained, oracle.correspondence_is_correct, num_points=num_points
+    )
+    ranked = sorted(retained, key=lambda item: -item.score)
+    labels = [oracle.correspondence_is_correct(item) for item in ranked]
+    return FigureSeries(
+        name=name, curve=curve, num_candidates=len(retained), labels=labels
+    )

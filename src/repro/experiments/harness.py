@@ -1,0 +1,143 @@
+"""Shared experiment harness: corpus, extraction, learning and synthesis runs.
+
+Most experiments share expensive intermediate artefacts (the corpus, the
+extracted historical offers, the offline-learning result, the synthesized
+products).  The harness computes each artefact lazily and caches it, and
+:func:`get_harness` memoises harnesses per (preset, seed) so that a test or
+benchmark session never repeats the same run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.config import CorpusConfig, CorpusPreset
+from repro.corpus.generator import CorpusGenerator, SyntheticCorpus
+from repro.evaluation.oracle import EvaluationOracle
+from repro.extraction.extractor import WebPageAttributeExtractor
+from repro.matching.learner import OfflineLearner, OfflineLearningResult
+from repro.model.offers import Offer
+from repro.synthesis.category_classifier import TitleCategoryClassifier
+from repro.synthesis.pipeline import ProductSynthesisPipeline, SynthesisResult
+
+__all__ = ["ExperimentHarness", "get_harness"]
+
+
+class ExperimentHarness:
+    """Lazily computed, cached experiment artefacts for one corpus."""
+
+    def __init__(self, config: Optional[CorpusConfig] = None) -> None:
+        self.config = config or CorpusPreset.SMALL.config()
+        self._corpus: Optional[SyntheticCorpus] = None
+        self._extractor: Optional[WebPageAttributeExtractor] = None
+        self._historical_offers: Optional[List[Offer]] = None
+        self._unmatched_offers: Optional[List[Offer]] = None
+        self._offline_result: Optional[OfflineLearningResult] = None
+        self._synthesis_result: Optional[SynthesisResult] = None
+        self._oracle: Optional[EvaluationOracle] = None
+        self._category_classifier: Optional[TitleCategoryClassifier] = None
+
+    # -- corpus-level artefacts ---------------------------------------------------
+
+    @property
+    def corpus(self) -> SyntheticCorpus:
+        """The generated synthetic corpus."""
+        if self._corpus is None:
+            self._corpus = CorpusGenerator(self.config).generate()
+        return self._corpus
+
+    @property
+    def extractor(self) -> WebPageAttributeExtractor:
+        """The web-page attribute extractor bound to the corpus web store."""
+        if self._extractor is None:
+            self._extractor = WebPageAttributeExtractor(self.corpus.web)
+        return self._extractor
+
+    @property
+    def historical_offers(self) -> List[Offer]:
+        """Matched offers with specifications extracted from landing pages."""
+        if self._historical_offers is None:
+            offers, _ = self.extractor.extract_offers(self.corpus.matched_offers())
+            self._historical_offers = offers
+        return self._historical_offers
+
+    @property
+    def unmatched_offers(self) -> List[Offer]:
+        """Unmatched offers with specifications extracted from landing pages."""
+        if self._unmatched_offers is None:
+            offers, _ = self.extractor.extract_offers(self.corpus.unmatched_offers())
+            self._unmatched_offers = offers
+        return self._unmatched_offers
+
+    @property
+    def oracle(self) -> EvaluationOracle:
+        """The ground-truth evaluation oracle for this corpus."""
+        if self._oracle is None:
+            self._oracle = EvaluationOracle(
+                self.corpus.ground_truth,
+                taxonomy=self.corpus.catalog.taxonomy,
+                offer_merchants={
+                    offer.offer_id: offer.merchant_id for offer in self.corpus.offers
+                },
+            )
+        return self._oracle
+
+    # -- learning and synthesis ------------------------------------------------------
+
+    @property
+    def offline_result(self) -> OfflineLearningResult:
+        """The paper-approach offline-learning result (all categories)."""
+        if self._offline_result is None:
+            learner = OfflineLearner(self.corpus.catalog)
+            self._offline_result = learner.learn(
+                self.historical_offers, self.corpus.matches
+            )
+        return self._offline_result
+
+    @property
+    def category_classifier(self) -> TitleCategoryClassifier:
+        """The trained title -> category classifier."""
+        if self._category_classifier is None:
+            self._category_classifier = TitleCategoryClassifier().train_from_history(
+                self.corpus.catalog, self.historical_offers, self.corpus.matches
+            )
+        return self._category_classifier
+
+    @property
+    def synthesis_result(self) -> SynthesisResult:
+        """The run-time pipeline output over all unmatched offers."""
+        if self._synthesis_result is None:
+            pipeline = ProductSynthesisPipeline(
+                catalog=self.corpus.catalog,
+                correspondences=self.offline_result.correspondences,
+                extractor=self.extractor,
+                category_classifier=self.category_classifier,
+            )
+            self._synthesis_result = pipeline.synthesize(self.unmatched_offers)
+        return self._synthesis_result
+
+    # -- convenience --------------------------------------------------------------------
+
+    def computing_category_ids(self) -> List[str]:
+        """Leaf categories of the Computing subtree (Figures 7/8/9 scope)."""
+        taxonomy = self.corpus.catalog.taxonomy
+        if "computing" not in taxonomy:
+            return taxonomy.leaf_ids()
+        return taxonomy.subtree_leaf_ids("computing")
+
+    def evaluate_synthesis(self):
+        """Oracle evaluation of the synthesized products."""
+        return self.oracle.evaluate_products(self.synthesis_result.products)
+
+
+@lru_cache(maxsize=8)
+def _harness_for(preset: CorpusPreset, seed: int) -> ExperimentHarness:
+    return ExperimentHarness(preset.config(seed=seed))
+
+
+def get_harness(
+    preset: CorpusPreset = CorpusPreset.SMALL, seed: int = 2011
+) -> ExperimentHarness:
+    """A memoised harness for the given preset and seed."""
+    return _harness_for(preset, seed)

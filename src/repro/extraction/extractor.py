@@ -1,0 +1,108 @@
+"""The Web-page Attribute Extraction component.
+
+Used in both phases of the architecture (paper Figure 4): during Offline
+Learning it supplies attribute-value pairs for historical offers, and in
+the Run-Time Offer Processing pipeline it supplies them for incoming
+offers.  The extractor is deliberately simple and noisy — the paper's key
+claim is that schema reconciliation downstream filters the noise out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.corpus.webstore import PageNotFoundError, WebStore
+from repro.extraction.dom import parse_html
+from repro.extraction.tables import extract_pairs_from_tables
+from repro.model.attributes import Specification
+from repro.model.offers import Offer
+
+__all__ = ["ExtractionResult", "WebPageAttributeExtractor"]
+
+
+@dataclass
+class ExtractionResult:
+    """Statistics of one extraction run over a batch of offers."""
+
+    offers_processed: int = 0
+    offers_with_pairs: int = 0
+    offers_missing_page: int = 0
+    total_pairs: int = 0
+
+    def coverage(self) -> float:
+        """Fraction of offers for which at least one pair was extracted."""
+        if self.offers_processed == 0:
+            return 0.0
+        return self.offers_with_pairs / self.offers_processed
+
+
+class WebPageAttributeExtractor:
+    """Extract offer specifications from merchant landing pages.
+
+    Parameters
+    ----------
+    web:
+        The page store used to resolve offer URLs.
+
+    Examples
+    --------
+    >>> from repro.corpus.webstore import WebStore
+    >>> store = WebStore()
+    >>> store.put("http://m.example.com/1",
+    ...     "<table><tr><td>Brand</td><td>Hitachi</td></tr></table>")
+    >>> extractor = WebPageAttributeExtractor(store)
+    >>> extractor.extract_from_url("http://m.example.com/1").get("Brand")
+    'Hitachi'
+    """
+
+    def __init__(self, web: WebStore) -> None:
+        self._web = web
+
+    # -- single page ---------------------------------------------------------
+
+    def extract_from_html(self, html_text: str) -> Specification:
+        """Extract attribute-value pairs from raw HTML."""
+        root = parse_html(html_text)
+        return Specification(extract_pairs_from_tables(root))
+
+    def extract_from_url(self, url: str) -> Specification:
+        """Extract attribute-value pairs from the page behind ``url``.
+
+        Returns an empty specification when the page is missing — a real
+        crawler faces dead links too, and the pipeline must tolerate them.
+        """
+        try:
+            html_text = self._web.fetch(url)
+        except PageNotFoundError:
+            return Specification()
+        return self.extract_from_html(html_text)
+
+    # -- batches ---------------------------------------------------------------
+
+    def extract_offer(self, offer: Offer) -> Offer:
+        """Return a copy of ``offer`` with its specification extracted."""
+        specification = self.extract_from_url(offer.url)
+        return offer.with_specification(specification)
+
+    def extract_offers(
+        self, offers: Iterable[Offer]
+    ) -> "tuple[List[Offer], ExtractionResult]":
+        """Extract specifications for a batch of offers.
+
+        Returns the enriched offers (same order) and the run statistics.
+        """
+        enriched: List[Offer] = []
+        result = ExtractionResult()
+        for offer in offers:
+            result.offers_processed += 1
+            if not self._web.has(offer.url):
+                result.offers_missing_page += 1
+                enriched.append(offer.with_specification(Specification()))
+                continue
+            specification = self.extract_from_url(offer.url)
+            if len(specification) > 0:
+                result.offers_with_pairs += 1
+                result.total_pairs += len(specification)
+            enriched.append(offer.with_specification(specification))
+        return enriched, result

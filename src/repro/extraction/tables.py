@@ -1,0 +1,83 @@
+"""Table discovery and attribute-value harvesting from parsed pages."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.extraction.dom import DomNode
+from repro.model.attributes import AttributeValue
+
+__all__ = ["find_tables", "table_to_rows", "extract_pairs_from_tables"]
+
+#: Attribute names longer than this are almost certainly page noise
+#: (review sentences picked up as a cell) and are dropped at extraction
+#: time; genuine attribute names are short.
+_MAX_NAME_LENGTH = 60
+#: Values longer than this are dropped for the same reason.
+_MAX_VALUE_LENGTH = 200
+
+
+def find_tables(root: DomNode) -> List[DomNode]:
+    """All ``<table>`` elements in the page, in document order.
+
+    Nested tables are returned as separate entries (their rows would
+    otherwise be double-counted by :func:`table_to_rows`, which only looks
+    at direct rows).
+    """
+    return root.find_all("table")
+
+
+def table_to_rows(table: DomNode) -> List[List[str]]:
+    """The text content of each row's cells.
+
+    Both ``<td>`` and ``<th>`` cells are included; rows belonging to nested
+    tables are excluded.
+    """
+    rows: List[List[str]] = []
+    nested_tables = set(id(node) for node in table.find_all("table"))
+    for row in table.find_all("tr"):
+        if _is_inside_nested_table(row, table, nested_tables):
+            continue
+        cells = [
+            cell.text_content()
+            for cell in row.children
+            if cell.tag in ("td", "th")
+        ]
+        # Some markup nests cells below intermediate elements; fall back to a
+        # full descendant scan when the direct-children scan finds nothing.
+        if not cells:
+            cells = [cell.text_content() for cell in row.find_all("td") + row.find_all("th")]
+        if cells:
+            rows.append(cells)
+    return rows
+
+
+def _is_inside_nested_table(row: DomNode, table: DomNode, nested_ids: set) -> bool:
+    node = row.parent
+    while node is not None and node is not table:
+        if id(node) in nested_ids:
+            return True
+        node = node.parent
+    return False
+
+
+def extract_pairs_from_tables(root: DomNode) -> List[AttributeValue]:
+    """Attribute-value pairs from every two-column table row on the page.
+
+    This is exactly the paper's extractor: each two-column row becomes one
+    pair with the first cell as the attribute name and the second as the
+    value.  Rows with any other number of columns are ignored, as are rows
+    whose name or value is empty or implausibly long.
+    """
+    pairs: List[AttributeValue] = []
+    for table in find_tables(root):
+        for cells in table_to_rows(table):
+            if len(cells) != 2:
+                continue
+            name, value = cells[0].strip(), cells[1].strip()
+            if not name or not value:
+                continue
+            if len(name) > _MAX_NAME_LENGTH or len(value) > _MAX_VALUE_LENGTH:
+                continue
+            pairs.append(AttributeValue(name=name, value=value))
+    return pairs

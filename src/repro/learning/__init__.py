@@ -1,0 +1,33 @@
+"""Machine-learning substrate.
+
+The paper's attribute-correspondence classifier is a logistic regression
+(Section 3.2); the LSD-style baseline uses a multinomial Naive Bayes
+matcher (Appendix C); DUMAS solves a bipartite weighted matching problem
+over its merchant similarity matrix (Appendix C).  All three building
+blocks are implemented here from first principles on top of numpy so that
+the reproduction has no opaque ML dependencies.
+"""
+
+from repro.learning.datasets import LabeledDataset
+from repro.learning.logistic import LogisticRegressionClassifier
+from repro.learning.matching_lp import max_weight_bipartite_matching
+from repro.learning.metrics import (
+    accuracy_score,
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.learning.naive_bayes import MultinomialNaiveBayes
+
+__all__ = [
+    "LabeledDataset",
+    "LogisticRegressionClassifier",
+    "max_weight_bipartite_matching",
+    "accuracy_score",
+    "confusion_counts",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "MultinomialNaiveBayes",
+]

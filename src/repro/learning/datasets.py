@@ -1,0 +1,97 @@
+"""Containers for labelled training data.
+
+The automated training-set construction (paper Section 3.2) produces a set
+of feature vectors with binary labels; :class:`LabeledDataset` is the thin
+container shuttled between that component and the logistic-regression
+classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LabeledDataset"]
+
+
+@dataclass
+class LabeledDataset:
+    """A labelled dataset of dense feature vectors.
+
+    Attributes
+    ----------
+    feature_names:
+        Column names, in the order used by every feature vector.
+    examples:
+        One feature vector per example.
+    labels:
+        Binary labels (0 or 1), aligned with ``examples``.
+    identifiers:
+        Optional opaque identifiers (e.g. the candidate tuple behind each
+        example), aligned with ``examples``.
+    """
+
+    feature_names: Tuple[str, ...]
+    examples: List[Sequence[float]] = field(default_factory=list)
+    labels: List[int] = field(default_factory=list)
+    identifiers: List[object] = field(default_factory=list)
+
+    def add(
+        self,
+        features: Sequence[float],
+        label: int,
+        identifier: Optional[object] = None,
+    ) -> None:
+        """Append one labelled example.
+
+        Raises
+        ------
+        ValueError
+            If the feature vector length does not match ``feature_names``
+            or the label is not 0/1.
+        """
+        if len(features) != len(self.feature_names):
+            raise ValueError(
+                f"expected {len(self.feature_names)} features, got {len(features)}"
+            )
+        if label not in (0, 1):
+            raise ValueError(f"label must be 0 or 1, got {label!r}")
+        self.examples.append(tuple(float(value) for value in features))
+        self.labels.append(int(label))
+        self.identifiers.append(identifier)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def num_positive(self) -> int:
+        """Number of positive (label 1) examples."""
+        return sum(self.labels)
+
+    def num_negative(self) -> int:
+        """Number of negative (label 0) examples."""
+        return len(self.labels) - self.num_positive()
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The dataset as ``(X, y)`` numpy arrays.
+
+        Raises
+        ------
+        ValueError
+            If the dataset is empty.
+        """
+        if not self.examples:
+            raise ValueError("cannot convert an empty dataset to arrays")
+        features = np.asarray(self.examples, dtype=float)
+        labels = np.asarray(self.labels, dtype=float)
+        return features, labels
+
+    def is_degenerate(self) -> bool:
+        """True when the dataset has fewer than two classes.
+
+        A degenerate training set (all positives or all negatives) can
+        happen for tiny corpora; callers fall back to an unweighted feature
+        average in that case.
+        """
+        return self.num_positive() == 0 or self.num_negative() == 0

@@ -1,0 +1,76 @@
+"""Binary classification metrics used by unit tests and internal validation."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = [
+    "confusion_counts",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+]
+
+
+def _validate(y_true: Sequence[int], y_pred: Sequence[int]) -> None:
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"label vectors differ in length: {len(y_true)} vs {len(y_pred)}"
+        )
+    if len(y_true) == 0:
+        raise ValueError("metrics are undefined for empty label vectors")
+
+
+def confusion_counts(y_true: Sequence[int], y_pred: Sequence[int]) -> Dict[str, int]:
+    """True/false positive/negative counts for binary labels.
+
+    Returns a dict with keys ``tp``, ``fp``, ``tn``, ``fn``.
+    """
+    _validate(y_true, y_pred)
+    counts = {"tp": 0, "fp": 0, "tn": 0, "fn": 0}
+    for truth, prediction in zip(y_true, y_pred):
+        truth_bool = bool(truth)
+        prediction_bool = bool(prediction)
+        if truth_bool and prediction_bool:
+            counts["tp"] += 1
+        elif not truth_bool and prediction_bool:
+            counts["fp"] += 1
+        elif truth_bool and not prediction_bool:
+            counts["fn"] += 1
+        else:
+            counts["tn"] += 1
+    return counts
+
+
+def accuracy_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Fraction of correct predictions."""
+    counts = confusion_counts(y_true, y_pred)
+    return (counts["tp"] + counts["tn"]) / len(y_true)
+
+
+def precision_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """TP / (TP + FP); defined as 0.0 when nothing was predicted positive."""
+    counts = confusion_counts(y_true, y_pred)
+    denominator = counts["tp"] + counts["fp"]
+    if denominator == 0:
+        return 0.0
+    return counts["tp"] / denominator
+
+
+def recall_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """TP / (TP + FN); defined as 0.0 when there are no positive labels."""
+    counts = confusion_counts(y_true, y_pred)
+    denominator = counts["tp"] + counts["fn"]
+    if denominator == 0:
+        return 0.0
+    return counts["tp"] / denominator
+
+
+def f1_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Harmonic mean of precision and recall (0.0 when both are 0)."""
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)

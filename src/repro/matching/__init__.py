@@ -1,0 +1,53 @@
+"""Offline Learning: attribute-correspondence creation (paper Section 3).
+
+This package is the paper's primary contribution.  Given the catalog,
+historical offers and their offer-to-product matches, it
+
+1. builds value bags restricted to matched offer/product pairs at three
+   grouping granularities (merchant+category, category, merchant) —
+   :mod:`repro.matching.grouping`;
+2. enumerates candidate tuples ⟨A_p, A_o, M, C⟩ —
+   :mod:`repro.matching.candidates`;
+3. computes the six distributional-similarity features of paper Table 1 —
+   :mod:`repro.matching.features`;
+4. constructs a training set automatically from name-identity candidates —
+   :mod:`repro.matching.training`;
+5. trains a logistic-regression classifier and scores every candidate,
+   producing :class:`~repro.matching.correspondence.AttributeCorrespondence`
+   objects consumed by schema reconciliation —
+   :mod:`repro.matching.learner`.
+"""
+
+from repro.matching.candidates import CandidateTuple, generate_candidates
+from repro.matching.correspondence import (
+    AttributeCorrespondence,
+    CorrespondenceSet,
+    ScoredCandidate,
+)
+from repro.matching.features import (
+    EXTENDED_FEATURE_NAMES,
+    FEATURE_NAMES,
+    NAME_FEATURE,
+    DistributionalFeatureExtractor,
+    attribute_name_similarity,
+)
+from repro.matching.grouping import MatchedValueIndex
+from repro.matching.learner import OfflineLearner, OfflineLearningResult
+from repro.matching.training import build_training_set
+
+__all__ = [
+    "CandidateTuple",
+    "generate_candidates",
+    "AttributeCorrespondence",
+    "CorrespondenceSet",
+    "ScoredCandidate",
+    "FEATURE_NAMES",
+    "EXTENDED_FEATURE_NAMES",
+    "NAME_FEATURE",
+    "DistributionalFeatureExtractor",
+    "attribute_name_similarity",
+    "MatchedValueIndex",
+    "OfflineLearner",
+    "OfflineLearningResult",
+    "build_training_set",
+]

@@ -1,0 +1,185 @@
+"""Match-aware value bags at three grouping granularities.
+
+Paper Section 3.1: the distinctive aspect of the approach is that value
+distributions are computed **only from offers and products that match to
+each other**, and at three levels of aggregation:
+
+* *merchant and category* (MC): offers of merchant M in category C, and
+  the catalog products matched to those offers;
+* *category* (C): all offers in category C (any merchant), and the
+  products matched to them;
+* *merchant* (M): all offers of merchant M (any category), and the
+  products matched to them.
+
+:class:`MatchedValueIndex` materialises the value bags for all three
+levels in a single pass over the historical offers, so that feature
+extraction is a dictionary lookup per candidate.
+
+Setting ``use_matches=False`` builds the "no matching" variant used as a
+baseline in Figure 7: offer bags still come from the offers of the group,
+but product bags come from **all** catalog products of the category
+(regardless of whether they match any offer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.model.attributes import Specification
+from repro.model.catalog import Catalog
+from repro.model.matches import MatchStore
+from repro.model.offers import Offer
+from repro.text.distributions import BagOfWords
+from repro.text.normalize import normalize_attribute_name
+
+__all__ = ["MatchedValueIndex", "GroupKey"]
+
+#: Keys of the three grouping levels.
+GroupKey = Tuple[str, ...]
+
+MC = "merchant-category"
+C = "category"
+M = "merchant"
+
+GROUPINGS: Tuple[str, ...] = (MC, C, M)
+
+
+class MatchedValueIndex:
+    """Value bags for catalog and offer attributes at MC / C / M granularity.
+
+    Parameters
+    ----------
+    catalog:
+        The product catalog (supplies product specifications and schemas).
+    offers:
+        Historical offers *with extracted specifications*.
+    matches:
+        Historical offer-to-product matches.
+    use_matches:
+        When true (the paper's approach) product bags contain only the
+        products matched to the group's offers.  When false (the Figure 7
+        baseline) product bags contain every catalog product of the
+        category/merchant group.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        offers: Iterable[Offer],
+        matches: MatchStore,
+        use_matches: bool = True,
+    ) -> None:
+        self._catalog = catalog
+        self._use_matches = use_matches
+        # (grouping, group key, normalised attribute name) -> bag
+        self._offer_bags: Dict[Tuple[str, GroupKey, str], BagOfWords] = {}
+        self._product_bags: Dict[Tuple[str, GroupKey, str], BagOfWords] = {}
+        # (grouping, group key) -> product ids contributing to the group
+        self._group_products: Dict[Tuple[str, GroupKey], Set[str]] = {}
+        self._num_offers_indexed = 0
+        self._build(offers, matches)
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, offers: Iterable[Offer], matches: MatchStore) -> None:
+        for offer in offers:
+            product_id = matches.product_for_offer(offer.offer_id)
+            if self._use_matches:
+                if product_id is None or not self._catalog.has_product(product_id):
+                    continue
+                category_id = self._catalog.product(product_id).category_id
+            else:
+                # Without instance matches we still need a category for the
+                # offer; fall back to the matched product's category when the
+                # offer itself does not carry one so both configurations see
+                # the same offers.
+                category_id = offer.category_id
+                if category_id is None and product_id is not None and self._catalog.has_product(product_id):
+                    category_id = self._catalog.product(product_id).category_id
+                if category_id is None:
+                    continue
+            self._num_offers_indexed += 1
+            groups = self._groups_for(offer.merchant_id, category_id)
+            self._index_offer_specification(groups, offer.specification)
+            if self._use_matches and product_id is not None:
+                for group in groups:
+                    self._group_products.setdefault(group, set()).add(product_id)
+            elif not self._use_matches:
+                # The no-matching baseline pools *all* catalog products of
+                # the category into the group.
+                category_product_ids = [
+                    product.product_id
+                    for product in self._catalog.products_in_category(category_id)
+                ]
+                for group in groups:
+                    self._group_products.setdefault(group, set()).update(category_product_ids)
+
+        # Second pass: accumulate product-side bags per group.
+        for group, product_ids in self._group_products.items():
+            grouping, key = group
+            for product_id in product_ids:
+                product = self._catalog.product(product_id)
+                self._index_product_specification(grouping, key, product.specification)
+
+    @staticmethod
+    def _groups_for(merchant_id: str, category_id: str) -> List[Tuple[str, GroupKey]]:
+        return [
+            (MC, (merchant_id, category_id)),
+            (C, (category_id,)),
+            (M, (merchant_id,)),
+        ]
+
+    def _index_offer_specification(
+        self, groups: List[Tuple[str, GroupKey]], specification: Specification
+    ) -> None:
+        for pair in specification:
+            name = pair.normalized_name()
+            for grouping, key in groups:
+                bag = self._offer_bags.setdefault((grouping, key, name), BagOfWords())
+                bag.add_value(pair.value)
+
+    def _index_product_specification(
+        self, grouping: str, key: GroupKey, specification: Specification
+    ) -> None:
+        for pair in specification:
+            name = pair.normalized_name()
+            bag = self._product_bags.setdefault((grouping, key, name), BagOfWords())
+            bag.add_value(pair.value)
+
+    # -- lookups --------------------------------------------------------------
+
+    @property
+    def num_offers_indexed(self) -> int:
+        """Number of historical offers that contributed to the index."""
+        return self._num_offers_indexed
+
+    def offer_bag(
+        self, grouping: str, merchant_id: str, category_id: str, attribute: str
+    ) -> Optional[BagOfWords]:
+        """The offer-side value bag for an attribute at the given grouping."""
+        key = self._key_for(grouping, merchant_id, category_id)
+        return self._offer_bags.get((grouping, key, normalize_attribute_name(attribute)))
+
+    def product_bag(
+        self, grouping: str, merchant_id: str, category_id: str, attribute: str
+    ) -> Optional[BagOfWords]:
+        """The product-side value bag for an attribute at the given grouping."""
+        key = self._key_for(grouping, merchant_id, category_id)
+        return self._product_bags.get((grouping, key, normalize_attribute_name(attribute)))
+
+    def matched_products_in_group(
+        self, grouping: str, merchant_id: str, category_id: str
+    ) -> Set[str]:
+        """Ids of the products contributing to a group's product bags."""
+        key = self._key_for(grouping, merchant_id, category_id)
+        return set(self._group_products.get((grouping, key), set()))
+
+    @staticmethod
+    def _key_for(grouping: str, merchant_id: str, category_id: str) -> GroupKey:
+        if grouping == MC:
+            return (merchant_id, category_id)
+        if grouping == C:
+            return (category_id,)
+        if grouping == M:
+            return (merchant_id,)
+        raise ValueError(f"unknown grouping: {grouping!r}")

@@ -1,0 +1,39 @@
+"""Core data model of the product-synthesis reproduction.
+
+The entities follow the problem formulation in Section 2 of the paper:
+
+* a :class:`~repro.model.taxonomy.Taxonomy` of :class:`~repro.model.taxonomy.Category`
+  nodes, each leaf category carrying a :class:`~repro.model.schema.CategorySchema`;
+* :class:`~repro.model.products.Product` — ``p = (C, {<A1, v1>, ..., <An, vn>})``;
+* :class:`~repro.model.offers.Offer` —
+  ``o = (M, price, image, C, URL, title, {<A1, v1>, ...})``;
+* a :class:`~repro.model.catalog.Catalog` holding products, the taxonomy and
+  the per-category schemas;
+* :class:`~repro.model.matches.OfferProductMatch` — the historical
+  offer-to-product associations that the offline learning phase exploits.
+"""
+
+from repro.model.attributes import AttributeValue, Specification
+from repro.model.catalog import Catalog
+from repro.model.matches import MatchStore, OfferProductMatch
+from repro.model.merchants import Merchant
+from repro.model.offers import Offer
+from repro.model.products import Product
+from repro.model.schema import AttributeDefinition, AttributeKind, CategorySchema
+from repro.model.taxonomy import Category, Taxonomy
+
+__all__ = [
+    "AttributeValue",
+    "Specification",
+    "Catalog",
+    "MatchStore",
+    "OfferProductMatch",
+    "Merchant",
+    "Offer",
+    "Product",
+    "AttributeDefinition",
+    "AttributeKind",
+    "CategorySchema",
+    "Category",
+    "Taxonomy",
+]

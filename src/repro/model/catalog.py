@@ -1,0 +1,175 @@
+"""The product catalog: taxonomy, schemas, products and merchants.
+
+The catalog is the "master" structured database of the Product Search
+Engine.  It bundles the taxonomy, the per-category schemas, the existing
+product instances and the registered merchants so that both phases of the
+pipeline (offline learning and run-time synthesis) operate on a single
+coherent object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.model.merchants import Merchant
+from repro.model.products import Product
+from repro.model.schema import CategorySchema
+from repro.model.taxonomy import Taxonomy
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A product catalog with taxonomy, per-category schemas and products.
+
+    Examples
+    --------
+    >>> taxonomy = Taxonomy()
+    >>> _ = taxonomy.add_category("computing", "Computing")
+    >>> _ = taxonomy.add_category("computing.hdd", "Hard Drives", parent_id="computing")
+    >>> catalog = Catalog(taxonomy)
+    >>> schema = CategorySchema("computing.hdd")
+    >>> catalog.register_schema(schema)
+    >>> catalog.schema_for("computing.hdd") is schema
+    True
+    """
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self.taxonomy = taxonomy
+        self._schemas: Dict[str, CategorySchema] = {}
+        self._products: Dict[str, Product] = {}
+        self._products_by_category: Dict[str, List[str]] = {}
+        self._merchants: Dict[str, Merchant] = {}
+
+    # -- schemas ----------------------------------------------------------
+
+    def register_schema(self, schema: CategorySchema) -> None:
+        """Attach a schema to its category.
+
+        Raises
+        ------
+        KeyError
+            If the category does not exist in the taxonomy.
+        ValueError
+            If the category already has a schema.
+        """
+        self.taxonomy.get(schema.category_id)
+        if schema.category_id in self._schemas:
+            raise ValueError(f"category {schema.category_id!r} already has a schema")
+        self._schemas[schema.category_id] = schema
+
+    def schema_for(self, category_id: str) -> CategorySchema:
+        """The schema of a category.
+
+        Raises
+        ------
+        KeyError
+            If the category has no registered schema.
+        """
+        try:
+            return self._schemas[category_id]
+        except KeyError:
+            raise KeyError(f"no schema registered for category {category_id!r}") from None
+
+    def has_schema(self, category_id: str) -> bool:
+        """Whether the category has a registered schema."""
+        return category_id in self._schemas
+
+    def schemas(self) -> List[CategorySchema]:
+        """All registered schemas."""
+        return list(self._schemas.values())
+
+    # -- merchants --------------------------------------------------------
+
+    def register_merchant(self, merchant: Merchant) -> None:
+        """Register a merchant (idempotent for identical ids)."""
+        existing = self._merchants.get(merchant.merchant_id)
+        if existing is not None and existing != merchant:
+            raise ValueError(f"merchant id {merchant.merchant_id!r} already registered")
+        self._merchants[merchant.merchant_id] = merchant
+
+    def merchant(self, merchant_id: str) -> Merchant:
+        """The merchant with the given id.
+
+        Raises
+        ------
+        KeyError
+            If the merchant is unknown.
+        """
+        try:
+            return self._merchants[merchant_id]
+        except KeyError:
+            raise KeyError(f"unknown merchant id: {merchant_id!r}") from None
+
+    def merchants(self) -> List[Merchant]:
+        """All registered merchants."""
+        return list(self._merchants.values())
+
+    # -- products ---------------------------------------------------------
+
+    def add_product(self, product: Product) -> None:
+        """Add a product instance to the catalog.
+
+        Raises
+        ------
+        ValueError
+            If the product id already exists.
+        KeyError
+            If the product's category is not in the taxonomy.
+        """
+        if product.product_id in self._products:
+            raise ValueError(f"duplicate product id: {product.product_id!r}")
+        self.taxonomy.get(product.category_id)
+        self._products[product.product_id] = product
+        self._products_by_category.setdefault(product.category_id, []).append(
+            product.product_id
+        )
+
+    def add_products(self, products: Iterable[Product]) -> None:
+        """Add several products."""
+        for product in products:
+            self.add_product(product)
+
+    def product(self, product_id: str) -> Product:
+        """The product with the given id.
+
+        Raises
+        ------
+        KeyError
+            If the product is unknown.
+        """
+        try:
+            return self._products[product_id]
+        except KeyError:
+            raise KeyError(f"unknown product id: {product_id!r}") from None
+
+    def has_product(self, product_id: str) -> bool:
+        """Whether a product with this id exists."""
+        return product_id in self._products
+
+    def products(self) -> List[Product]:
+        """All products in the catalog."""
+        return list(self._products.values())
+
+    def products_in_category(self, category_id: str) -> List[Product]:
+        """All products of a given leaf category."""
+        return [
+            self._products[product_id]
+            for product_id in self._products_by_category.get(category_id, [])
+        ]
+
+    def num_products(self) -> int:
+        """Total number of products."""
+        return len(self._products)
+
+    def __len__(self) -> int:
+        return len(self._products)
+
+    def __iter__(self) -> Iterator[Product]:
+        return iter(self._products.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Catalog(categories={len(self.taxonomy)}, schemas={len(self._schemas)}, "
+            f"products={len(self._products)}, merchants={len(self._merchants)})"
+        )

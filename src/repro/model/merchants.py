@@ -1,0 +1,31 @@
+"""Merchants: the sellers who supply offer feeds to the Product Search Engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Merchant"]
+
+
+@dataclass(frozen=True)
+class Merchant:
+    """A merchant selling products through the Product Search Engine.
+
+    Attributes
+    ----------
+    merchant_id:
+        Stable unique identifier (e.g. ``"merchant-0042"``).
+    name:
+        Display name (e.g. ``"Microwarehouse"``).
+    homepage:
+        Root URL of the merchant site; landing-page URLs in offers point
+        below this root.
+    """
+
+    merchant_id: str
+    name: str
+    homepage: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.name

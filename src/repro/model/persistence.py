@@ -1,0 +1,232 @@
+"""JSON persistence for catalogs, correspondences and synthesized products.
+
+A production deployment needs to store the catalog, the learned attribute
+correspondences and each batch of synthesized products durably.  This
+module provides a plain-JSON representation for those artefacts — no
+external database required, and the files are diff-able, which is handy for
+tracking how the catalog evolves across synthesis runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.matching.correspondence import AttributeCorrespondence, CorrespondenceSet
+from repro.model.attributes import Specification
+from repro.model.catalog import Catalog
+from repro.model.merchants import Merchant
+from repro.model.products import Product
+from repro.model.schema import AttributeKind, CategorySchema
+from repro.model.taxonomy import Taxonomy
+
+__all__ = [
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "save_catalog",
+    "load_catalog",
+    "correspondences_to_dict",
+    "correspondences_from_dict",
+    "save_correspondences",
+    "load_correspondences",
+    "products_to_dicts",
+    "products_from_dicts",
+]
+
+PathLike = Union[str, Path]
+
+#: Format marker written into every file so future readers can migrate.
+_FORMAT_VERSION = 1
+
+
+# --- products ----------------------------------------------------------------
+
+
+def _product_to_dict(product: Product) -> Dict:
+    return {
+        "product_id": product.product_id,
+        "category_id": product.category_id,
+        "title": product.title,
+        "specification": [pair.as_tuple() for pair in product.specification],
+        "source_offer_ids": list(product.source_offer_ids),
+    }
+
+
+def _product_from_dict(payload: Dict) -> Product:
+    return Product(
+        product_id=payload["product_id"],
+        category_id=payload["category_id"],
+        title=payload.get("title", ""),
+        specification=Specification(payload.get("specification", [])),
+        source_offer_ids=tuple(payload.get("source_offer_ids", [])),
+    )
+
+
+def products_to_dicts(products: List[Product]) -> List[Dict]:
+    """Serialise a list of products to JSON-compatible dicts."""
+    return [_product_to_dict(product) for product in products]
+
+
+def products_from_dicts(payloads: List[Dict]) -> List[Product]:
+    """Deserialise products previously produced by :func:`products_to_dicts`."""
+    return [_product_from_dict(payload) for payload in payloads]
+
+
+# --- catalog -----------------------------------------------------------------
+
+
+def catalog_to_dict(catalog: Catalog) -> Dict:
+    """Serialise a catalog (taxonomy, schemas, merchants, products)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "categories": [
+            {
+                "category_id": category.category_id,
+                "name": category.name,
+                "parent_id": category.parent_id,
+            }
+            for category in catalog.taxonomy.categories()
+        ],
+        "schemas": [
+            {
+                "category_id": schema.category_id,
+                "attributes": [
+                    {
+                        "name": definition.name,
+                        "kind": definition.kind.value,
+                        "is_key": definition.is_key,
+                        "unit": definition.unit,
+                    }
+                    for definition in schema.definitions()
+                ],
+            }
+            for schema in catalog.schemas()
+        ],
+        "merchants": [
+            {
+                "merchant_id": merchant.merchant_id,
+                "name": merchant.name,
+                "homepage": merchant.homepage,
+            }
+            for merchant in catalog.merchants()
+        ],
+        "products": products_to_dicts(catalog.products()),
+    }
+
+
+def catalog_from_dict(payload: Dict) -> Catalog:
+    """Rebuild a catalog from :func:`catalog_to_dict` output.
+
+    Raises
+    ------
+    ValueError
+        If the payload declares an unsupported format version.
+    """
+    version = payload.get("format_version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported catalog format version: {version}")
+
+    taxonomy = Taxonomy()
+    # Parents must be added before children; categories are stored in
+    # insertion order which already satisfies that, but sort defensively so
+    # hand-edited files also load.
+    pending = list(payload.get("categories", []))
+    added: set = set()
+    while pending:
+        progressed = False
+        remaining = []
+        for entry in pending:
+            parent = entry.get("parent_id")
+            if parent is None or parent in added:
+                taxonomy.add_category(entry["category_id"], entry["name"], parent_id=parent)
+                added.add(entry["category_id"])
+                progressed = True
+            else:
+                remaining.append(entry)
+        if not progressed:
+            missing = sorted(entry["category_id"] for entry in remaining)
+            raise ValueError(f"categories with unresolvable parents: {missing}")
+        pending = remaining
+
+    catalog = Catalog(taxonomy)
+    for schema_payload in payload.get("schemas", []):
+        schema = CategorySchema(schema_payload["category_id"])
+        for attribute in schema_payload.get("attributes", []):
+            schema.add_attribute(
+                attribute["name"],
+                kind=AttributeKind(attribute.get("kind", AttributeKind.TEXT.value)),
+                is_key=attribute.get("is_key", False),
+                unit=attribute.get("unit"),
+            )
+        catalog.register_schema(schema)
+    for merchant_payload in payload.get("merchants", []):
+        catalog.register_merchant(
+            Merchant(
+                merchant_id=merchant_payload["merchant_id"],
+                name=merchant_payload["name"],
+                homepage=merchant_payload.get("homepage"),
+            )
+        )
+    for product_payload in payload.get("products", []):
+        catalog.add_product(_product_from_dict(product_payload))
+    return catalog
+
+
+def save_catalog(catalog: Catalog, path: PathLike) -> None:
+    """Write a catalog to a JSON file."""
+    Path(path).write_text(json.dumps(catalog_to_dict(catalog), indent=2), encoding="utf-8")
+
+
+def load_catalog(path: PathLike) -> Catalog:
+    """Read a catalog from a JSON file written by :func:`save_catalog`."""
+    return catalog_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# --- correspondences ------------------------------------------------------------
+
+
+def correspondences_to_dict(correspondences: CorrespondenceSet) -> Dict:
+    """Serialise learned attribute correspondences."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "correspondences": [
+            {
+                "catalog_attribute": correspondence.catalog_attribute,
+                "offer_attribute": correspondence.offer_attribute,
+                "merchant_id": correspondence.merchant_id,
+                "category_id": correspondence.category_id,
+                "score": correspondence.score,
+            }
+            for correspondence in correspondences
+        ],
+    }
+
+
+def correspondences_from_dict(payload: Dict) -> CorrespondenceSet:
+    """Rebuild a correspondence set from :func:`correspondences_to_dict` output."""
+    version = payload.get("format_version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported correspondences format version: {version}")
+    return CorrespondenceSet(
+        AttributeCorrespondence(
+            catalog_attribute=entry["catalog_attribute"],
+            offer_attribute=entry["offer_attribute"],
+            merchant_id=entry["merchant_id"],
+            category_id=entry["category_id"],
+            score=entry.get("score", 1.0),
+        )
+        for entry in payload.get("correspondences", [])
+    )
+
+
+def save_correspondences(correspondences: CorrespondenceSet, path: PathLike) -> None:
+    """Write learned correspondences to a JSON file."""
+    Path(path).write_text(
+        json.dumps(correspondences_to_dict(correspondences), indent=2), encoding="utf-8"
+    )
+
+
+def load_correspondences(path: PathLike) -> CorrespondenceSet:
+    """Read correspondences from a JSON file written by :func:`save_correspondences`."""
+    return correspondences_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

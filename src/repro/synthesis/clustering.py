@@ -1,0 +1,164 @@
+"""Clustering reconciled offers into product clusters (paper Section 4).
+
+"The Clustering component first extracts the key attributes (Model Part
+Number or universal identifier UPC) for each offer.  Then, offers that
+have the same key are clustered together, leading to clusters that have a
+one-to-one correspondence to a product instance."
+
+Because the key attributes arrive through schema reconciliation, an offer
+whose merchant calls the MPN "Mfr. Part #" and another whose merchant
+calls it "MPN" end up with the same reconciled attribute name and can be
+compared directly.  The paper notes other clustering strategies could be
+plugged in; :class:`TitleClusterer` is provided as the ablation
+alternative (token-overlap clustering on offer titles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.catalog import Catalog
+from repro.model.offers import Offer
+from repro.text.normalize import normalize_key_value
+from repro.text.setsim import jaccard_coefficient
+from repro.text.tokenize import tokenize_title
+
+__all__ = ["OfferCluster", "KeyAttributeClusterer", "TitleClusterer"]
+
+#: Key attributes tried in priority order when the schema does not declare
+#: its own key attributes.
+DEFAULT_KEY_ATTRIBUTES: Tuple[str, ...] = ("Model Part Number", "UPC")
+
+
+@dataclass
+class OfferCluster:
+    """A group of offers believed to describe the same product."""
+
+    category_id: str
+    key: str
+    offers: List[Offer] = field(default_factory=list)
+
+    def offer_ids(self) -> List[str]:
+        """Ids of the offers in the cluster."""
+        return [offer.offer_id for offer in self.offers]
+
+    def size(self) -> int:
+        """Number of offers in the cluster."""
+        return len(self.offers)
+
+
+class KeyAttributeClusterer:
+    """Group offers by the normalised value of their key attribute.
+
+    Parameters
+    ----------
+    catalog:
+        Supplies per-category schemas (and their key attributes).
+    key_attributes:
+        Fallback key attributes when a category schema declares none.
+    min_cluster_size:
+        Clusters with fewer offers than this are dropped (1 keeps all).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        key_attributes: Sequence[str] = DEFAULT_KEY_ATTRIBUTES,
+        min_cluster_size: int = 1,
+    ) -> None:
+        if min_cluster_size < 1:
+            raise ValueError(f"min_cluster_size must be >= 1, got {min_cluster_size}")
+        self._catalog = catalog
+        self._key_attributes = tuple(key_attributes)
+        self._min_cluster_size = min_cluster_size
+
+    def _keys_for_category(self, category_id: str) -> Tuple[str, ...]:
+        if self._catalog.has_schema(category_id):
+            declared = self._catalog.schema_for(category_id).key_attribute_names()
+            if declared:
+                return tuple(declared)
+        return self._key_attributes
+
+    def cluster_key(self, offer: Offer) -> Optional[str]:
+        """The clustering key of an offer, or ``None`` when it has no key value."""
+        if offer.category_id is None:
+            return None
+        for key_attribute in self._keys_for_category(offer.category_id):
+            value = offer.get(key_attribute)
+            if value:
+                normalised = normalize_key_value(value)
+                if normalised:
+                    return f"{key_attribute}:{normalised}"
+        return None
+
+    def cluster(self, offers: Iterable[Offer]) -> List[OfferCluster]:
+        """Group offers into clusters; offers without a key are dropped.
+
+        Clusters never span categories: the cluster key includes the
+        category so that two products in different categories with the same
+        UPC-like string do not collapse.
+        """
+        clusters: Dict[Tuple[str, str], OfferCluster] = {}
+        for offer in offers:
+            if offer.category_id is None:
+                continue
+            key = self.cluster_key(offer)
+            if key is None:
+                continue
+            cluster_id = (offer.category_id, key)
+            cluster = clusters.get(cluster_id)
+            if cluster is None:
+                cluster = OfferCluster(category_id=offer.category_id, key=key)
+                clusters[cluster_id] = cluster
+            cluster.offers.append(offer)
+        return [
+            cluster
+            for cluster in clusters.values()
+            if cluster.size() >= self._min_cluster_size
+        ]
+
+
+class TitleClusterer:
+    """Ablation alternative: greedy token-overlap clustering on offer titles.
+
+    Offers are compared by the Jaccard similarity of their title token
+    sets; an offer joins the first existing cluster within its category
+    whose representative title is similar enough, otherwise it starts a new
+    cluster.  Quadratic in the worst case but adequate at corpus scale, and
+    deliberately simple — it exists to quantify how much the key-attribute
+    strategy (enabled by schema reconciliation) matters.
+    """
+
+    def __init__(self, similarity_threshold: float = 0.6) -> None:
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise ValueError(
+                f"similarity_threshold must be in (0, 1], got {similarity_threshold}"
+            )
+        self._threshold = similarity_threshold
+
+    def cluster(self, offers: Iterable[Offer]) -> List[OfferCluster]:
+        """Greedy clustering by title similarity within each category."""
+        clusters: List[OfferCluster] = []
+        representatives: List[frozenset] = []
+        for offer in offers:
+            if offer.category_id is None:
+                continue
+            tokens = frozenset(tokenize_title(offer.title))
+            placed = False
+            for cluster, representative in zip(clusters, representatives):
+                if cluster.category_id != offer.category_id:
+                    continue
+                if jaccard_coefficient(tokens, representative) >= self._threshold:
+                    cluster.offers.append(offer)
+                    placed = True
+                    break
+            if not placed:
+                cluster = OfferCluster(
+                    category_id=offer.category_id,
+                    key=f"title:{offer.offer_id}",
+                    offers=[offer],
+                )
+                clusters.append(cluster)
+                representatives.append(tokens)
+        return clusters

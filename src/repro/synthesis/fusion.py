@@ -1,0 +1,134 @@
+"""Value Fusion (paper Section 4 and Appendix A).
+
+Given a cluster of reconciled offers, fusion picks one representative
+value per catalog attribute:
+
+* :class:`MajorityValueFusion` — plain majority voting over exact
+  (normalised) values; the baseline the appendix starts from.
+* :class:`CentroidValueFusion` — the paper's generalisation of majority
+  voting to the term level: each candidate value becomes a binary term
+  vector, the centroid of all vectors is computed, and the value closest
+  to the centroid (Euclidean distance) is chosen.  The appendix's
+  "Microsoft Windows Vista" example is reproduced verbatim in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.attributes import Specification
+from repro.model.offers import Offer
+from repro.synthesis.clustering import OfferCluster
+from repro.text.normalize import normalize_value
+from repro.text.tokenize import tokenize_value
+
+__all__ = ["MajorityValueFusion", "CentroidValueFusion", "fuse_cluster"]
+
+
+class MajorityValueFusion:
+    """Pick the most frequent (normalised) value; ties break deterministically."""
+
+    def select(self, values: Sequence[str]) -> Optional[str]:
+        """The majority value of ``values`` (original casing of the first winner)."""
+        if not values:
+            return None
+        counts: Counter = Counter()
+        originals: Dict[str, str] = {}
+        for value in values:
+            normalised = normalize_value(value)
+            if not normalised:
+                continue
+            counts[normalised] += 1
+            originals.setdefault(normalised, value)
+        if not counts:
+            return None
+        best = max(counts.items(), key=lambda item: (item[1], -len(item[0]), item[0]))
+        return originals[best[0]]
+
+
+class CentroidValueFusion:
+    """Term-level generalised majority voting (paper Appendix A).
+
+    Each candidate value is converted into a binary vector over the union
+    of terms appearing in any candidate; the representative value is the
+    one closest (Euclidean distance) to the centroid of all vectors.  Ties
+    are broken towards the value containing more terms, then
+    lexicographically, so fusion is deterministic.
+    """
+
+    def select(self, values: Sequence[str]) -> Optional[str]:
+        """The centroid-nearest value of ``values``."""
+        if not values:
+            return None
+        tokenised: List[Tuple[str, List[str]]] = []
+        vocabulary: List[str] = []
+        seen_terms = set()
+        for value in values:
+            tokens = tokenize_value(value)
+            if not tokens:
+                continue
+            tokenised.append((value, tokens))
+            for token in tokens:
+                if token not in seen_terms:
+                    seen_terms.add(token)
+                    vocabulary.append(token)
+        if not tokenised:
+            return None
+        if len(tokenised) == 1:
+            return tokenised[0][0]
+
+        index_of = {term: position for position, term in enumerate(vocabulary)}
+        vectors: List[Tuple[str, List[float]]] = []
+        for value, tokens in tokenised:
+            vector = [0.0] * len(vocabulary)
+            for token in tokens:
+                vector[index_of[token]] = 1.0
+            vectors.append((value, vector))
+
+        centroid = [
+            sum(vector[position] for _, vector in vectors) / len(vectors)
+            for position in range(len(vocabulary))
+        ]
+
+        def distance(vector: List[float]) -> float:
+            return math.sqrt(
+                sum((component - centroid[position]) ** 2 for position, component in enumerate(vector))
+            )
+
+        ranked = sorted(
+            vectors,
+            key=lambda item: (distance(item[1]), -sum(item[1]), normalize_value(item[0])),
+        )
+        return ranked[0][0]
+
+
+def fuse_cluster(
+    cluster: OfferCluster,
+    attribute_names: Iterable[str],
+    fusion: Optional[CentroidValueFusion] = None,
+) -> Specification:
+    """Fuse a cluster of reconciled offers into one product specification.
+
+    Parameters
+    ----------
+    cluster:
+        The offer cluster (offers must already be schema-reconciled, so
+        their attribute names are catalog names).
+    attribute_names:
+        The catalog attributes to consider (the category schema).
+    fusion:
+        The value-selection strategy; defaults to
+        :class:`CentroidValueFusion`.
+    """
+    strategy = fusion or CentroidValueFusion()
+    fused = Specification()
+    for attribute_name in attribute_names:
+        values: List[str] = []
+        for offer in cluster.offers:
+            values.extend(offer.specification.get_all(attribute_name))
+        representative = strategy.select(values)
+        if representative is not None:
+            fused.add(attribute_name, representative)
+    return fused

@@ -1,0 +1,68 @@
+"""Text processing substrate used throughout the product-synthesis pipeline.
+
+The modules in this package are deliberately dependency-light (standard
+library plus numpy) because every higher layer of the reproduction —
+corpus generation, attribute extraction, distributional features,
+baseline matchers and value fusion — builds on them.
+
+Public surface
+--------------
+``tokenize``
+    Tokenisers for attribute values, offer titles and merchant page text.
+``normalize``
+    Canonicalisation of attribute names and values (units, casing, digits).
+``distributions``
+    Bags of words and term probability distributions.
+``divergence``
+    Kullback-Leibler and Jensen-Shannon divergence (paper Section 3.1).
+``setsim``
+    Jaccard, Dice, overlap and cosine set/vector similarities.
+``string_metrics``
+    Edit distance, Jaro, Jaro-Winkler and character n-gram similarity.
+``tfidf``
+    TF-IDF weighting and the SoftTFIDF hybrid measure used by DUMAS.
+"""
+
+from repro.text.distributions import BagOfWords, TermDistribution
+from repro.text.divergence import jensen_shannon_divergence, kl_divergence
+from repro.text.normalize import normalize_attribute_name, normalize_value
+from repro.text.setsim import (
+    cosine_similarity,
+    dice_coefficient,
+    jaccard_coefficient,
+    overlap_coefficient,
+)
+from repro.text.string_metrics import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    ngram_similarity,
+    token_set_similarity,
+)
+from repro.text.tfidf import SoftTfIdf, TfIdfVectorizer
+from repro.text.tokenize import tokenize, tokenize_title, tokenize_value
+
+__all__ = [
+    "BagOfWords",
+    "TermDistribution",
+    "jensen_shannon_divergence",
+    "kl_divergence",
+    "normalize_attribute_name",
+    "normalize_value",
+    "cosine_similarity",
+    "dice_coefficient",
+    "jaccard_coefficient",
+    "overlap_coefficient",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "ngram_similarity",
+    "token_set_similarity",
+    "SoftTfIdf",
+    "TfIdfVectorizer",
+    "tokenize",
+    "tokenize_title",
+    "tokenize_value",
+]

@@ -1,0 +1,174 @@
+"""Normalisation of attribute names and attribute values.
+
+Merchants spell the same attribute and the same value in many different
+ways (``Hard Disk Size`` vs ``Capacity``, ``500`` vs ``500GB`` vs
+``500 GB``).  The synthesis pipeline never *requires* values to be
+normalised — the distributional features are designed to be robust to
+format variation — but normalisation is used in three places:
+
+* the automated training-set construction compares attribute names for
+  *exact identity* after normalisation (paper Section 3.2, "name identity
+  candidate tuples");
+* the clustering component compares key-attribute values (MPN/UPC) and has
+  to be insensitive to case, punctuation and whitespace;
+* the evaluation oracle compares synthesized values against ground truth.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+__all__ = [
+    "normalize_attribute_name",
+    "normalize_value",
+    "normalize_key_value",
+    "strip_units",
+    "canonical_number",
+]
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_NAME_PUNCT_RE = re.compile(r"[^a-z0-9\s]")
+_VALUE_PUNCT_RE = re.compile(r"[^a-z0-9.\s]")
+_KEY_PUNCT_RE = re.compile(r"[^a-z0-9]")
+_NUMBER_RE = re.compile(r"^\d+(\.\d+)?$")
+
+# Common measurement units that appear appended to numeric values.  The
+# list is intentionally small: it only needs to cover the units emitted by
+# the synthetic corpus and typical shopping-domain values.
+_UNIT_SUFFIXES = (
+    "gb",
+    "tb",
+    "mb",
+    "kb",
+    "ghz",
+    "mhz",
+    "hz",
+    "rpm",
+    "mp",
+    "megapixels",
+    "megapixel",
+    "inches",
+    "inch",
+    "in",
+    "cm",
+    "mm",
+    "lbs",
+    "lb",
+    "kg",
+    "g",
+    "oz",
+    "watts",
+    "watt",
+    "w",
+    "volts",
+    "volt",
+    "v",
+    "mah",
+    "ms",
+    "mbps",
+    "mbs",
+)
+
+_UNIT_RE = re.compile(
+    r"^(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>" + "|".join(_UNIT_SUFFIXES) + r")$"
+)
+
+
+def normalize_attribute_name(name: str) -> str:
+    """Canonicalise an attribute name for identity comparison.
+
+    Lower-cases, removes punctuation and collapses whitespace so that
+    ``"Mfr. Part #"`` and ``"mfr part"`` compare equal, while genuinely
+    different names (``"Capacity"`` vs ``"Hard Disk Size"``) stay distinct.
+
+    Examples
+    --------
+    >>> normalize_attribute_name("  Hard  Disk   Size ")
+    'hard disk size'
+    >>> normalize_attribute_name("Mfr. Part #")
+    'mfr part'
+    """
+    if not name:
+        return ""
+    lowered = name.lower()
+    no_punct = _NAME_PUNCT_RE.sub(" ", lowered)
+    return _WHITESPACE_RE.sub(" ", no_punct).strip()
+
+
+def normalize_value(value: str) -> str:
+    """Canonicalise an attribute value for loose comparison.
+
+    Keeps decimal points (``3.5``) but removes other punctuation, collapses
+    whitespace and lower-cases.
+
+    Examples
+    --------
+    >>> normalize_value("Serial ATA-300")
+    'serial ata 300'
+    >>> normalize_value("500 GB")
+    '500 gb'
+    """
+    if not value:
+        return ""
+    lowered = value.lower()
+    no_punct = _VALUE_PUNCT_RE.sub(" ", lowered)
+    return _WHITESPACE_RE.sub(" ", no_punct).strip()
+
+
+def normalize_key_value(value: str) -> str:
+    """Canonicalise a key-attribute value (MPN, UPC, EAN) for clustering.
+
+    Key identifiers must compare equal regardless of case, hyphens or
+    whitespace: ``"HDT725050VLA360"`` == ``"hdt-725050 vla360"``.
+
+    Examples
+    --------
+    >>> normalize_key_value("HDT-725050 VLA360")
+    'hdt725050vla360'
+    """
+    if not value:
+        return ""
+    return _KEY_PUNCT_RE.sub("", value.lower())
+
+
+def strip_units(value: str) -> str:
+    """Remove a trailing measurement unit from a numeric value.
+
+    Returns the original (normalised) value when no unit suffix is
+    recognised.
+
+    Examples
+    --------
+    >>> strip_units("500GB")
+    '500'
+    >>> strip_units("7200 rpm")
+    '7200'
+    >>> strip_units("Windows Vista")
+    'windows vista'
+    """
+    normalised = normalize_value(value)
+    compact = normalised.replace(" ", "")
+    match = _UNIT_RE.match(compact)
+    if match:
+        return match.group("number")
+    return normalised
+
+
+def canonical_number(value: str) -> Optional[float]:
+    """Parse a value as a number after stripping units, or return ``None``.
+
+    Examples
+    --------
+    >>> canonical_number("16 MB")
+    16.0
+    >>> canonical_number("3.5\\"")
+    3.5
+    >>> canonical_number("Seagate") is None
+    True
+    """
+    stripped = strip_units(value)
+    stripped = stripped.strip().strip('"')
+    if _NUMBER_RE.match(stripped):
+        return float(stripped)
+    return None

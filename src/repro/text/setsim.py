@@ -1,0 +1,96 @@
+"""Set- and vector-based similarity coefficients.
+
+The Jaccard coefficient is the second distributional-similarity measure
+used by the attribute-correspondence classifier (paper Section 3.1,
+"The Jaccard coefficient considers only counts for the different terms,
+and it is computed as J(A,B) = |A ∩ B| / |A ∪ B|").  Dice, overlap and
+cosine are included because the COMA++-style baseline matchers combine
+several token-level similarities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Set, Union
+
+from repro.text.distributions import BagOfWords, TermDistribution
+
+__all__ = [
+    "jaccard_coefficient",
+    "dice_coefficient",
+    "overlap_coefficient",
+    "cosine_similarity",
+]
+
+SetLike = Union[Set[str], frozenset, BagOfWords, TermDistribution, Iterable[str]]
+
+
+def _as_term_set(obj: SetLike) -> frozenset:
+    if isinstance(obj, BagOfWords):
+        return obj.term_set()
+    if isinstance(obj, TermDistribution):
+        return obj.support()
+    if isinstance(obj, (set, frozenset)):
+        return frozenset(obj)
+    return frozenset(obj)
+
+
+def jaccard_coefficient(a: SetLike, b: SetLike) -> float:
+    """Jaccard coefficient ``|A ∩ B| / |A ∪ B|`` over distinct terms.
+
+    Both sets empty is defined as similarity 0.0 (no evidence of overlap),
+    matching how the feature extractor treats attributes with no observed
+    values.
+
+    Examples
+    --------
+    >>> jaccard_coefficient({"ata", "ide", "133"}, {"ata", "ide", "100"})
+    0.5
+    """
+    set_a = _as_term_set(a)
+    set_b = _as_term_set(b)
+    if not set_a and not set_b:
+        return 0.0
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)
+
+
+def dice_coefficient(a: SetLike, b: SetLike) -> float:
+    """Sørensen-Dice coefficient ``2|A ∩ B| / (|A| + |B|)``."""
+    set_a = _as_term_set(a)
+    set_b = _as_term_set(b)
+    denominator = len(set_a) + len(set_b)
+    if denominator == 0:
+        return 0.0
+    return 2.0 * len(set_a & set_b) / denominator
+
+
+def overlap_coefficient(a: SetLike, b: SetLike) -> float:
+    """Overlap (Szymkiewicz-Simpson) coefficient ``|A ∩ B| / min(|A|, |B|)``."""
+    set_a = _as_term_set(a)
+    set_b = _as_term_set(b)
+    smaller = min(len(set_a), len(set_b))
+    if smaller == 0:
+        return 0.0
+    return len(set_a & set_b) / smaller
+
+
+def cosine_similarity(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Cosine similarity between two sparse term-weight vectors.
+
+    Accepts any mapping from term to weight (counts, probabilities or
+    TF-IDF weights).  Returns 0.0 when either vector is all-zero.
+    """
+    if not a or not b:
+        return 0.0
+    # Iterate over the smaller vector for the dot product.
+    if len(a) > len(b):
+        a, b = b, a
+    dot = sum(weight * b.get(term, 0.0) for term, weight in a.items())
+    norm_a = math.sqrt(sum(weight * weight for weight in a.values()))
+    norm_b = math.sqrt(sum(weight * weight for weight in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)

@@ -1,0 +1,155 @@
+"""TF-IDF weighting and the SoftTFIDF hybrid similarity.
+
+The DUMAS baseline (paper Appendix C) scores the similarity of two field
+values with **SoftTFIDF**: a token-level cosine similarity where tokens are
+weighted by TF-IDF and two tokens are considered "the same" when their
+Jaro-Winkler similarity exceeds a threshold.  This module provides:
+
+* :class:`TfIdfVectorizer` — a small corpus-statistics object producing
+  sparse TF-IDF vectors for strings;
+* :class:`SoftTfIdf` — the soft cosine similarity of Cohen et al. used by
+  DUMAS.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.text.setsim import cosine_similarity
+from repro.text.string_metrics import jaro_winkler_similarity
+from repro.text.tokenize import tokenize_value
+
+__all__ = ["TfIdfVectorizer", "SoftTfIdf"]
+
+
+class TfIdfVectorizer:
+    """Compute sparse TF-IDF vectors over a corpus of short strings.
+
+    The corpus is supplied up front (one "document" per string — typically
+    one attribute value per document); IDF statistics are frozen at
+    construction time.  Unknown tokens at query time receive the maximum
+    IDF, which is the conventional smoothing for out-of-vocabulary terms.
+
+    Examples
+    --------
+    >>> vec = TfIdfVectorizer(["Seagate Barracuda", "Seagate Momentus", "WD Raptor"])
+    >>> weights = vec.transform("Seagate Barracuda")
+    >>> weights["barracuda"] > weights["seagate"]
+    True
+    """
+
+    def __init__(self, corpus: Iterable[str]) -> None:
+        documents = [tokenize_value(text) for text in corpus]
+        self._num_documents = len(documents)
+        document_frequency: Dict[str, int] = {}
+        for tokens in documents:
+            for token in set(tokens):
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+        self._idf: Dict[str, float] = {
+            token: self._idf_value(frequency)
+            for token, frequency in document_frequency.items()
+        }
+        self._max_idf = self._idf_value(1) if self._num_documents else 1.0
+
+    def _idf_value(self, document_frequency: int) -> float:
+        # Smoothed IDF; never zero so every token contributes a little.
+        return math.log((1 + self._num_documents) / (1 + document_frequency)) + 1.0
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents the IDF statistics were computed from."""
+        return self._num_documents
+
+    def idf(self, token: str) -> float:
+        """The (smoothed) inverse document frequency of ``token``."""
+        return self._idf.get(token, self._max_idf)
+
+    def transform(self, text: str) -> Dict[str, float]:
+        """Return the L2-normalised TF-IDF vector of ``text``."""
+        tokens = tokenize_value(text)
+        if not tokens:
+            return {}
+        counts: Dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        weights = {
+            token: (count / len(tokens)) * self.idf(token)
+            for token, count in counts.items()
+        }
+        norm = math.sqrt(sum(value * value for value in weights.values()))
+        if norm == 0.0:
+            return {}
+        return {token: value / norm for token, value in weights.items()}
+
+    def similarity(self, a: str, b: str) -> float:
+        """Plain TF-IDF cosine similarity between two strings."""
+        return cosine_similarity(self.transform(a), self.transform(b))
+
+
+class SoftTfIdf:
+    """SoftTFIDF similarity (Cohen, Ravikumar & Fienberg) used by DUMAS.
+
+    Two strings are compared as token bags.  Tokens from the first string
+    are softly aligned to their most Jaro-Winkler-similar counterpart in
+    the second string; aligned pairs above ``threshold`` contribute the
+    product of their TF-IDF weights scaled by the inner similarity.
+
+    Parameters
+    ----------
+    corpus:
+        Strings used to estimate IDF statistics.
+    threshold:
+        Minimum Jaro-Winkler similarity for two tokens to be considered a
+        soft match (0.9 in the original formulation).
+    """
+
+    def __init__(self, corpus: Iterable[str], threshold: float = 0.9) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self._vectorizer = TfIdfVectorizer(corpus)
+        self._threshold = threshold
+
+    @property
+    def threshold(self) -> float:
+        """The inner Jaro-Winkler acceptance threshold."""
+        return self._threshold
+
+    def similarity(self, a: str, b: str) -> float:
+        """SoftTFIDF similarity of two strings, in [0, 1].
+
+        Examples
+        --------
+        >>> soft = SoftTfIdf(["Seagate Barracuda HD", "WD Raptor HDD"])
+        >>> soft.similarity("Seagate Barracuda", "Seagate Barracuda HD") > 0.8
+        True
+        """
+        weights_a = self._vectorizer.transform(a)
+        weights_b = self._vectorizer.transform(b)
+        if not weights_a or not weights_b:
+            return 0.0
+
+        total = 0.0
+        for token_a, weight_a in weights_a.items():
+            best_similarity = 0.0
+            best_token: Optional[str] = None
+            for token_b in weights_b:
+                inner = (
+                    1.0
+                    if token_a == token_b
+                    else jaro_winkler_similarity(token_a, token_b)
+                )
+                if inner > best_similarity:
+                    best_similarity = inner
+                    best_token = token_b
+            if best_token is not None and best_similarity >= self._threshold:
+                total += weight_a * weights_b[best_token] * best_similarity
+        # The vectors are already L2-normalised, so the accumulated score is
+        # a (soft) cosine and stays within [0, 1] modulo floating point.
+        return min(max(total, 0.0), 1.0)
+
+    def pairwise_matrix(
+        self, rows: Sequence[str], columns: Sequence[str]
+    ) -> List[List[float]]:
+        """Similarity matrix between two lists of strings (rows x columns)."""
+        return [[self.similarity(row, column) for column in columns] for row in rows]

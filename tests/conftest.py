@@ -1,0 +1,143 @@
+"""Shared pytest fixtures.
+
+The expensive artefacts (corpus generation, offline learning, synthesis)
+are session-scoped so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.config import CorpusConfig, CorpusPreset
+from repro.corpus.generator import CorpusGenerator
+from repro.evaluation.oracle import EvaluationOracle
+from repro.experiments.harness import ExperimentHarness
+from repro.extraction.extractor import WebPageAttributeExtractor
+from repro.model.attributes import Specification
+from repro.model.catalog import Catalog
+from repro.model.matches import MatchStore, OfferProductMatch
+from repro.model.merchants import Merchant
+from repro.model.offers import Offer
+from repro.model.products import Product
+from repro.model.schema import AttributeKind, CategorySchema
+from repro.model.taxonomy import Taxonomy
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A tiny synthetic corpus shared across the test session."""
+    return CorpusGenerator.from_preset(CorpusPreset.TINY).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_harness():
+    """An experiment harness over the tiny corpus (lazily computed artefacts)."""
+    return ExperimentHarness(CorpusPreset.TINY.config())
+
+
+@pytest.fixture(scope="session")
+def tiny_extractor(tiny_corpus):
+    """A web-page attribute extractor bound to the tiny corpus."""
+    return WebPageAttributeExtractor(tiny_corpus.web)
+
+
+@pytest.fixture(scope="session")
+def tiny_oracle(tiny_corpus):
+    """An evaluation oracle over the tiny corpus."""
+    return EvaluationOracle(
+        tiny_corpus.ground_truth,
+        taxonomy=tiny_corpus.catalog.taxonomy,
+        offer_merchants={offer.offer_id: offer.merchant_id for offer in tiny_corpus.offers},
+    )
+
+
+# --- hand-built micro fixtures (hard drives example from the paper) ----------
+
+
+@pytest.fixture
+def hdd_taxonomy() -> Taxonomy:
+    """A two-node taxonomy: Computing > Hard Drives."""
+    taxonomy = Taxonomy()
+    taxonomy.add_category("computing", "Computing")
+    taxonomy.add_category("computing.hdd", "Hard Drives", parent_id="computing")
+    return taxonomy
+
+
+@pytest.fixture
+def hdd_catalog(hdd_taxonomy) -> Catalog:
+    """A miniature hard-drive catalog mirroring the paper's Figure 5 example."""
+    catalog = Catalog(hdd_taxonomy)
+    schema = CategorySchema("computing.hdd")
+    schema.add_attribute("Model Part Number", AttributeKind.IDENTIFIER, is_key=True)
+    schema.add_attribute("Brand", AttributeKind.CATEGORICAL)
+    schema.add_attribute("Model", AttributeKind.TEXT)
+    schema.add_attribute("Speed", AttributeKind.NUMERIC, unit="rpm")
+    schema.add_attribute("Interface", AttributeKind.CATEGORICAL)
+    catalog.register_schema(schema)
+    catalog.register_merchant(Merchant("m-1", "Microwarehouse"))
+
+    rows = [
+        ("p-1", "Seagate", "Barracuda", "5400", "ATA 100", "SGT001AA"),
+        ("p-2", "Western Digital", "Raptor", "7200", "IDE 133", "WDC002BB"),
+        ("p-3", "Seagate", "Momentus", "5400", "IDE 133", "SGT003CC"),
+        ("p-4", "Hitachi", "39T2525", "7200", "ATA 133", "HIT004DD"),
+        ("p-5", "Hitachi", "38L2392", "10000", "SCSI", "HIT005EE"),
+    ]
+    for product_id, brand, model, speed, interface, mpn in rows:
+        catalog.add_product(
+            Product(
+                product_id=product_id,
+                category_id="computing.hdd",
+                title=f"{brand} {model} hard drive",
+                specification=Specification(
+                    [
+                        ("Model Part Number", mpn),
+                        ("Brand", brand),
+                        ("Model", model),
+                        ("Speed", speed),
+                        ("Interface", interface),
+                    ]
+                ),
+            )
+        )
+    return catalog
+
+
+@pytest.fixture
+def hdd_offers() -> list:
+    """Merchant offers matching products p-1..p-4 (p-5 has no offer)."""
+    specs = [
+        ("o-1", "Seagate Barracuda HD", "SGT001AA", "5400", "ATA 100 mb/s"),
+        ("o-2", "WD Raptor HDD", "WDC002BB", "7200", "IDE 133 mb/s"),
+        ("o-3", "Seagate Momentus", "SGT003CC", "5400", "IDE 133 mb/s"),
+        ("o-4", "Hitachi model 39T2525", "HIT004DD", "7200", "ATA 133 mb/s"),
+    ]
+    offers = []
+    for offer_id, title, mpn, rpm, interface in specs:
+        offers.append(
+            Offer(
+                offer_id=offer_id,
+                merchant_id="m-1",
+                title=title,
+                price=99.0,
+                url=f"http://merchant.example.com/{offer_id}",
+                specification=Specification(
+                    [
+                        ("Mfr. Part #", mpn),
+                        ("Product Description", title),
+                        ("RPM", rpm),
+                        ("Int. Type", interface),
+                    ]
+                ),
+            )
+        )
+    return offers
+
+
+@pytest.fixture
+def hdd_matches(hdd_offers) -> MatchStore:
+    """Historical matches pairing o-N with p-N."""
+    store = MatchStore()
+    for index, offer in enumerate(hdd_offers, start=1):
+        store.add(OfferProductMatch(offer.offer_id, f"p-{index}", method="manual"))
+    return store

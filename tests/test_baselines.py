@@ -1,0 +1,130 @@
+"""Tests for the baseline schema matchers (Figures 6-9 comparators)."""
+
+import pytest
+
+from repro.baselines.coma import ComaConfiguration, ComaStyleMatcher
+from repro.baselines.dumas import DumasMatcher
+from repro.baselines.lsd_naive_bayes import InstanceNaiveBayesMatcher
+from repro.baselines.no_history import NoHistoryMatcher
+from repro.baselines.single_feature import SingleFeatureMatcher
+
+
+def _best_mapping(scored):
+    """offer attribute -> best-scoring catalog attribute."""
+    best = {}
+    for item in scored:
+        candidate = item.candidate
+        key = (candidate.merchant_id, candidate.category_id, candidate.offer_attribute)
+        if key not in best or item.score > best[key][1]:
+            best[key] = (candidate.catalog_attribute, item.score)
+    return {key: value[0] for key, value in best.items()}
+
+
+class TestSingleFeatureMatcher:
+    def test_recovers_obvious_pairs(self, hdd_catalog, hdd_offers, hdd_matches):
+        matcher = SingleFeatureMatcher(hdd_catalog, feature_name="JS-MC")
+        scored = matcher.match(hdd_offers, hdd_matches)
+        mapping = _best_mapping(scored)
+        assert mapping[("m-1", "computing.hdd", "RPM")] == "Speed"
+        assert mapping[("m-1", "computing.hdd", "Mfr. Part #")] == "Model Part Number"
+
+    def test_scores_bounded(self, hdd_catalog, hdd_offers, hdd_matches):
+        matcher = SingleFeatureMatcher(hdd_catalog, feature_name="Jaccard-MC")
+        scored = matcher.match(hdd_offers, hdd_matches)
+        assert scored
+        assert all(0.0 <= item.score <= 1.0 for item in scored)
+
+    def test_unknown_feature_rejected(self, hdd_catalog):
+        with pytest.raises(ValueError):
+            SingleFeatureMatcher(hdd_catalog, feature_name="Bogus")
+
+
+class TestNoHistoryMatcher:
+    def test_produces_same_candidate_space(self, hdd_catalog, hdd_offers, hdd_matches):
+        offers = [offer.with_category("computing.hdd") for offer in hdd_offers]
+        baseline = NoHistoryMatcher(hdd_catalog).match(offers, hdd_matches)
+        assert len(baseline) == 20
+        assert all(0.0 <= item.score <= 1.0 for item in baseline)
+
+
+class TestDumasMatcher:
+    def test_recovers_true_correspondences(self, hdd_catalog, hdd_offers, hdd_matches):
+        matcher = DumasMatcher(hdd_catalog)
+        scored = matcher.match(hdd_offers, hdd_matches)
+        mapping = _best_mapping(scored)
+        assert mapping[("m-1", "computing.hdd", "RPM")] == "Speed"
+        assert mapping[("m-1", "computing.hdd", "Mfr. Part #")] == "Model Part Number"
+
+    def test_one_to_one_per_group(self, hdd_catalog, hdd_offers, hdd_matches):
+        scored = DumasMatcher(hdd_catalog).match(hdd_offers, hdd_matches)
+        catalog_sides = [item.candidate.catalog_attribute for item in scored]
+        offer_sides = [item.candidate.offer_attribute for item in scored]
+        assert len(catalog_sides) == len(set(catalog_sides))
+        assert len(offer_sides) == len(set(offer_sides))
+
+    def test_category_restriction(self, hdd_catalog, hdd_offers, hdd_matches):
+        scored = DumasMatcher(hdd_catalog).match(
+            hdd_offers, hdd_matches, category_ids=["cameras.digital"]
+        )
+        assert scored == []
+
+
+class TestInstanceNaiveBayesMatcher:
+    def test_recovers_value_driven_pairs(self, hdd_catalog, hdd_offers, hdd_matches):
+        matcher = InstanceNaiveBayesMatcher(hdd_catalog)
+        scored = matcher.match(hdd_offers, hdd_matches)
+        mapping = _best_mapping(scored)
+        assert mapping[("m-1", "computing.hdd", "RPM")] == "Speed"
+
+    def test_scores_are_probability_like(self, hdd_catalog, hdd_offers, hdd_matches):
+        scored = InstanceNaiveBayesMatcher(hdd_catalog).match(hdd_offers, hdd_matches)
+        assert scored
+        assert all(0.0 <= item.score <= 1.0 + 1e-9 for item in scored)
+
+    def test_covers_full_candidate_space(self, hdd_catalog, hdd_offers, hdd_matches):
+        scored = InstanceNaiveBayesMatcher(hdd_catalog).match(hdd_offers, hdd_matches)
+        # 5 catalog attributes scored for each of the 4 merchant attributes.
+        assert len(scored) == 20
+
+
+class TestComaStyleMatcher:
+    def test_name_matcher_scores_similar_names_higher(self):
+        similar = ComaStyleMatcher.name_similarity("Buffer Size", "Buffer Memory")
+        dissimilar = ComaStyleMatcher.name_similarity("Buffer Size", "Optical Zoom")
+        assert similar > dissimilar
+
+    def test_name_matcher_spurious_similarity(self):
+        """The paper's example: 'Memory Technology' vs 'Graphic Technology' look alike."""
+        value = ComaStyleMatcher.name_similarity("Memory Technology", "Graphics Technology")
+        assert value > 0.4
+
+    def test_combined_recovers_pairs(self, hdd_catalog, hdd_offers, hdd_matches):
+        matcher = ComaStyleMatcher(hdd_catalog, ComaConfiguration.COMBINED, delta=None)
+        scored = matcher.match(hdd_offers, hdd_matches)
+        mapping = _best_mapping(scored)
+        assert mapping[("m-1", "computing.hdd", "RPM")] == "Speed"
+        assert mapping[("m-1", "computing.hdd", "Int. Type")] == "Interface"
+
+    def test_delta_selection_prunes_candidates(self, hdd_catalog, hdd_offers, hdd_matches):
+        full = ComaStyleMatcher(hdd_catalog, ComaConfiguration.COMBINED, delta=None).match(
+            hdd_offers, hdd_matches
+        )
+        pruned = ComaStyleMatcher(hdd_catalog, ComaConfiguration.COMBINED, delta=0.01).match(
+            hdd_offers, hdd_matches
+        )
+        assert len(pruned) < len(full)
+        assert len(full) == 20
+
+    def test_invalid_delta(self, hdd_catalog):
+        with pytest.raises(ValueError):
+            ComaStyleMatcher(hdd_catalog, delta=-0.5)
+
+    def test_name_configuration_ignores_instances(self, hdd_catalog, hdd_offers, hdd_matches):
+        matcher = ComaStyleMatcher(hdd_catalog, ComaConfiguration.NAME, delta=None)
+        scored = matcher.match(hdd_offers, hdd_matches)
+        by_pair = {
+            (item.candidate.catalog_attribute, item.candidate.offer_attribute): item.score
+            for item in scored
+        }
+        # Name-only matching cannot see that RPM means Speed.
+        assert by_pair[("Speed", "RPM")] < 0.5

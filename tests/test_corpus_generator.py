@@ -1,0 +1,204 @@
+"""Tests for the synthetic corpus generator and its components."""
+
+import io
+
+import pytest
+
+from repro.corpus.config import CorpusConfig, CorpusPreset
+from repro.corpus.domains import CATEGORY_SPECS, specs_for_top_level
+from repro.corpus.feeds import FEED_COLUMNS, read_feed, write_feed
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.vocabulary import ATTRIBUTE_SYNONYMS
+from repro.text.normalize import normalize_attribute_name
+
+
+class TestCorpusConfig:
+    def test_defaults_valid(self):
+        CorpusConfig()
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(novel_product_fraction=1.5)
+
+    def test_invalid_offer_range_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(offers_per_product=(5, 2))
+
+    def test_invalid_merchant_count(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(num_merchants=0)
+
+    def test_scaled(self):
+        config = CorpusConfig(products_per_category=10).scaled(2.0)
+        assert config.products_per_category == 20
+        with pytest.raises(ValueError):
+            config.scaled(0)
+
+    def test_presets_produce_configs(self):
+        for preset in CorpusPreset:
+            config = preset.config(seed=7)
+            assert config.seed == 7
+
+    def test_computing_preset_restricts_top_levels(self):
+        config = CorpusPreset.COMPUTING.config()
+        assert config.top_level_ids == ("computing",)
+
+
+class TestDomains:
+    def test_all_specs_have_key_attributes(self):
+        for spec in CATEGORY_SPECS:
+            names = spec.attribute_names()
+            assert "Model Part Number" in names
+            assert "UPC" in names
+
+    def test_specs_for_top_level(self):
+        computing = specs_for_top_level("computing")
+        assert computing
+        assert all(spec.top_level_id == "computing" for spec in computing)
+
+    def test_rich_vs_sparse_schema_sizes(self):
+        computing_sizes = [len(spec.attributes) for spec in specs_for_top_level("computing")]
+        kitchen_sizes = [len(spec.attributes) for spec in specs_for_top_level("kitchen")]
+        assert min(computing_sizes) > max(kitchen_sizes) - 3
+        assert sum(computing_sizes) / len(computing_sizes) > sum(kitchen_sizes) / len(kitchen_sizes)
+
+    def test_synonym_bank_does_not_contain_identities(self):
+        for catalog_name, synonyms in ATTRIBUTE_SYNONYMS.items():
+            normalized = normalize_attribute_name(catalog_name)
+            assert all(normalize_attribute_name(s) != normalized for s in synonyms)
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        config = CorpusPreset.TINY.config(seed=123)
+        first = CorpusGenerator(config).generate()
+        second = CorpusGenerator(config).generate()
+        assert first.summary() == second.summary()
+        assert [offer.title for offer in first.offers[:20]] == [
+            offer.title for offer in second.offers[:20]
+        ]
+
+    def test_different_seeds_differ(self):
+        first = CorpusGenerator(CorpusPreset.TINY.config(seed=1)).generate()
+        second = CorpusGenerator(CorpusPreset.TINY.config(seed=2)).generate()
+        assert [offer.title for offer in first.offers[:20]] != [
+            offer.title for offer in second.offers[:20]
+        ]
+
+    def test_every_offer_has_landing_page_and_ground_truth(self, tiny_corpus):
+        for offer in tiny_corpus.offers:
+            assert tiny_corpus.web.has(offer.url)
+            assert offer.offer_id in tiny_corpus.ground_truth.offer_to_product
+            assert offer.offer_id in tiny_corpus.ground_truth.offer_true_category
+            assert offer.offer_id in tiny_corpus.ground_truth.offer_page_specs
+
+    def test_matched_offers_point_to_catalog_products(self, tiny_corpus):
+        for match in tiny_corpus.matches:
+            assert tiny_corpus.catalog.has_product(match.product_id)
+
+    def test_novel_products_absent_from_catalog(self, tiny_corpus):
+        for product_id in tiny_corpus.ground_truth.novel_product_ids:
+            assert not tiny_corpus.catalog.has_product(product_id)
+
+    def test_unmatched_offers_include_all_novel_product_offers(self, tiny_corpus):
+        truth = tiny_corpus.ground_truth
+        unmatched_ids = {offer.offer_id for offer in tiny_corpus.unmatched_offers()}
+        for offer_id, product_id in truth.offer_to_product.items():
+            if product_id in truth.novel_product_ids:
+                assert offer_id in unmatched_ids
+
+    def test_products_conform_to_schema(self, tiny_corpus):
+        for product in tiny_corpus.catalog.products():
+            schema = tiny_corpus.catalog.schema_for(product.category_id)
+            for name in product.attribute_names():
+                assert schema.has_attribute(name)
+
+    def test_alias_ground_truth_covers_schema(self, tiny_corpus):
+        """Every (merchant, category, catalog attribute) has a recorded alias."""
+        truth = tiny_corpus.ground_truth
+        some_merchant = tiny_corpus.catalog.merchants()[0].merchant_id
+        leaf = tiny_corpus.catalog.taxonomy.leaves()[0]
+        schema = tiny_corpus.catalog.schema_for(leaf.category_id)
+        aliases = [
+            catalog_attr
+            for (merchant, category, _), catalog_attr in truth.alias_to_catalog.items()
+            if merchant == some_merchant and category == leaf.category_id
+        ]
+        assert set(aliases) == set(schema.attribute_names())
+
+    def test_offer_specifications_use_merchant_dialect(self, tiny_corpus):
+        """Page specs only use attribute names the dialect maps to the catalog (plus junk)."""
+        truth = tiny_corpus.ground_truth
+        checked = 0
+        for offer in tiny_corpus.offers[:50]:
+            page_spec = truth.offer_page_specs[offer.offer_id]
+            category = truth.offer_true_category[offer.offer_id]
+            for pair in page_spec:
+                mapped = truth.catalog_attribute_for_alias(
+                    offer.merchant_id, category, pair.name
+                )
+                if mapped is not None:
+                    checked += 1
+        assert checked > 0
+
+    def test_summary_counts_consistent(self, tiny_corpus):
+        summary = tiny_corpus.summary()
+        assert summary["offers"] == len(tiny_corpus.offers)
+        assert summary["landing_pages"] == len(tiny_corpus.web)
+        assert summary["historical_matches"] == len(tiny_corpus.matches)
+        assert summary["catalog_products"] == tiny_corpus.catalog.num_products()
+
+    def test_merchant_activity_is_skewed(self, tiny_corpus):
+        from collections import Counter
+
+        counts = Counter(offer.merchant_id for offer in tiny_corpus.offers)
+        largest = max(counts.values())
+        smallest = min(counts.values())
+        average = sum(counts.values()) / len(counts)
+        # The tiny corpus has few merchants, so the tail is short; the skew is
+        # still visible as a clear spread around the mean.
+        assert largest >= 1.5 * max(smallest, 1)
+        assert largest > 1.2 * average
+
+    def test_top_level_restriction(self):
+        corpus = CorpusGenerator(CorpusPreset.COMPUTING.config()).generate()
+        top_levels = {
+            corpus.catalog.taxonomy.top_level_of(leaf.category_id).category_id
+            for leaf in corpus.catalog.taxonomy.leaves()
+        }
+        assert top_levels == {"computing"}
+
+    def test_unknown_top_level_raises(self):
+        with pytest.raises(ValueError):
+            CorpusGenerator(CorpusConfig(top_level_ids=("bogus",))).generate()
+
+
+class TestFeeds:
+    def test_round_trip(self, tiny_corpus):
+        buffer = io.StringIO()
+        written = write_feed(tiny_corpus.offers[:25], buffer)
+        assert written == 25
+        buffer.seek(0)
+        offers = read_feed(buffer)
+        assert len(offers) == 25
+        assert offers[0].offer_id == tiny_corpus.offers[0].offer_id
+        assert offers[0].title == tiny_corpus.offers[0].title
+        assert offers[0].price == pytest.approx(tiny_corpus.offers[0].price, abs=0.01)
+
+    def test_round_trip_through_file(self, tiny_corpus, tmp_path):
+        path = tmp_path / "feed.tsv"
+        write_feed(tiny_corpus.offers[:5], path)
+        offers = read_feed(path)
+        assert len(offers) == 5
+
+    def test_empty_feed(self):
+        assert read_feed(io.StringIO("")) == []
+
+    def test_bad_header_raises(self):
+        with pytest.raises(ValueError):
+            read_feed(io.StringIO("a\tb\tc\n"))
+
+    def test_malformed_row_raises(self):
+        header = "\t".join(FEED_COLUMNS)
+        with pytest.raises(ValueError):
+            read_feed(io.StringIO(f"{header}\nonly\ttwo\n"))

@@ -1,0 +1,285 @@
+"""Tests for the evaluation oracle, precision/coverage curves and sampling helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.ground_truth import GroundTruth
+from repro.evaluation.coverage import (
+    coverage_at_precision,
+    precision_at_coverage,
+    precision_coverage_curve,
+    relative_recall,
+)
+from repro.evaluation.oracle import EvaluationOracle
+from repro.evaluation.report import format_curve, format_kv, format_table
+from repro.evaluation.sampling import (
+    confidence_interval,
+    deterministic_sample,
+    sample_size_for_proportion,
+    z_value_for_confidence,
+)
+from repro.matching.candidates import CandidateTuple
+from repro.matching.correspondence import ScoredCandidate
+from repro.model.attributes import Specification
+from repro.model.products import Product
+
+
+class TestValueAgreement:
+    @pytest.mark.parametrize(
+        "synthesized,truth",
+        [
+            ("500 GB", "500GB"),
+            ("500", "500 GB"),
+            ("7200 rpm", "7200"),
+            ("serial ata-300", "Serial ATA-300"),
+            ("ATA-300", "Serial ATA-300"),
+            ("3.5\"", "3.5"),
+            ("Microsoft Windows Vista", "Windows Vista"),
+        ],
+    )
+    def test_agreeing_values(self, synthesized, truth):
+        assert EvaluationOracle.values_agree(synthesized, truth)
+
+    @pytest.mark.parametrize(
+        "synthesized,truth",
+        [
+            ("250 GB", "500 GB"),
+            ("Seagate", "Hitachi"),
+            ("IDE 133", "SCSI"),
+            ("", "500 GB"),
+        ],
+    )
+    def test_disagreeing_values(self, synthesized, truth):
+        assert not EvaluationOracle.values_agree(synthesized, truth)
+
+
+class TestProductEvaluation:
+    def _oracle_with_one_product(self):
+        truth = GroundTruth()
+        true_product = Product(
+            "p-1",
+            "hdd",
+            specification=Specification(
+                [("Brand", "Hitachi"), ("Capacity", "500 GB"), ("Interface", "Serial ATA-300")]
+            ),
+        )
+        truth.record_product(true_product, novel=True)
+        page_spec = Specification([("Mfg", "Hitachi"), ("Hard Disk Size", "500GB")])
+        truth.record_offer("o-1", "p-1", "hdd", page_spec)
+        truth.record_alias("m-1", "hdd", "Mfg", "Brand")
+        truth.record_alias("m-1", "hdd", "Hard Disk Size", "Capacity")
+        oracle = EvaluationOracle(truth, offer_merchants={"o-1": "m-1"})
+        return oracle
+
+    def test_all_correct_product(self):
+        oracle = self._oracle_with_one_product()
+        synthesized = Product(
+            "synth-1",
+            "hdd",
+            specification=Specification([("Brand", "Hitachi"), ("Capacity", "500GB")]),
+            source_offer_ids=("o-1",),
+        )
+        evaluation = oracle.evaluate_product(synthesized)
+        assert evaluation.attribute_precision == 1.0
+        assert evaluation.is_correct_product
+        # Both recallable attributes (Brand, Capacity) were synthesized.
+        assert evaluation.attribute_recall == 1.0
+
+    def test_partially_wrong_product(self):
+        oracle = self._oracle_with_one_product()
+        synthesized = Product(
+            "synth-1",
+            "hdd",
+            specification=Specification([("Brand", "Hitachi"), ("Capacity", "250 GB")]),
+            source_offer_ids=("o-1",),
+        )
+        evaluation = oracle.evaluate_product(synthesized)
+        assert evaluation.attribute_precision == pytest.approx(0.5)
+        assert not evaluation.is_correct_product
+
+    def test_missing_recallable_attribute(self):
+        oracle = self._oracle_with_one_product()
+        synthesized = Product(
+            "synth-1",
+            "hdd",
+            specification=Specification([("Brand", "Hitachi")]),
+            source_offer_ids=("o-1",),
+        )
+        evaluation = oracle.evaluate_product(synthesized)
+        assert evaluation.attribute_recall == pytest.approx(0.5)
+
+    def test_unknown_source_offers(self):
+        oracle = self._oracle_with_one_product()
+        synthesized = Product(
+            "synth-1",
+            "hdd",
+            specification=Specification([("Brand", "Hitachi")]),
+            source_offer_ids=("o-unknown",),
+        )
+        evaluation = oracle.evaluate_product(synthesized)
+        assert evaluation.true_product_id is None
+        assert evaluation.attribute_precision == 0.0
+
+    def test_aggregate_properties(self):
+        oracle = self._oracle_with_one_product()
+        good = Product(
+            "synth-1",
+            "hdd",
+            specification=Specification([("Brand", "Hitachi")]),
+            source_offer_ids=("o-1",),
+        )
+        bad = Product(
+            "synth-2",
+            "hdd",
+            specification=Specification([("Brand", "Seagate")]),
+            source_offer_ids=("o-1",),
+        )
+        evaluation = oracle.evaluate_products([good, bad])
+        assert evaluation.num_products == 2
+        assert evaluation.attribute_precision == pytest.approx(0.5)
+        assert evaluation.product_precision == pytest.approx(0.5)
+        assert 0.0 < evaluation.average_attributes_per_product <= 1.0
+        filtered = evaluation.filter(lambda e: e.is_correct_product)
+        assert filtered.num_products == 1
+
+
+class TestCorrespondenceJudgement:
+    def test_labels_and_identity_exclusion(self):
+        truth = GroundTruth()
+        truth.record_alias("m-1", "hdd", "RPM", "Spindle Speed")
+        oracle = EvaluationOracle(truth)
+        correct = ScoredCandidate(CandidateTuple("Spindle Speed", "RPM", "m-1", "hdd"), 0.9)
+        wrong = ScoredCandidate(CandidateTuple("Capacity", "RPM", "m-1", "hdd"), 0.8)
+        identity = ScoredCandidate(CandidateTuple("Brand", "Brand", "m-1", "hdd"), 1.0)
+        assert oracle.correspondence_is_correct(correct)
+        assert not oracle.correspondence_is_correct(wrong)
+        labelled = oracle.correspondence_labels([correct, wrong, identity])
+        assert len(labelled) == 2
+        labelled_all = oracle.correspondence_labels([correct, wrong, identity], exclude_identity=False)
+        assert len(labelled_all) == 3
+
+
+def _scored(sequence):
+    """Build scored candidates from (score, is_correct) pairs; correctness is
+    encoded in the merchant id so a simple predicate can recover it."""
+    items = []
+    for index, (score, correct) in enumerate(sequence):
+        items.append(
+            ScoredCandidate(
+                CandidateTuple("A", f"B{index}", "good" if correct else "bad", "c"), score
+            )
+        )
+    return items
+
+
+def _is_correct(candidate: ScoredCandidate) -> bool:
+    return candidate.candidate.merchant_id == "good"
+
+
+class TestPrecisionCoverage:
+    def test_precision_at_coverage(self):
+        scored = _scored([(0.9, True), (0.8, True), (0.7, False), (0.6, True)])
+        assert precision_at_coverage(scored, _is_correct, 2) == 1.0
+        assert precision_at_coverage(scored, _is_correct, 3) == pytest.approx(2 / 3)
+        assert precision_at_coverage(scored, _is_correct, 10) == pytest.approx(3 / 4)
+
+    def test_precision_at_coverage_invalid(self):
+        with pytest.raises(ValueError):
+            precision_at_coverage([], _is_correct, 0)
+
+    def test_curve_monotonic_coverage(self):
+        scored = _scored([(0.9, True), (0.8, False), (0.7, True), (0.6, False), (0.5, True)])
+        curve = precision_coverage_curve(scored, _is_correct, num_points=5)
+        coverages = [point.coverage for point in curve]
+        assert coverages == sorted(coverages)
+        assert curve[-1].coverage == 5
+
+    def test_curve_empty(self):
+        assert precision_coverage_curve([], _is_correct) == []
+
+    def test_coverage_at_precision(self):
+        scored = _scored([(0.9, True), (0.8, True), (0.7, False), (0.6, False)])
+        assert coverage_at_precision(scored, _is_correct, 1.0) == 2
+        assert coverage_at_precision(scored, _is_correct, 0.66) == 3
+        assert coverage_at_precision(scored, _is_correct, 0.1) == 4
+
+    def test_relative_recall(self):
+        strong = _scored([(0.9, True), (0.8, True), (0.7, True), (0.6, False)])
+        weak = _scored([(0.9, True), (0.8, False), (0.7, False)])
+        ratio = relative_recall(strong, weak, _is_correct, precision=0.75)
+        assert ratio is not None and ratio > 1.0
+
+    def test_relative_recall_undefined(self):
+        strong = _scored([(0.9, True)])
+        weak = _scored([(0.9, False)])
+        assert relative_recall(strong, weak, _is_correct, precision=0.9) is None
+
+    @given(
+        scores=st.lists(
+            st.tuples(st.floats(min_value=0, max_value=1), st.booleans()), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_curve_precision_bounded(self, scores):
+        scored = _scored(scores)
+        for point in precision_coverage_curve(scored, _is_correct, num_points=7):
+            assert 0.0 <= point.precision <= 1.0
+            assert 1 <= point.coverage <= len(scores)
+
+
+class TestSampling:
+    def test_paper_sample_size(self):
+        assert sample_size_for_proportion(0.95, 0.05) == 385
+
+    def test_finite_population_correction(self):
+        assert sample_size_for_proportion(0.95, 0.05, population=400) < 385
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            sample_size_for_proportion(0.95, 0.0)
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(ValueError):
+            z_value_for_confidence(0.77)
+
+    def test_confidence_interval(self):
+        low, high = confidence_interval(90, 100)
+        assert low < 0.9 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_confidence_interval_invalid(self):
+        with pytest.raises(ValueError):
+            confidence_interval(5, 0)
+        with pytest.raises(ValueError):
+            confidence_interval(10, 5)
+
+    def test_deterministic_sample(self):
+        population = list(range(100))
+        first = deterministic_sample(population, 10, seed=1)
+        second = deterministic_sample(population, 10, seed=1)
+        assert first == second
+        assert len(first) == 10
+        assert deterministic_sample(population, 200) == population
+        with pytest.raises(ValueError):
+            deterministic_sample(population, -1)
+
+
+class TestReportFormatting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 0.5], ["x", 2]], title="T")
+        assert "T" in text and "a" in text and "0.500" in text
+
+    def test_format_table_mismatched_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_kv(self):
+        text = format_kv({"precision": 0.92, "count": 1234})
+        assert "0.920" in text and "1,234" in text
+
+    def test_format_curve(self):
+        from repro.evaluation.coverage import PrecisionCoveragePoint
+
+        text = format_curve({"ours": [PrecisionCoveragePoint(0.5, 10, 0.9)]})
+        assert "ours" in text and "10" in text

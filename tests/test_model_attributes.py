@@ -1,0 +1,96 @@
+"""Tests for attribute-value pairs and specifications."""
+
+import pytest
+
+from repro.model.attributes import AttributeValue, Specification
+
+
+class TestAttributeValue:
+    def test_normalized_name(self):
+        assert AttributeValue("Mfr. Part #", "X1").normalized_name() == "mfr part"
+
+    def test_normalized_value(self):
+        assert AttributeValue("Interface", "Serial ATA-300").normalized_value() == "serial ata 300"
+
+    def test_as_tuple(self):
+        assert AttributeValue("Brand", "Hitachi").as_tuple() == ("Brand", "Hitachi")
+
+    def test_str(self):
+        assert str(AttributeValue("Brand", "Hitachi")) == "Brand = Hitachi"
+
+    def test_frozen(self):
+        pair = AttributeValue("Brand", "Hitachi")
+        with pytest.raises(AttributeError):
+            pair.value = "Seagate"  # type: ignore[misc]
+
+
+class TestSpecification:
+    def test_construct_from_tuples(self):
+        spec = Specification([("Brand", "Hitachi"), ("Capacity", "500 GB")])
+        assert len(spec) == 2
+        assert spec.get("Brand") == "Hitachi"
+
+    def test_construct_from_attribute_values(self):
+        spec = Specification([AttributeValue("Brand", "Hitachi")])
+        assert spec.get("Brand") == "Hitachi"
+
+    def test_from_mapping(self):
+        spec = Specification.from_mapping({"Brand": "Hitachi"})
+        assert spec.get("brand") == "Hitachi"
+
+    def test_get_is_name_insensitive(self):
+        spec = Specification([("Mfr. Part #", "HDT725050")])
+        assert spec.get("mfr part") == "HDT725050"
+
+    def test_get_default(self):
+        assert Specification().get("Missing", "fallback") == "fallback"
+
+    def test_get_all_returns_every_value(self):
+        spec = Specification([("Color", "Black"), ("Color", "Silver")])
+        assert spec.get_all("Color") == ["Black", "Silver"]
+
+    def test_has(self):
+        spec = Specification([("Brand", "Hitachi")])
+        assert spec.has("Brand")
+        assert not spec.has("Capacity")
+
+    def test_attribute_names_deduplicated_in_order(self):
+        spec = Specification([("B", "1"), ("A", "2"), ("B", "3")])
+        assert spec.attribute_names() == ["B", "A"]
+
+    def test_add_and_extend(self):
+        spec = Specification()
+        spec.add("Brand", "Hitachi")
+        spec.extend([AttributeValue("Model", "Deskstar")])
+        assert len(spec) == 2
+
+    def test_as_dict_keeps_first_value(self):
+        spec = Specification([("Color", "Black"), ("Color", "Silver")])
+        assert spec.as_dict() == {"Color": "Black"}
+
+    def test_rename_translates_and_drops(self):
+        spec = Specification([("Hard Disk Size", "500 GB"), ("Warranty", "1 Year")])
+        renamed = spec.rename({"Hard Disk Size": "Capacity"})
+        assert renamed.get("Capacity") == "500 GB"
+        assert not renamed.has("Warranty")
+        assert len(renamed) == 1
+
+    def test_rename_is_name_insensitive(self):
+        spec = Specification([("hard disk size", "500 GB")])
+        renamed = spec.rename({"Hard Disk Size": "Capacity"})
+        assert renamed.get("Capacity") == "500 GB"
+
+    def test_filter_names(self):
+        spec = Specification([("Brand", "Hitachi"), ("Color", "Black")])
+        filtered = spec.filter_names(["Brand"])
+        assert filtered.attribute_names() == ["Brand"]
+
+    def test_equality(self):
+        assert Specification([("A", "1")]) == Specification([("A", "1")])
+        assert Specification([("A", "1")]) != Specification([("A", "2")])
+
+    def test_bool_and_iteration(self):
+        assert not Specification()
+        spec = Specification([("A", "1")])
+        assert spec
+        assert [pair.name for pair in spec] == ["A"]

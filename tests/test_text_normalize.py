@@ -1,0 +1,95 @@
+"""Unit tests for repro.text.normalize."""
+
+import pytest
+
+from repro.text.normalize import (
+    canonical_number,
+    normalize_attribute_name,
+    normalize_key_value,
+    normalize_value,
+    strip_units,
+)
+
+
+class TestNormalizeAttributeName:
+    def test_lower_and_collapse_whitespace(self):
+        assert normalize_attribute_name("  Hard  Disk   Size ") == "hard disk size"
+
+    def test_removes_punctuation(self):
+        assert normalize_attribute_name("Mfr. Part #") == "mfr part"
+
+    def test_identity_comparison_case_insensitive(self):
+        assert normalize_attribute_name("RESOLUTION") == normalize_attribute_name("Resolution")
+
+    def test_distinct_names_stay_distinct(self):
+        assert normalize_attribute_name("Capacity") != normalize_attribute_name("Hard Disk Size")
+
+    def test_empty(self):
+        assert normalize_attribute_name("") == ""
+
+
+class TestNormalizeValue:
+    def test_keeps_decimal_point(self):
+        assert normalize_value("3.5 inches") == "3.5 inches"
+
+    def test_removes_other_punctuation(self):
+        assert normalize_value("Serial ATA-300") == "serial ata 300"
+
+    def test_collapses_whitespace(self):
+        assert normalize_value("500    GB") == "500 gb"
+
+    def test_empty(self):
+        assert normalize_value("") == ""
+
+
+class TestNormalizeKeyValue:
+    def test_strips_everything_but_alphanumerics(self):
+        assert normalize_key_value("HDT-725050 VLA360") == "hdt725050vla360"
+
+    def test_case_insensitive(self):
+        assert normalize_key_value("ABC123") == normalize_key_value("abc123")
+
+    def test_empty(self):
+        assert normalize_key_value("") == ""
+
+    def test_pure_punctuation(self):
+        assert normalize_key_value("###---") == ""
+
+
+class TestStripUnits:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("500GB", "500"),
+            ("500 GB", "500"),
+            ("7200 rpm", "7200"),
+            ("16 MB", "16"),
+            ("2.4 GHz", "2.4"),
+            ("10.1 MP", "10.1"),
+        ],
+    )
+    def test_known_units(self, value, expected):
+        assert strip_units(value) == expected
+
+    def test_non_numeric_value_unchanged(self):
+        assert strip_units("Windows Vista") == "windows vista"
+
+    def test_number_without_unit(self):
+        assert strip_units("7200") == "7200"
+
+
+class TestCanonicalNumber:
+    def test_with_unit(self):
+        assert canonical_number("16 MB") == 16.0
+
+    def test_decimal(self):
+        assert canonical_number('3.5"') == 3.5
+
+    def test_plain_integer(self):
+        assert canonical_number("7200") == 7200.0
+
+    def test_text_returns_none(self):
+        assert canonical_number("Seagate") is None
+
+    def test_empty_returns_none(self):
+        assert canonical_number("") is None

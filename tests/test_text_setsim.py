@@ -1,0 +1,91 @@
+"""Tests for Jaccard / Dice / overlap / cosine similarities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.distributions import BagOfWords
+from repro.text.setsim import (
+    cosine_similarity,
+    dice_coefficient,
+    jaccard_coefficient,
+    overlap_coefficient,
+)
+
+term_sets = st.sets(st.text(alphabet="abcdef", min_size=1, max_size=4), max_size=10)
+
+
+class TestJaccard:
+    def test_half_overlap(self):
+        assert jaccard_coefficient({"ata", "ide", "133"}, {"ata", "ide", "100"}) == pytest.approx(0.5)
+
+    def test_identical_sets(self):
+        assert jaccard_coefficient({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_coefficient({"a"}, {"b"}) == 0.0
+
+    def test_both_empty_is_zero(self):
+        assert jaccard_coefficient(set(), set()) == 0.0
+
+    def test_accepts_bags(self):
+        left = BagOfWords(["ata", "ata", "100"])
+        right = BagOfWords(["ata", "133"])
+        # Jaccard uses distinct terms: {ata,100} vs {ata,133} -> 1/3.
+        assert jaccard_coefficient(left, right) == pytest.approx(1 / 3)
+
+    def test_accepts_iterables(self):
+        assert jaccard_coefficient(["a", "a", "b"], ("b", "c")) == pytest.approx(1 / 3)
+
+
+class TestOtherCoefficients:
+    def test_dice(self):
+        assert dice_coefficient({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_dice_empty(self):
+        assert dice_coefficient(set(), set()) == 0.0
+
+    def test_overlap_subset_is_one(self):
+        assert overlap_coefficient({"a"}, {"a", "b", "c"}) == 1.0
+
+    def test_overlap_empty(self):
+        assert overlap_coefficient(set(), {"a"}) == 0.0
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        vector = {"a": 1.0, "b": 2.0}
+        assert cosine_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty_vector(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+    def test_scale_invariant(self):
+        left = {"a": 1.0, "b": 3.0}
+        right = {"a": 10.0, "b": 30.0}
+        assert cosine_similarity(left, right) == pytest.approx(1.0)
+
+
+class TestSimilarityProperties:
+    @given(left=term_sets, right=term_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_jaccard_bounded_and_symmetric(self, left, right):
+        value = jaccard_coefficient(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaccard_coefficient(right, left))
+
+    @given(terms=term_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_jaccard_self_is_one_for_nonempty(self, terms):
+        if not terms:
+            return
+        assert jaccard_coefficient(terms, terms) == 1.0
+
+    @given(left=term_sets, right=term_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_dice_at_least_jaccard(self, left, right):
+        # Dice >= Jaccard always holds.
+        assert dice_coefficient(left, right) >= jaccard_coefficient(left, right) - 1e-12
