@@ -21,6 +21,12 @@ BENCH_PRESET = CorpusPreset.SMALL
 BENCH_SEED = 2011
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ with the registered bench marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def harness() -> ExperimentHarness:
     """The shared experiment harness (corpus + learning + synthesis)."""

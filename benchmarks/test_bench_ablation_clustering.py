@@ -7,7 +7,6 @@ clusters whose offers all come from the same true product — which is what
 "each cluster corresponds to exactly one product" requires.
 """
 
-from collections import Counter
 
 from conftest import run_once
 

@@ -13,7 +13,6 @@ import numpy as np
 from conftest import run_once
 
 from repro.experiments.figures_common import build_series
-from repro.learning.datasets import LabeledDataset
 from repro.learning.logistic import LogisticRegressionClassifier
 from repro.matching.correspondence import ScoredCandidate
 from repro.matching.features import DistributionalFeatureExtractor

@@ -1,0 +1,88 @@
+"""Throughput benchmark for the streaming runtime engine (ISSUE 1 tentpole).
+
+Feeds a 10k-offer synthetic stream through the micro-batched
+:class:`~repro.runtime.SynthesisEngine` and through the only streaming
+strategy the one-shot pipeline supports (re-synthesizing the accumulated
+stream after every batch), asserting the engine's contract:
+
+* process-pool engine >= 3x faster than the looped pipeline;
+* serial and parallel executors produce byte-identical products;
+* engine products match the monolithic pipeline run exactly.
+
+Writes ``BENCH_runtime.json`` (machine-readable result) next to the repo
+root, or into ``$BENCH_OUTPUT_DIR`` when set — CI uploads it as an
+artifact.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.corpus.config import CorpusPreset
+from repro.experiments import runtime_bench
+from repro.experiments.harness import ExperimentHarness
+
+#: Stream size of the headline run (matches the acceptance criterion).
+STREAM_OFFERS = 10_000
+STREAM_BATCHES = 10
+
+
+def _output_path() -> str:
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR")
+    if out_dir is None:
+        out_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(out_dir, "BENCH_runtime.json")
+
+
+def test_bench_runtime_throughput(benchmark):
+    harness = ExperimentHarness(
+        CorpusPreset.SMALL.config(seed=2011).scaled(STREAM_OFFERS / 1200.0)
+    )
+    # Materialise setup artefacts outside the measured region.
+    _ = harness.unmatched_offers
+    _ = harness.offline_result
+    _ = harness.category_classifier
+
+    result = run_once(
+        benchmark,
+        runtime_bench.run,
+        num_offers=STREAM_OFFERS,
+        num_batches=STREAM_BATCHES,
+        executor="process",
+        num_shards=8,
+        harness=harness,
+    )
+    result.write_json(_output_path())
+    print()
+    print(result.to_text())
+
+    assert result.num_offers == STREAM_OFFERS
+    assert result.products_identical
+    assert result.num_products > 1_000
+    # The tentpole claim: >= 3x over the looped per-run baseline.
+    assert result.speedup >= 3.0
+
+
+def test_bench_runtime_executor_parity(benchmark):
+    """Serial vs parallel engines produce byte-identical products."""
+    harness = ExperimentHarness(CorpusPreset.SMALL.config(seed=2011))
+    _ = harness.unmatched_offers
+    _ = harness.offline_result
+    _ = harness.category_classifier
+
+    def run_all_executors():
+        fingerprints = {}
+        for executor in ("serial", "thread", "process"):
+            result = runtime_bench.run(
+                num_offers=1_000,
+                num_batches=5,
+                executor=executor,
+                num_shards=4,
+                harness=harness,
+            )
+            assert result.products_identical
+            fingerprints[executor] = result.num_products
+        return fingerprints
+
+    fingerprints = run_once(benchmark, run_all_executors)
+    assert fingerprints["serial"] == fingerprints["thread"] == fingerprints["process"]

@@ -19,7 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.matching import CandidateTuple, DistributionalFeatureExtractor, OfflineLearner
+from repro.matching import OfflineLearner
 from repro.matching.grouping import MC, MatchedValueIndex
 from repro.model import (
     Catalog,

@@ -29,10 +29,11 @@ from repro.evaluation.oracle import EvaluationOracle, SynthesisEvaluation
 from repro.extraction.extractor import WebPageAttributeExtractor
 from repro.matching.learner import OfflineLearner, OfflineLearningResult
 from repro.model import Catalog, Offer, Product
+from repro.runtime import EngineSnapshot, IngestReport, SynthesisEngine
 from repro.synthesis.category_classifier import TitleCategoryClassifier
 from repro.synthesis.pipeline import ProductSynthesisPipeline, SynthesisResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CorpusConfig",
@@ -50,6 +51,9 @@ __all__ = [
     "TitleCategoryClassifier",
     "ProductSynthesisPipeline",
     "SynthesisResult",
+    "SynthesisEngine",
+    "IngestReport",
+    "EngineSnapshot",
     "SynthesisOutcome",
     "synthesize_catalog",
     "__version__",

@@ -30,7 +30,6 @@ from repro.matching.correspondence import ScoredCandidate
 from repro.model.catalog import Catalog
 from repro.model.matches import MatchStore
 from repro.model.offers import Offer
-from repro.text.normalize import normalize_attribute_name
 from repro.text.tfidf import SoftTfIdf
 
 __all__ = ["DumasMatcher"]

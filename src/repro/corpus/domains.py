@@ -14,8 +14,8 @@ Kitchen products carry only a handful of attributes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.corpus.vocabulary import COLOR_POOL, MATERIAL_POOL
 from repro.model.schema import AttributeKind

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import html
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.model.attributes import Specification
 from repro.model.merchants import Merchant

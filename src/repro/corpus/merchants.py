@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.corpus.config import CorpusConfig
 from repro.corpus.vocabulary import ATTRIBUTE_SYNONYMS, BRANDS, JUNK_ATTRIBUTES

@@ -7,7 +7,7 @@ and easy to diff across runs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Union
+from typing import Iterable, List, Mapping, Sequence, Union
 
 from repro.evaluation.coverage import PrecisionCoveragePoint
 

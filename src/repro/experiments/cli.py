@@ -12,6 +12,12 @@ Run every experiment on the small preset::
 Run only Table 2 and Figure 8 on the default (larger) preset::
 
     repro-synthesize --preset default --experiments table2 figure8
+
+Run the streaming-runtime throughput benchmark (see
+:mod:`repro.experiments.runtime_bench`) and write ``BENCH_runtime.json``::
+
+    repro-synthesize runtime-bench --offers 10000 --executor process \
+        --json BENCH_runtime.json
 """
 
 from __future__ import annotations
@@ -19,10 +25,19 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.corpus.config import CorpusPreset
-from repro.experiments import figure6, figure7, figure8, figure9, table2, table3, table4
+from repro.experiments import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    runtime_bench,
+    table2,
+    table3,
+    table4,
+)
 from repro.experiments.harness import ExperimentHarness
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -43,6 +58,10 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="repro-synthesize",
         description="Reproduce the evaluation of 'Synthesizing Products for Online Catalogs'",
+        epilog=(
+            "additional command: 'repro-synthesize runtime-bench --help' "
+            "(streaming-engine throughput benchmark)"
+        ),
     )
     parser.add_argument(
         "--preset",
@@ -61,8 +80,58 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
+def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-synthesize runtime-bench",
+        description="Throughput benchmark: streaming SynthesisEngine vs looped pipeline",
+    )
+    parser.add_argument(
+        "--offers", type=int, default=10_000, help="stream length (default: 10000)"
+    )
+    parser.add_argument(
+        "--batches", type=int, default=10, help="micro-batches (default: 10)"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default="process",
+        help="engine shard executor (default: process)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=8, help="category shards (default: 8)"
+    )
+    parser.add_argument("--seed", type=int, default=2011, help="corpus RNG seed")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the result as JSON (e.g. BENCH_runtime.json)",
+    )
+    return parser.parse_args(argv)
+
+
+def _run_runtime_bench(argv: Sequence[str]) -> int:
+    args = _parse_runtime_bench_args(argv)
+    result = runtime_bench.run(
+        num_offers=args.offers,
+        num_batches=args.batches,
+        executor=args.executor,
+        num_shards=args.shards,
+        seed=args.seed,
+    )
+    print(result.to_text())
+    if args.json:
+        result.write_json(args.json)
+        print(f"[wrote {args.json}]")
+    return 0 if result.products_identical else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Run the selected experiments and print their results."""
+    """Run the selected experiments (or the ``runtime-bench`` command)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "runtime-bench":
+        return _run_runtime_bench(list(argv[1:]))
     args = _parse_args(argv)
     preset = CorpusPreset(args.preset)
     harness = ExperimentHarness(preset.config(seed=args.seed))

@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.evaluation.coverage import (
     PrecisionCoveragePoint,
-    precision_at_coverage,
     precision_coverage_curve,
 )
 from repro.evaluation.oracle import EvaluationOracle

@@ -10,7 +10,7 @@ benchmark session never repeats the same run.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from repro.corpus.config import CorpusConfig, CorpusPreset
 from repro.corpus.generator import CorpusGenerator, SyntheticCorpus

@@ -1,0 +1,230 @@
+"""Throughput benchmark: streaming engine vs. looped one-shot pipeline.
+
+The scenario is the paper's production setting: offers arrive as a
+continuous merchant-feed stream, and after every micro-batch the system
+must have an up-to-date set of synthesized products.
+
+* **Baseline** — the only way to do this with the one-shot
+  :class:`~repro.synthesis.pipeline.ProductSynthesisPipeline` is to loop
+  ``synthesize()`` over the accumulated stream after each batch,
+  recomputing classification, reconciliation, clustering and fusion for
+  every offer seen so far (O(total) work per batch, O(n·batches) overall).
+* **Engine** — :class:`~repro.runtime.SynthesisEngine` ingests each batch
+  incrementally (O(batch) work per batch), re-fusing only the clusters
+  the batch touched, with sharded execution and memoised text statistics.
+
+Both sides see identical pre-extracted offers and produce identical
+products (asserted), so the comparison is purely about work avoided.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.corpus.config import CorpusPreset
+from repro.experiments.harness import ExperimentHarness
+from repro.model.products import Product
+from repro.runtime import SynthesisEngine
+from repro.runtime.executors import ShardExecutor
+from repro.synthesis.pipeline import ProductSynthesisPipeline
+from repro.text.memo import clear_text_caches
+
+__all__ = ["RuntimeBenchResult", "run"]
+
+
+@dataclass
+class RuntimeBenchResult:
+    """Everything measured by one benchmark run."""
+
+    num_offers: int
+    num_batches: int
+    executor: str
+    num_shards: int
+    seed: int
+    #: Seconds for the looped pipeline to keep products current per batch.
+    baseline_seconds: float
+    #: Seconds for one monolithic ``synthesize()`` over the whole stream.
+    single_pass_seconds: float
+    #: Seconds for the engine to ingest the same stream batch by batch.
+    engine_seconds: float
+    #: Products synthesized (identical for engine and baseline).
+    num_products: int
+    #: Whether engine and baseline products are byte-identical.
+    products_identical: bool
+    category_vocabulary: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Baseline seconds per engine second (higher is better)."""
+        if self.engine_seconds == 0.0:
+            return float("inf")
+        return self.baseline_seconds / self.engine_seconds
+
+    @property
+    def engine_offers_per_second(self) -> float:
+        """Ingest throughput of the engine over the whole stream."""
+        if self.engine_seconds == 0.0:
+            return float("inf")
+        return self.num_offers / self.engine_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable summary (written to ``BENCH_runtime.json``)."""
+        return {
+            "num_offers": self.num_offers,
+            "num_batches": self.num_batches,
+            "executor": self.executor,
+            "num_shards": self.num_shards,
+            "seed": self.seed,
+            "baseline_seconds": round(self.baseline_seconds, 4),
+            "single_pass_seconds": round(self.single_pass_seconds, 4),
+            "engine_seconds": round(self.engine_seconds, 4),
+            "speedup": round(self.speedup, 3),
+            "engine_offers_per_second": round(self.engine_offers_per_second, 1),
+            "num_products": self.num_products,
+            "products_identical": self.products_identical,
+            "num_categories": len(self.category_vocabulary),
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        """Human-readable report."""
+        lines = [
+            "Runtime throughput benchmark (streaming engine vs looped pipeline)",
+            f"  stream: {self.num_offers:,} offers in {self.num_batches} micro-batches "
+            f"(seed {self.seed})",
+            f"  engine: {self.num_shards} shards, {self.executor} executor",
+            f"  looped pipeline : {self.baseline_seconds:8.2f}s "
+            f"(re-synthesizes the accumulated stream per batch)",
+            f"  single pass     : {self.single_pass_seconds:8.2f}s "
+            f"(one monolithic synthesize, no per-batch currency)",
+            f"  engine          : {self.engine_seconds:8.2f}s "
+            f"({self.engine_offers_per_second:,.0f} offers/s)",
+            f"  speedup         : {self.speedup:8.2f}x",
+            f"  products        : {self.num_products:,} "
+            f"(identical: {self.products_identical})",
+        ]
+        return "\n".join(lines)
+
+
+def _product_fingerprint(products: List[Product]) -> List[Tuple[object, ...]]:
+    return sorted(
+        (
+            product.product_id,
+            product.category_id,
+            product.title,
+            tuple(pair.as_tuple() for pair in product.specification),
+            product.source_offer_ids,
+        )
+        for product in products
+    )
+
+
+def _batches(items: List, num_batches: int) -> List[List]:
+    size = max(1, (len(items) + num_batches - 1) // num_batches)
+    return [items[start : start + size] for start in range(0, len(items), size)]
+
+
+def run(
+    num_offers: int = 10_000,
+    num_batches: int = 10,
+    executor: Union[str, ShardExecutor] = "process",
+    num_shards: int = 8,
+    seed: int = 2011,
+    harness: Optional[ExperimentHarness] = None,
+) -> RuntimeBenchResult:
+    """Run the throughput benchmark and return its measurements.
+
+    Parameters
+    ----------
+    num_offers:
+        Stream length; the synthetic corpus is scaled until it yields at
+        least this many unmatched offers (then truncated to exactly it).
+    num_batches:
+        Micro-batches the stream is split into.
+    executor, num_shards:
+        Engine configuration.
+    seed:
+        Corpus seed.
+    harness:
+        Pre-built harness to reuse (tests); overrides ``num_offers``'s
+        corpus scaling but still truncates the stream.
+    """
+    if harness is None:
+        # SMALL yields ~1.3k unmatched offers at scale 1; overshoot a little
+        # so the stream can be truncated to exactly num_offers.
+        factor = max(1.0, num_offers / 1200.0)
+        harness = ExperimentHarness(CorpusPreset.SMALL.config(seed=seed).scaled(factor))
+    offers = harness.unmatched_offers[:num_offers]
+    batches = _batches(offers, num_batches)
+
+    def build_pipeline() -> ProductSynthesisPipeline:
+        return ProductSynthesisPipeline(
+            catalog=harness.corpus.catalog,
+            correspondences=harness.offline_result.correspondences,
+            extractor=harness.extractor,
+            category_classifier=harness.category_classifier,
+        )
+
+    # -- baseline: keep products current by re-running the one-shot pipeline
+    clear_text_caches()
+    pipeline = build_pipeline()
+    baseline_products: List[Product] = []
+    start = time.perf_counter()
+    accumulated: List = []
+    for batch in batches:
+        accumulated.extend(batch)
+        baseline_products = pipeline.synthesize(accumulated).products
+    baseline_seconds = time.perf_counter() - start
+
+    # -- reference: one monolithic pass (no per-batch product currency)
+    clear_text_caches()
+    pipeline = build_pipeline()
+    start = time.perf_counter()
+    single_pass_products = pipeline.synthesize(offers).products
+    single_pass_seconds = time.perf_counter() - start
+
+    # -- engine: incremental ingest of the same stream
+    clear_text_caches()
+    engine = SynthesisEngine(
+        catalog=harness.corpus.catalog,
+        correspondences=harness.offline_result.correspondences,
+        extractor=harness.extractor,
+        category_classifier=harness.category_classifier,
+        num_shards=num_shards,
+        executor=executor,
+    )
+    start = time.perf_counter()
+    for batch in batches:
+        engine.ingest(batch)
+    engine_products = engine.products()
+    engine_seconds = time.perf_counter() - start
+    snapshot = engine.snapshot()
+    engine.close()
+
+    fingerprint = _product_fingerprint(engine_products)
+    identical = (
+        fingerprint == _product_fingerprint(baseline_products)
+        and fingerprint == _product_fingerprint(single_pass_products)
+    )
+    executor_name = executor if isinstance(executor, str) else executor.name
+    return RuntimeBenchResult(
+        num_offers=len(offers),
+        num_batches=len(batches),
+        executor=executor_name,
+        num_shards=num_shards,
+        seed=seed,
+        baseline_seconds=baseline_seconds,
+        single_pass_seconds=single_pass_seconds,
+        engine_seconds=engine_seconds,
+        num_products=len(engine_products),
+        products_identical=identical,
+        category_vocabulary=snapshot.category_vocabulary,
+    )

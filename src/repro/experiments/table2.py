@@ -10,7 +10,7 @@ values are the quantities whose magnitude should be comparable).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.corpus.config import CorpusPreset
 from repro.evaluation.report import format_kv

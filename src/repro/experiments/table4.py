@@ -15,7 +15,7 @@ and average synthesized attributes), which are reproduced here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.corpus.config import CorpusPreset
 from repro.evaluation.report import format_table

@@ -9,8 +9,8 @@ claim is that schema reconciliation downstream filters the noise out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List
 
 from repro.corpus.webstore import PageNotFoundError, WebStore
 from repro.extraction.dom import parse_html

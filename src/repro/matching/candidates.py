@@ -10,7 +10,7 @@ schema attributes of C with the merchant attribute names observed in M's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.model.catalog import Catalog
 from repro.model.matches import MatchStore

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.matching.candidates import CandidateTuple
-from repro.text.normalize import normalize_attribute_name
+from repro.text.memo import cached_normalize_attribute_name
 
 __all__ = ["ScoredCandidate", "AttributeCorrespondence", "CorrespondenceSet"]
 
@@ -88,7 +88,9 @@ class CorrespondenceSet:
 
     @staticmethod
     def _key(merchant_id: str, category_id: str, offer_attribute: str) -> Tuple[str, str, str]:
-        return (merchant_id, category_id, normalize_attribute_name(offer_attribute))
+        # Translation runs once per extracted pair on the hot ingest path;
+        # attribute names repeat heavily, so normalisation is memoised.
+        return (merchant_id, category_id, cached_normalize_attribute_name(offer_attribute))
 
     # -- lookups ------------------------------------------------------------------
 

@@ -19,11 +19,10 @@ interpret.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.matching.candidates import CandidateTuple
 from repro.matching.grouping import C, M, MC, MatchedValueIndex
-from repro.text.distributions import BagOfWords
 from repro.text.divergence import jensen_shannon_similarity
 from repro.text.normalize import normalize_attribute_name
 from repro.text.setsim import jaccard_coefficient

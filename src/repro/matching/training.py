@@ -16,7 +16,7 @@ candidates are unlabelled and are scored by the trained classifier.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.learning.datasets import LabeledDataset
 from repro.matching.candidates import CandidateTuple

@@ -9,7 +9,7 @@ coherent object.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List
 
 from repro.model.merchants import Merchant
 from repro.model.products import Product

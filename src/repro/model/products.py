@@ -10,7 +10,7 @@ attribute recall per offer-set size (paper Table 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.model.attributes import Specification
 

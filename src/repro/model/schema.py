@@ -11,7 +11,7 @@ clustering component uses to group offers into product clusters
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.text.normalize import normalize_attribute_name

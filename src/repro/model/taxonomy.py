@@ -9,8 +9,8 @@ categories organised under a handful of top-level departments
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
 
 __all__ = ["Category", "Taxonomy"]
 

@@ -1,0 +1,37 @@
+"""High-throughput batched runtime for the offer-synthesis pipeline.
+
+The paper's Run-Time Offer Processing Pipeline (Figure 4) absorbs
+continuous merchant feeds; this package provides the executor that makes
+that practical at scale:
+
+``engine``
+    :class:`~repro.runtime.engine.SynthesisEngine` — a sharded,
+    micro-batched, incrementally clustering wrapper around the pipeline
+    stages.  Feed it a stream with repeated ``ingest(offers)`` calls.
+``executors``
+    Pluggable shard executors (serial / thread pool / process pool) with
+    identical outputs and different wall-clock profiles.
+``sharding``
+    Stable (cross-process deterministic) category sharding.
+"""
+
+from repro.runtime.engine import EngineSnapshot, IngestReport, SynthesisEngine
+from repro.runtime.executors import (
+    ProcessPoolShardExecutor,
+    SerialExecutor,
+    ThreadPoolShardExecutor,
+    resolve_executor,
+)
+from repro.runtime.sharding import partition_by_shard, shard_for_category
+
+__all__ = [
+    "SynthesisEngine",
+    "IngestReport",
+    "EngineSnapshot",
+    "SerialExecutor",
+    "ThreadPoolShardExecutor",
+    "ProcessPoolShardExecutor",
+    "resolve_executor",
+    "partition_by_shard",
+    "shard_for_category",
+]

@@ -1,0 +1,387 @@
+"""The high-throughput streaming synthesis engine.
+
+:class:`SynthesisEngine` wraps the stages of
+:class:`~repro.synthesis.pipeline.ProductSynthesisPipeline` into a
+sharded, micro-batched executor: offers arrive in repeated
+:meth:`SynthesisEngine.ingest` calls (a merchant feed stream), clusters
+grow *incrementally* across batches, and only the clusters a batch
+touched are re-fused — by category shard, in parallel when a thread- or
+process-pool executor is plugged in.
+
+Compared with looping ``pipeline.synthesize()`` over a stream (which must
+re-run every stage over all offers seen so far to keep the product set
+current), the engine does O(batch) work per batch instead of O(total),
+reuses memoised text statistics (:mod:`repro.text.memo`), and maintains
+per-category TF-IDF statistics (:class:`repro.text.tfidf.IncrementalTfIdf`)
+without ever rebuilding them.
+
+Product identifiers are content-derived
+(:func:`repro.synthesis.pipeline.stable_product_id`), so the same cluster
+keeps the same id no matter how the stream was batched, and ids never
+collide across batches.
+
+Examples
+--------
+>>> # doctest-style sketch (see tests/test_runtime_engine.py for runnable use)
+>>> # engine = SynthesisEngine(catalog, correspondences, num_shards=8,
+>>> #                          executor="process")
+>>> # for batch in feed:
+>>> #     report = engine.ingest(batch)
+>>> # products = engine.products()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.extraction.extractor import WebPageAttributeExtractor
+from repro.matching.correspondence import CorrespondenceSet
+from repro.model.catalog import Catalog
+from repro.model.offers import Offer
+from repro.model.products import Product
+from repro.runtime.executors import (
+    ProcessPoolShardExecutor,
+    ShardExecutor,
+    resolve_executor,
+)
+from repro.runtime.sharding import shard_for_category
+from repro.synthesis.category_classifier import TitleCategoryClassifier
+from repro.synthesis.clustering import KeyAttributeClusterer, OfferCluster
+from repro.synthesis.fusion import CentroidValueFusion, MemoizedValueFusion
+from repro.synthesis.pipeline import ProductSynthesisPipeline, build_product_from_cluster
+from repro.synthesis.reconciliation import ReconciliationStats
+from repro.text.tfidf import IncrementalTfIdf
+
+__all__ = ["IngestReport", "EngineSnapshot", "SynthesisEngine"]
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`SynthesisEngine.ingest` call did."""
+
+    offers_in_batch: int = 0
+    #: Offers not seen in any earlier batch (the rest were deduplicated).
+    offers_new: int = 0
+    offers_duplicate: int = 0
+    #: New offers that carried a usable clustering key and joined a cluster.
+    offers_clustered: int = 0
+    #: New offers dropped for lack of a key-attribute value.
+    offers_without_key: int = 0
+    #: New offers dropped because no category could be assigned.
+    offers_uncategorised: int = 0
+    #: Clusters created or grown by this batch (and therefore re-fused).
+    clusters_touched: int = 0
+    #: Products created or refreshed by this batch.
+    products_refreshed: int = 0
+
+
+@dataclass
+class EngineSnapshot:
+    """A consistent view of the engine state after some ingests."""
+
+    products: List[Product]
+    num_clusters: int
+    offers_ingested: int
+    reconciliation_stats: ReconciliationStats
+    #: offer_id -> category assigned by the classifier (or carried in).
+    assigned_categories: Dict[str, str] = field(default_factory=dict)
+    #: category_id -> distinct value-token vocabulary size accumulated so far.
+    category_vocabulary: Dict[str, int] = field(default_factory=dict)
+
+    def num_products(self) -> int:
+        """Number of currently synthesized products."""
+        return len(self.products)
+
+
+@dataclass
+class _ClusterState:
+    """One cluster plus its cached fusion result."""
+
+    cluster: OfferCluster
+    product: Optional[Product] = None
+
+
+#: One executor payload: fuse these clusters with these schema attributes.
+_ShardTask = Tuple[List[Tuple[OfferCluster, List[str]]], object]
+
+
+def _fuse_shard(task: _ShardTask) -> List[Optional[Product]]:
+    """Fuse every (cluster, attribute-names) pair of one shard payload.
+
+    Module-level and pure so process-pool executors can pickle it; fusion
+    is deterministic, so all executors return identical products.
+    """
+    cluster_jobs, fusion = task
+    return [
+        build_product_from_cluster(cluster, attribute_names, fusion)
+        for cluster, attribute_names in cluster_jobs
+    ]
+
+
+class SynthesisEngine:
+    """Sharded, micro-batched, incrementally clustering synthesis runtime.
+
+    Parameters
+    ----------
+    catalog, correspondences, extractor, category_classifier, fusion,
+    min_cluster_size:
+        As for :class:`~repro.synthesis.pipeline.ProductSynthesisPipeline`,
+        whose stages the engine reuses.  ``min_cluster_size`` is applied at
+        product-emission time, so a cluster below the threshold simply has
+        no product *yet* and may still grow past it in a later batch.
+    num_shards:
+        Number of category shards; clusters never span shards.
+    track_category_statistics:
+        Maintain per-category :class:`~repro.text.tfidf.IncrementalTfIdf`
+        statistics over ingested values (exposed via
+        :meth:`category_statistics` and the snapshot).  Disable to shave
+        per-offer tokenisation off the hot path when the statistics are
+        not consumed.
+    executor:
+        ``"serial"`` (default), ``"thread"``, ``"process"``, or a
+        pre-built executor instance.  Executor choice never changes the
+        synthesized products, only the wall-clock time.
+    max_workers:
+        Worker count for pool executors (``None`` = library default).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        correspondences: CorrespondenceSet,
+        extractor: Optional[WebPageAttributeExtractor] = None,
+        category_classifier: Optional[TitleCategoryClassifier] = None,
+        clusterer: Optional[KeyAttributeClusterer] = None,
+        fusion: Optional[CentroidValueFusion] = None,
+        min_cluster_size: int = 1,
+        num_shards: int = 4,
+        executor: Union[str, ShardExecutor, None] = "serial",
+        max_workers: Optional[int] = None,
+        track_category_statistics: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self._pipeline = ProductSynthesisPipeline(
+            catalog=catalog,
+            correspondences=correspondences,
+            extractor=extractor,
+            category_classifier=category_classifier,
+            clusterer=clusterer,
+            fusion=fusion,
+        )
+        # A user-supplied clusterer may carry its own threshold, which the
+        # pipeline honours at cluster() time; honour it here too so engine
+        # and pipeline keep emitting identical products.
+        self._min_cluster_size = max(
+            min_cluster_size, getattr(self._pipeline.clusterer, "min_cluster_size", 1)
+        )
+        self._track_category_statistics = track_category_statistics
+        self._num_shards = num_shards
+        self._executor = resolve_executor(executor, max_workers=max_workers)
+        # Process workers get the plain fusion (shipping a memo there is
+        # dead weight: its updates never come back).  Serial and thread
+        # execution share this memo across batches, so unchanged
+        # attribute-value lists are selected once.  Either way the
+        # selected values are identical — the memo is transparent.
+        base_fusion = self._pipeline.fusion
+        self._worker_fusion: CentroidValueFusion = base_fusion
+        if not isinstance(self._executor, ProcessPoolShardExecutor):
+            self._worker_fusion = MemoizedValueFusion(base_fusion)
+
+        self._shards: List[Dict[Tuple[str, str], _ClusterState]] = [
+            {} for _ in range(num_shards)
+        ]
+        self._seen_offer_ids: set = set()
+        self._reconciliation_stats = ReconciliationStats()
+        self._assigned_categories: Dict[str, str] = {}
+        self._category_stats: Dict[str, IncrementalTfIdf] = {}
+
+    # -- streaming ingest ------------------------------------------------------
+
+    def ingest(self, offers: Sequence[Offer]) -> IngestReport:
+        """Absorb one micro-batch of offers and refresh affected products.
+
+        Re-ingesting an offer id that was already absorbed is a no-op
+        (idempotent streams: merchant feeds re-send their inventory), so
+        replaying a batch leaves the engine state byte-identical.
+        """
+        report = IngestReport(offers_in_batch=len(offers))
+        fresh: List[Offer] = []
+        for offer in offers:
+            # Marking ids seen *while filtering* also deduplicates repeats
+            # inside a single batch, not just across batches.
+            if offer.offer_id in self._seen_offer_ids:
+                continue
+            self._seen_offer_ids.add(offer.offer_id)
+            fresh.append(offer)
+        report.offers_new = len(fresh)
+        report.offers_duplicate = report.offers_in_batch - report.offers_new
+        if not fresh:
+            return report
+
+        categorised = self._pipeline._assign_categories(fresh)
+        extracted = self._extract_specifications(categorised)
+        reconciled, stats = self._pipeline.reconciler.reconcile_offers(extracted)
+        self._merge_reconciliation_stats(stats)
+        for offer in categorised:
+            if offer.category_id is not None:
+                self._assigned_categories[offer.offer_id] = offer.category_id
+
+        touched = self._route_to_clusters(reconciled, report)
+        report.clusters_touched = len(touched)
+        report.products_refreshed = self._refuse_clusters(touched)
+        return report
+
+    def _extract_specifications(self, offers: Sequence[Offer]) -> List[Offer]:
+        """Extract landing-page specifications for offers that need them.
+
+        Strictly per-offer: an offer that already carries a specification
+        keeps it verbatim, only empty ones are extracted.  (The batch
+        pipeline instead re-extracts a whole batch when any offer lacks a
+        specification — a per-call decision that would make engine output
+        depend on how the stream was micro-batched.)
+        """
+        extractor = self._pipeline.extractor
+        if extractor is None:
+            return list(offers)
+        return [
+            offer if len(offer.specification) > 0 else extractor.extract_offer(offer)
+            for offer in offers
+        ]
+
+    def _route_to_clusters(
+        self, reconciled: Sequence[Offer], report: IngestReport
+    ) -> List[Tuple[int, Tuple[str, str]]]:
+        """Append offers to their clusters; return the touched cluster keys."""
+        clusterer = self._pipeline.clusterer
+        touched: List[Tuple[int, Tuple[str, str]]] = []
+        touched_set = set()
+        for offer in reconciled:
+            if offer.category_id is None:
+                report.offers_uncategorised += 1
+                continue
+            key = clusterer.cluster_key(offer)
+            if key is None:
+                report.offers_without_key += 1
+                continue
+            self._update_category_stats(offer)
+            shard_index = shard_for_category(offer.category_id, self._num_shards)
+            cluster_id = (offer.category_id, key)
+            state = self._shards[shard_index].get(cluster_id)
+            if state is None:
+                state = _ClusterState(
+                    cluster=OfferCluster(category_id=offer.category_id, key=key)
+                )
+                self._shards[shard_index][cluster_id] = state
+            state.cluster.offers.append(offer)
+            report.offers_clustered += 1
+            if (shard_index, cluster_id) not in touched_set:
+                touched_set.add((shard_index, cluster_id))
+                touched.append((shard_index, cluster_id))
+        return touched
+
+    def _refuse_clusters(self, touched: Sequence[Tuple[int, Tuple[str, str]]]) -> int:
+        """Re-fuse the touched clusters (sharded, via the executor)."""
+        by_shard: Dict[int, List[Tuple[str, str]]] = {}
+        for shard_index, cluster_id in touched:
+            by_shard.setdefault(shard_index, []).append(cluster_id)
+
+        payloads: List[_ShardTask] = []
+        payload_shards: List[int] = []
+        payload_keys: List[List[Tuple[str, str]]] = []
+        for shard_index in sorted(by_shard):
+            jobs: List[Tuple[OfferCluster, List[str]]] = []
+            keys: List[Tuple[str, str]] = []
+            for cluster_id in by_shard[shard_index]:
+                state = self._shards[shard_index][cluster_id]
+                if state.cluster.size() < self._min_cluster_size:
+                    state.product = None
+                    continue
+                jobs.append(
+                    (state.cluster, self._pipeline.attribute_names_for(state.cluster))
+                )
+                keys.append(cluster_id)
+            if jobs:
+                payloads.append((jobs, self._worker_fusion))
+                payload_shards.append(shard_index)
+                payload_keys.append(keys)
+
+        refreshed = 0
+        results = self._executor.map_shards(_fuse_shard, payloads)
+        for shard_index, keys, products in zip(payload_shards, payload_keys, results):
+            for cluster_id, product in zip(keys, products):
+                state = self._shards[shard_index][cluster_id]
+                state.product = product
+                if product is not None:
+                    refreshed += 1
+        return refreshed
+
+    def _update_category_stats(self, offer: Offer) -> None:
+        if not self._track_category_statistics:
+            return
+        category_id = offer.category_id or ""
+        stats = self._category_stats.get(category_id)
+        if stats is None:
+            stats = IncrementalTfIdf()
+            self._category_stats[category_id] = stats
+        for pair in offer.specification:
+            stats.add(pair.value)
+
+    def _merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
+        total = self._reconciliation_stats
+        total.offers_processed += stats.offers_processed
+        total.pairs_seen += stats.pairs_seen
+        total.pairs_mapped += stats.pairs_mapped
+        total.pairs_discarded += stats.pairs_discarded
+
+    # -- views ----------------------------------------------------------------
+
+    def products(self) -> List[Product]:
+        """All current synthesized products.
+
+        Sorted by (category, cluster key), so the listing is deterministic
+        regardless of shard count, executor, or how the stream was batched.
+        """
+        collected: List[Tuple[Tuple[str, str], Product]] = []
+        for shard in self._shards:
+            for cluster_id, state in shard.items():
+                if state.product is not None:
+                    collected.append((cluster_id, state.product))
+        collected.sort(key=lambda item: item[0])
+        return [product for _, product in collected]
+
+    def num_clusters(self) -> int:
+        """Number of clusters tracked so far (including sub-threshold ones)."""
+        return sum(len(shard) for shard in self._shards)
+
+    def category_statistics(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        """The incremental TF-IDF statistics of one category (or ``None``)."""
+        return self._category_stats.get(category_id)
+
+    def snapshot(self) -> EngineSnapshot:
+        """A consistent summary of everything ingested so far."""
+        return EngineSnapshot(
+            products=self.products(),
+            num_clusters=self.num_clusters(),
+            offers_ingested=len(self._seen_offer_ids),
+            # Copy: a snapshot must not keep mutating with later ingests.
+            reconciliation_stats=replace(self._reconciliation_stats),
+            assigned_categories=dict(self._assigned_categories),
+            category_vocabulary={
+                category_id: stats.vocabulary_size
+                for category_id, stats in sorted(self._category_stats.items())
+            },
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor workers (the engine stays usable afterwards)."""
+        self._executor.close()
+
+    def __enter__(self) -> "SynthesisEngine":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, traceback: object) -> None:
+        self.close()

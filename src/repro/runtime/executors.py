@@ -1,0 +1,126 @@
+"""Pluggable shard executors for the run-time engine.
+
+The engine hands each executor a pure function plus one payload per
+shard; the executor returns the results **in payload order**, which is
+what lets serial, thread-pool and process-pool execution produce
+byte-identical engine output — the only difference is wall-clock time.
+
+``ProcessPoolShardExecutor`` requires the mapped function and payloads to
+be picklable (the engine's shard-fusion function is a module-level
+function over plain dataclasses, so it is).  Pools are created lazily on
+first use and reused across ``ingest`` calls; call :meth:`close` (or use
+the engine as a context manager) to release workers.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadPoolShardExecutor",
+    "ProcessPoolShardExecutor",
+    "ShardExecutor",
+    "resolve_executor",
+]
+
+
+class SerialExecutor:
+    """Run shard tasks one after another in the calling thread."""
+
+    name = "serial"
+
+    def map_shards(self, function: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
+        """Apply ``function`` to each payload, preserving order."""
+        return [function(payload) for payload in payloads]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class _PoolExecutorBase:
+    """Shared lazy-pool plumbing for thread and process executors."""
+
+    name = "pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._max_workers = max_workers
+        self._pool: Optional[concurrent.futures.Executor] = None
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        raise NotImplementedError
+
+    def map_shards(self, function: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
+        """Apply ``function`` to each payload concurrently, preserving order."""
+        if len(payloads) <= 1:
+            # Not worth the dispatch overhead — and keeps single-shard
+            # engines usable even where worker processes cannot start.
+            return [function(payload) for payload in payloads]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(function, payloads))
+
+    def close(self) -> None:
+        """Shut the pool down (it is re-created lazily if used again)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class ThreadPoolShardExecutor(_PoolExecutorBase):
+    """Fan shards out over a thread pool.
+
+    Threads share the in-process memo caches, so this executor benefits
+    most from warm caches; CPU-bound fusion still contends on the GIL.
+    """
+
+    name = "thread"
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ThreadPoolExecutor(max_workers=self._max_workers)
+
+
+class ProcessPoolShardExecutor(_PoolExecutorBase):
+    """Fan shards out over a process pool (true CPU parallelism)."""
+
+    name = "process"
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self._max_workers)
+
+
+#: Anything accepted by :func:`resolve_executor`.
+ShardExecutor = Union[SerialExecutor, ThreadPoolShardExecutor, ProcessPoolShardExecutor]
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadPoolShardExecutor,
+    "process": ProcessPoolShardExecutor,
+}
+
+
+def resolve_executor(
+    executor: Union[str, ShardExecutor, None],
+    max_workers: Optional[int] = None,
+) -> ShardExecutor:
+    """Turn an executor name (or instance, or ``None``) into an executor.
+
+    ``None`` and ``"serial"`` give the serial executor; ``"thread"`` and
+    ``"process"`` give the corresponding pool executor.
+    """
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, str):
+        try:
+            factory = _EXECUTORS[executor]
+        except KeyError:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {sorted(_EXECUTORS)}"
+            ) from None
+        if factory is SerialExecutor:
+            return SerialExecutor()
+        return factory(max_workers=max_workers)
+    return executor

@@ -17,7 +17,8 @@ from repro.learning.naive_bayes import MultinomialNaiveBayes
 from repro.model.catalog import Catalog
 from repro.model.matches import MatchStore
 from repro.model.offers import Offer
-from repro.text.tokenize import sliding_ngrams, tokenize_title
+from repro.text.memo import cached_tokenize_title
+from repro.text.tokenize import sliding_ngrams
 
 __all__ = ["TitleCategoryClassifier"]
 
@@ -39,7 +40,7 @@ class TitleCategoryClassifier:
     # -- features -----------------------------------------------------------
 
     def _features(self, title: str) -> List[str]:
-        tokens = tokenize_title(title)
+        tokens = cached_tokenize_title(title)
         features = list(tokens)
         if self.use_bigrams:
             features.extend(sliding_ngrams(tokens, 2))

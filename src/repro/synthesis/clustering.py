@@ -20,9 +20,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.model.catalog import Catalog
 from repro.model.offers import Offer
-from repro.text.normalize import normalize_key_value
+from repro.text.memo import cached_normalize_key_value, cached_tokenize_title
 from repro.text.setsim import jaccard_coefficient
-from repro.text.tokenize import tokenize_title
 
 __all__ = ["OfferCluster", "KeyAttributeClusterer", "TitleClusterer"]
 
@@ -73,6 +72,11 @@ class KeyAttributeClusterer:
         self._key_attributes = tuple(key_attributes)
         self._min_cluster_size = min_cluster_size
 
+    @property
+    def min_cluster_size(self) -> int:
+        """Smallest cluster size that yields a product."""
+        return self._min_cluster_size
+
     def _keys_for_category(self, category_id: str) -> Tuple[str, ...]:
         if self._catalog.has_schema(category_id):
             declared = self._catalog.schema_for(category_id).key_attribute_names()
@@ -87,7 +91,7 @@ class KeyAttributeClusterer:
         for key_attribute in self._keys_for_category(offer.category_id):
             value = offer.get(key_attribute)
             if value:
-                normalised = normalize_key_value(value)
+                normalised = cached_normalize_key_value(value)
                 if normalised:
                     return f"{key_attribute}:{normalised}"
         return None
@@ -144,7 +148,7 @@ class TitleClusterer:
         for offer in offers:
             if offer.category_id is None:
                 continue
-            tokens = frozenset(tokenize_title(offer.title))
+            tokens = frozenset(cached_tokenize_title(offer.title))
             placed = False
             for cluster, representative in zip(clusters, representatives):
                 if cluster.category_id != offer.category_id:

@@ -15,16 +15,20 @@ value per catalog attribute:
 from __future__ import annotations
 
 import math
+import threading
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.model.attributes import Specification
-from repro.model.offers import Offer
 from repro.synthesis.clustering import OfferCluster
-from repro.text.normalize import normalize_value
-from repro.text.tokenize import tokenize_value
+from repro.text.memo import cached_normalize_value, cached_tokenize_value
 
-__all__ = ["MajorityValueFusion", "CentroidValueFusion", "fuse_cluster"]
+__all__ = [
+    "MajorityValueFusion",
+    "CentroidValueFusion",
+    "MemoizedValueFusion",
+    "fuse_cluster",
+]
 
 
 class MajorityValueFusion:
@@ -37,7 +41,7 @@ class MajorityValueFusion:
         counts: Counter = Counter()
         originals: Dict[str, str] = {}
         for value in values:
-            normalised = normalize_value(value)
+            normalised = cached_normalize_value(value)
             if not normalised:
                 continue
             counts[normalised] += 1
@@ -62,11 +66,11 @@ class CentroidValueFusion:
         """The centroid-nearest value of ``values``."""
         if not values:
             return None
-        tokenised: List[Tuple[str, List[str]]] = []
+        tokenised: List[Tuple[str, Sequence[str]]] = []
         vocabulary: List[str] = []
         seen_terms = set()
         for value in values:
-            tokens = tokenize_value(value)
+            tokens = cached_tokenize_value(value)
             if not tokens:
                 continue
             tokenised.append((value, tokens))
@@ -99,9 +103,71 @@ class CentroidValueFusion:
 
         ranked = sorted(
             vectors,
-            key=lambda item: (distance(item[1]), -sum(item[1]), normalize_value(item[0])),
+            key=lambda item: (distance(item[1]), -sum(item[1]), cached_normalize_value(item[0])),
         )
         return ranked[0][0]
+
+
+class MemoizedValueFusion:
+    """Cache ``select`` results of a base fusion strategy.
+
+    When the run-time engine re-fuses a cluster that grew by one offer,
+    attributes the new offer does *not* carry see exactly the same
+    candidate-value list as before — the memo turns those re-selections
+    into a dictionary lookup.  Selection is a pure function of the value
+    list, so caching is transparent: outputs are identical with or
+    without the wrapper.
+
+    The cache is a bounded FIFO (insertion-ordered dict); fusion value
+    lists are small, so even the full cache stays modest in memory.  A
+    lock guards the cache, so one instance can be shared by thread-pool
+    shard workers; pickling (process-pool payloads) drops the cache and
+    recreates the lock on the other side.
+    """
+
+    def __init__(
+        self,
+        base: Optional[CentroidValueFusion] = None,
+        maxsize: int = 1 << 16,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._base = base or CentroidValueFusion()
+        self._maxsize = maxsize
+        self._cache: "Dict[Tuple[str, ...], Optional[str]]" = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def base(self) -> CentroidValueFusion:
+        """The wrapped fusion strategy."""
+        return self._base
+
+    def select(self, values: Sequence[str]) -> Optional[str]:
+        """The base strategy's selection, cached on the exact value tuple."""
+        key = tuple(values)
+        with self._lock:
+            if key in self._cache:
+                self.hits += 1
+                return self._cache[key]
+            self.misses += 1
+        selected = self._base.select(values)
+        with self._lock:
+            if len(self._cache) >= self._maxsize:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = selected
+        return selected
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 def fuse_cluster(

@@ -7,8 +7,9 @@ value fusion to turn unmatched offers into new structured products.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.extraction.extractor import ExtractionResult, WebPageAttributeExtractor
 from repro.matching.correspondence import CorrespondenceSet
@@ -20,7 +21,51 @@ from repro.synthesis.clustering import KeyAttributeClusterer, OfferCluster
 from repro.synthesis.fusion import CentroidValueFusion, fuse_cluster
 from repro.synthesis.reconciliation import ReconciliationStats, SchemaReconciler
 
-__all__ = ["SynthesisResult", "ProductSynthesisPipeline"]
+__all__ = [
+    "SynthesisResult",
+    "ProductSynthesisPipeline",
+    "stable_product_id",
+    "build_product_from_cluster",
+]
+
+
+def stable_product_id(category_id: str, cluster_key: str) -> str:
+    """A stable, collision-free identifier for a synthesized product.
+
+    Derived from the cluster identity (category + clustering key), so the
+    same cluster — whether it was built in one monolithic ``synthesize()``
+    call or grew across several engine micro-batches — always yields the
+    same product id, and clusters from different batches can never
+    collide.  (The previous ``synth-{index:06d}`` scheme restarted at 1 on
+    every call, so two batches produced colliding ids.)
+    """
+    digest = hashlib.sha1(f"{category_id}|{cluster_key}".encode("utf-8")).hexdigest()
+    return f"synth-{digest[:12]}"
+
+
+def build_product_from_cluster(
+    cluster: OfferCluster,
+    attribute_names: Sequence[str],
+    fusion: CentroidValueFusion,
+) -> Optional[Product]:
+    """Fuse one cluster into a product, or ``None`` when nothing survives.
+
+    Shared by the one-shot pipeline and the streaming engine so both
+    construct byte-identical products for the same cluster.
+    """
+    specification = fuse_cluster(cluster, attribute_names, fusion=fusion)
+    if len(specification) == 0:
+        return None
+    # The shortest title tends to be the cleanest merchant phrasing.
+    titles = [offer.title for offer in cluster.offers if offer.title]
+    title = min(titles, key=len) if titles else ""
+    return Product(
+        product_id=stable_product_id(cluster.category_id, cluster.key),
+        category_id=cluster.category_id,
+        title=title,
+        specification=specification,
+        source_offer_ids=tuple(cluster.offer_ids()),
+    )
 
 
 @dataclass
@@ -134,28 +179,12 @@ class ProductSynthesisPipeline:
         clusters = self.clusterer.cluster(reconciled)
 
         products: List[Product] = []
-        for index, cluster in enumerate(clusters, start=1):
-            schema = (
-                self.catalog.schema_for(cluster.category_id)
-                if self.catalog.has_schema(cluster.category_id)
-                else None
+        for cluster in clusters:
+            product = build_product_from_cluster(
+                cluster, self.attribute_names_for(cluster), self.fusion
             )
-            attribute_names = (
-                schema.attribute_names() if schema is not None else self._observed_names(cluster)
-            )
-            specification = fuse_cluster(cluster, attribute_names, fusion=self.fusion)
-            if len(specification) == 0:
-                continue
-            title = self._product_title(cluster)
-            products.append(
-                Product(
-                    product_id=f"synth-{index:06d}",
-                    category_id=cluster.category_id,
-                    title=title,
-                    specification=specification,
-                    source_offer_ids=tuple(cluster.offer_ids()),
-                )
-            )
+            if product is not None:
+                products.append(product)
 
         assigned = {
             offer.offer_id: offer.category_id
@@ -172,6 +201,16 @@ class ProductSynthesisPipeline:
 
     # -- helpers ---------------------------------------------------------------------
 
+    def attribute_names_for(self, cluster: OfferCluster) -> List[str]:
+        """The catalog attributes to fuse for a cluster.
+
+        The category schema when one exists; otherwise the attribute names
+        observed across the cluster's offers, in first-seen order.
+        """
+        if self.catalog.has_schema(cluster.category_id):
+            return self.catalog.schema_for(cluster.category_id).attribute_names()
+        return self._observed_names(cluster)
+
     @staticmethod
     def _observed_names(cluster: OfferCluster) -> List[str]:
         names: List[str] = []
@@ -182,11 +221,3 @@ class ProductSynthesisPipeline:
                     seen.add(name)
                     names.append(name)
         return names
-
-    @staticmethod
-    def _product_title(cluster: OfferCluster) -> str:
-        # The shortest title tends to be the cleanest merchant phrasing.
-        titles = [offer.title for offer in cluster.offers if offer.title]
-        if not titles:
-            return ""
-        return min(titles, key=len)

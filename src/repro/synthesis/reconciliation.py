@@ -14,7 +14,7 @@ attributes and the noise introduced by the simple web-page extractor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.matching.correspondence import CorrespondenceSet
 from repro.model.attributes import Specification

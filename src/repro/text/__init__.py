@@ -40,7 +40,8 @@ from repro.text.string_metrics import (
     ngram_similarity,
     token_set_similarity,
 )
-from repro.text.tfidf import SoftTfIdf, TfIdfVectorizer
+from repro.text.memo import clear_text_caches, text_cache_info
+from repro.text.tfidf import IncrementalTfIdf, SoftTfIdf, TfIdfVectorizer
 from repro.text.tokenize import tokenize, tokenize_title, tokenize_value
 
 __all__ = [
@@ -60,8 +61,11 @@ __all__ = [
     "levenshtein_similarity",
     "ngram_similarity",
     "token_set_similarity",
+    "IncrementalTfIdf",
     "SoftTfIdf",
     "TfIdfVectorizer",
+    "clear_text_caches",
+    "text_cache_info",
     "tokenize",
     "tokenize_title",
     "tokenize_value",

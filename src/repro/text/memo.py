@@ -1,0 +1,110 @@
+"""Shared memoisation for the hot text primitives.
+
+The run-time engine (:mod:`repro.runtime`) feeds the same merchant
+vocabulary through normalisation and tokenisation over and over again:
+attribute names repeat across every offer of a merchant, key-attribute
+values repeat across micro-batches, and fusion re-tokenises candidate
+values each time a cluster is re-fused.  The caches below turn those
+repeated calls into dictionary lookups while keeping the underlying
+functions (:mod:`repro.text.normalize`, :mod:`repro.text.tokenize`) pure
+and cache-free for callers that do not want the shared state.
+
+All cached tokenisers return **tuples** (hashable, safely shareable);
+callers that need a list should wrap the result in ``list(...)``.
+
+The caches are bounded LRU caches, so long-running engines do not grow
+without limit, and :func:`clear_text_caches` resets everything (used by
+benchmarks to measure cold-cache behaviour).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.text.normalize import (
+    normalize_attribute_name,
+    normalize_key_value,
+    normalize_value,
+)
+from repro.text.tokenize import tokenize_attribute_name, tokenize_title, tokenize_value
+
+__all__ = [
+    "cached_normalize_attribute_name",
+    "cached_normalize_key_value",
+    "cached_normalize_value",
+    "cached_tokenize_value",
+    "cached_tokenize_title",
+    "cached_tokenize_attribute_name",
+    "clear_text_caches",
+    "text_cache_info",
+]
+
+#: Upper bound per cache; generous for shopping-domain vocabularies while
+#: keeping worst-case memory in the tens of megabytes.
+_CACHE_SIZE = 1 << 17
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_normalize_attribute_name(name: str) -> str:
+    """Memoised :func:`repro.text.normalize.normalize_attribute_name`."""
+    return normalize_attribute_name(name)
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_normalize_key_value(value: str) -> str:
+    """Memoised :func:`repro.text.normalize.normalize_key_value`."""
+    return normalize_key_value(value)
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_normalize_value(value: str) -> str:
+    """Memoised :func:`repro.text.normalize.normalize_value`."""
+    return normalize_value(value)
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_tokenize_value(value: str) -> Tuple[str, ...]:
+    """Memoised :func:`repro.text.tokenize.tokenize_value` (as a tuple)."""
+    return tuple(tokenize_value(value))
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_tokenize_title(title: str) -> Tuple[str, ...]:
+    """Memoised :func:`repro.text.tokenize.tokenize_title` (as a tuple)."""
+    return tuple(tokenize_title(title))
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_tokenize_attribute_name(name: str) -> Tuple[str, ...]:
+    """Memoised :func:`repro.text.tokenize.tokenize_attribute_name` (as a tuple)."""
+    return tuple(tokenize_attribute_name(name))
+
+
+_ALL_CACHES = (
+    cached_normalize_attribute_name,
+    cached_normalize_key_value,
+    cached_normalize_value,
+    cached_tokenize_value,
+    cached_tokenize_title,
+    cached_tokenize_attribute_name,
+)
+
+
+def clear_text_caches() -> None:
+    """Empty every shared text cache (cold-start measurement, tests)."""
+    for cache in _ALL_CACHES:
+        cache.cache_clear()
+
+
+def text_cache_info() -> Dict[str, Dict[str, int]]:
+    """Hit/miss statistics per cache, keyed by function name."""
+    info: Dict[str, Dict[str, int]] = {}
+    for cache in _ALL_CACHES:
+        stats = cache.cache_info()
+        info[cache.__wrapped__.__name__] = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "size": stats.currsize,
+        }
+    return info

@@ -14,43 +14,67 @@ Jaro-Winkler similarity exceeds a threshold.  This module provides:
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.text.setsim import cosine_similarity
 from repro.text.string_metrics import jaro_winkler_similarity
 from repro.text.tokenize import tokenize_value
 
-__all__ = ["TfIdfVectorizer", "SoftTfIdf"]
+__all__ = ["IncrementalTfIdf", "TfIdfVectorizer", "SoftTfIdf"]
 
 
-class TfIdfVectorizer:
-    """Compute sparse TF-IDF vectors over a corpus of short strings.
+class IncrementalTfIdf:
+    """Updatable TF-IDF statistics over a growing corpus of short strings.
 
-    The corpus is supplied up front (one "document" per string — typically
-    one attribute value per document); IDF statistics are frozen at
-    construction time.  Unknown tokens at query time receive the maximum
-    IDF, which is the conventional smoothing for out-of-vocabulary terms.
+    Unlike :class:`TfIdfVectorizer`, which freezes its IDF table at
+    construction time, this class keeps raw document frequencies and
+    derives IDF values on demand, so documents can be appended at any
+    point (``add`` / ``extend``) without rebuilding anything — the
+    statistics the run-time engine maintains per category across
+    micro-batches.  Two instances built on disjoint corpus halves can be
+    combined with :meth:`merge`, which is what lets sharded ingestion
+    compute statistics in parallel and still agree with a serial pass.
+
+    Unknown tokens at query time receive the maximum IDF, the conventional
+    smoothing for out-of-vocabulary terms.
 
     Examples
     --------
-    >>> vec = TfIdfVectorizer(["Seagate Barracuda", "Seagate Momentus", "WD Raptor"])
-    >>> weights = vec.transform("Seagate Barracuda")
-    >>> weights["barracuda"] > weights["seagate"]
+    >>> stats = IncrementalTfIdf(["Seagate Barracuda"])
+    >>> stats.extend(["Seagate Momentus", "WD Raptor"])
+    >>> stats.num_documents
+    3
+    >>> stats.idf("seagate") < stats.idf("raptor")
     True
     """
 
-    def __init__(self, corpus: Iterable[str]) -> None:
-        documents = [tokenize_value(text) for text in corpus]
-        self._num_documents = len(documents)
-        document_frequency: Dict[str, int] = {}
-        for tokens in documents:
-            for token in set(tokens):
-                document_frequency[token] = document_frequency.get(token, 0) + 1
-        self._idf: Dict[str, float] = {
-            token: self._idf_value(frequency)
-            for token, frequency in document_frequency.items()
-        }
-        self._max_idf = self._idf_value(1) if self._num_documents else 1.0
+    def __init__(self, corpus: Iterable[str] = ()) -> None:
+        self._num_documents = 0
+        self._document_frequency: Dict[str, int] = {}
+        self.extend(corpus)
+
+    # -- updates ---------------------------------------------------------------
+
+    def add(self, text: str) -> None:
+        """Account one document's tokens into the statistics."""
+        self._num_documents += 1
+        for token in set(tokenize_value(text)):
+            self._document_frequency[token] = self._document_frequency.get(token, 0) + 1
+
+    def extend(self, corpus: Iterable[str]) -> None:
+        """Account a batch of documents into the statistics."""
+        for text in corpus:
+            self.add(text)
+
+    def merge(self, other: "IncrementalTfIdf") -> None:
+        """Fold another statistics object (built on disjoint documents) in."""
+        self._num_documents += other._num_documents
+        for token, frequency in other._document_frequency.items():
+            self._document_frequency[token] = (
+                self._document_frequency.get(token, 0) + frequency
+            )
+
+    # -- statistics ------------------------------------------------------------
 
     def _idf_value(self, document_frequency: int) -> float:
         # Smoothed IDF; never zero so every token contributes a little.
@@ -61,9 +85,21 @@ class TfIdfVectorizer:
         """Number of documents the IDF statistics were computed from."""
         return self._num_documents
 
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens observed so far."""
+        return len(self._document_frequency)
+
+    def document_frequency(self, token: str) -> int:
+        """How many documents ``token`` appeared in (0 when unseen)."""
+        return self._document_frequency.get(token, 0)
+
     def idf(self, token: str) -> float:
         """The (smoothed) inverse document frequency of ``token``."""
-        return self._idf.get(token, self._max_idf)
+        frequency = self._document_frequency.get(token)
+        if frequency is None:
+            return self._idf_value(1) if self._num_documents else 1.0
+        return self._idf_value(frequency)
 
     def transform(self, text: str) -> Dict[str, float]:
         """Return the L2-normalised TF-IDF vector of ``text``."""
@@ -85,6 +121,54 @@ class TfIdfVectorizer:
     def similarity(self, a: str, b: str) -> float:
         """Plain TF-IDF cosine similarity between two strings."""
         return cosine_similarity(self.transform(a), self.transform(b))
+
+
+class TfIdfVectorizer(IncrementalTfIdf):
+    """Frozen-corpus TF-IDF vectors (the historical batch-mode interface).
+
+    The corpus is supplied up front (one "document" per string — typically
+    one attribute value per document).  The class is a thin freeze over
+    :class:`IncrementalTfIdf`: the statistics are identical, only the
+    contract differs (no post-construction updates), which keeps the
+    offline DUMAS baseline and the run-time engine on one implementation.
+
+    Examples
+    --------
+    >>> vec = TfIdfVectorizer(["Seagate Barracuda", "Seagate Momentus", "WD Raptor"])
+    >>> weights = vec.transform("Seagate Barracuda")
+    >>> weights["barracuda"] > weights["seagate"]
+    True
+    """
+
+    def __init__(self, corpus: Iterable[str]) -> None:
+        self._frozen = False
+        super().__init__(corpus)
+        self._frozen = True
+        # Freezing lets IDF values be tabulated once instead of recomputed
+        # per lookup — transform() is the SoftTFIDF/DUMAS hot path.
+        self._idf_table: Dict[str, float] = {
+            token: self._idf_value(frequency)
+            for token, frequency in self._document_frequency.items()
+        }
+        self._default_idf = self._idf_value(1) if self._num_documents else 1.0
+
+    def _frozen_error(self) -> TypeError:
+        return TypeError(
+            "TfIdfVectorizer statistics are frozen at construction time; "
+            "use IncrementalTfIdf for updatable statistics"
+        )
+
+    def add(self, text: str) -> None:
+        if self._frozen:
+            raise self._frozen_error()
+        super().add(text)
+
+    def merge(self, other: IncrementalTfIdf) -> None:
+        raise self._frozen_error()
+
+    def idf(self, token: str) -> float:
+        """The (smoothed) inverse document frequency of ``token``."""
+        return self._idf_table.get(token, self._default_idf)
 
 
 class SoftTfIdf:

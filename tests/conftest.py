@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.corpus.config import CorpusConfig, CorpusPreset
+from repro.corpus.config import CorpusPreset
 from repro.corpus.generator import CorpusGenerator
 from repro.evaluation.oracle import EvaluationOracle
 from repro.experiments.harness import ExperimentHarness

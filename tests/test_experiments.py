@@ -13,7 +13,7 @@ from repro.experiments.figures_common import (
     filter_to_categories,
     reference_coverage_for,
 )
-from repro.experiments.harness import ExperimentHarness, get_harness
+from repro.experiments.harness import get_harness
 
 
 class TestHarness:
