@@ -54,8 +54,12 @@ def test_bench_ablation_training_set_construction(benchmark, harness):
     # The oracle-trained classifier is the upper bound; the automatic one
     # must retain the bulk of its high-precision coverage (the paper's
     # justification for fully automated training).
-    assert automatic_series.coverage_at_precision(0.9) >= 0.75 * oracle_series.coverage_at_precision(0.9)
-    assert automatic_series.coverage_at_precision(0.8) >= 0.75 * oracle_series.coverage_at_precision(0.8)
+    assert automatic_series.coverage_at_precision(0.9) >= 0.75 * (
+        oracle_series.coverage_at_precision(0.9)
+    )
+    assert automatic_series.coverage_at_precision(0.8) >= 0.75 * (
+        oracle_series.coverage_at_precision(0.8)
+    )
 
     print()
     print(

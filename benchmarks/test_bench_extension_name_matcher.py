@@ -33,8 +33,12 @@ def test_bench_extension_name_augmented_features(benchmark, harness):
     # Same candidate space; the name feature must not hurt high-precision
     # coverage, and usually helps (the paper's conjecture).
     assert name_augmented.max_coverage() == instance_only.max_coverage()
-    assert name_augmented.coverage_at_precision(0.9) >= 0.95 * instance_only.coverage_at_precision(0.9)
-    assert name_augmented.coverage_at_precision(0.8) >= 0.95 * instance_only.coverage_at_precision(0.8)
+    assert name_augmented.coverage_at_precision(0.9) >= 0.95 * (
+        instance_only.coverage_at_precision(0.9)
+    )
+    assert name_augmented.coverage_at_precision(0.8) >= 0.95 * (
+        instance_only.coverage_at_precision(0.8)
+    )
 
     print()
     print(

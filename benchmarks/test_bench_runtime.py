@@ -1,19 +1,27 @@
-"""Throughput benchmark for the streaming runtime engine (ISSUE 1 tentpole).
+"""Throughput benchmark for the streaming runtime engine.
 
 Feeds a 10k-offer synthetic stream through the micro-batched
 :class:`~repro.runtime.SynthesisEngine` and through the only streaming
 strategy the one-shot pipeline supports (re-synthesizing the accumulated
 stream after every batch), asserting the engine's contract:
 
-* process-pool engine >= 3x faster than the looped pipeline;
+* process-pool engine >= 2.5x faster than the looped pipeline (the
+  stream is feed-ordered since ISSUE 2, so clusters grow across batches
+  and the engine re-fuses them repeatedly — a harder workload than the
+  product-adjacent stream PR 1's >= 3x was calibrated on);
 * serial and parallel executors produce byte-identical products;
-* engine products match the monolithic pipeline run exactly.
+* engine products match the monolithic pipeline run exactly;
+* the delta re-fusion protocol ships measurably fewer offers to process
+  workers than full-state shipping (ISSUE 2 tentpole);
+* throughput does not regress by more than 20% against the committed
+  ``BENCH_runtime.json`` (regression guard).
 
 Writes ``BENCH_runtime.json`` (machine-readable result) next to the repo
 root, or into ``$BENCH_OUTPUT_DIR`` when set — CI uploads it as an
 artifact.
 """
 
+import json
 import os
 
 from conftest import run_once
@@ -26,15 +34,36 @@ from repro.experiments.harness import ExperimentHarness
 STREAM_OFFERS = 10_000
 STREAM_BATCHES = 10
 
+#: The regression guard fails when throughput drops below this fraction
+#: of the committed run.  Wall-clock is machine-dependent: the committed
+#: JSON is the reference for the hardware it was produced on, so after a
+#: hardware change regenerate it (run this benchmark once and commit the
+#: refreshed BENCH_runtime.json) rather than chasing a phantom regression.
+THROUGHPUT_GUARD = 0.8
+
+
+def _repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 
 def _output_path() -> str:
     out_dir = os.environ.get("BENCH_OUTPUT_DIR")
     if out_dir is None:
-        out_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        out_dir = _repo_root()
     return os.path.join(out_dir, "BENCH_runtime.json")
 
 
+def _committed_result() -> dict:
+    """The committed benchmark JSON (read before this run overwrites it)."""
+    committed_path = os.path.join(_repo_root(), "BENCH_runtime.json")
+    if not os.path.exists(committed_path):
+        return {}
+    with open(committed_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def test_bench_runtime_throughput(benchmark):
+    committed = _committed_result()
     harness = ExperimentHarness(
         CorpusPreset.SMALL.config(seed=2011).scaled(STREAM_OFFERS / 1200.0)
     )
@@ -59,8 +88,28 @@ def test_bench_runtime_throughput(benchmark):
     assert result.num_offers == STREAM_OFFERS
     assert result.products_identical
     assert result.num_products > 1_000
-    # The tentpole claim: >= 3x over the looped per-run baseline.
-    assert result.speedup >= 3.0
+    # The headline claim: >= 2.5x over the looped per-run baseline on
+    # the feed-ordered stream (see module docstring; PR 1 asserted 3x on
+    # the easier product-adjacent ordering).
+    assert result.speedup >= 2.5
+    # The ISSUE 2 tentpole claim: the delta protocol cuts process-executor
+    # per-batch payloads vs. full-state shipping.  Offer counts are
+    # deterministic (unlike wall-clock), so the guard is exact.
+    assert result.offers_shipped_full is not None
+    assert result.offers_shipped_delta is not None
+    assert result.offers_shipped_delta < result.offers_shipped_full
+    assert result.delta_payload_ratio <= 0.75, (
+        f"delta protocol shipped {result.offers_shipped_delta} offers vs "
+        f"{result.offers_shipped_full} full-state — expected a >= 25% cut"
+    )
+    # Regression guard: compare against the committed BENCH_runtime.json.
+    committed_throughput = committed.get("engine_offers_per_second")
+    if committed_throughput:
+        assert result.engine_offers_per_second >= THROUGHPUT_GUARD * committed_throughput, (
+            f"throughput regressed more than 20%: "
+            f"{result.engine_offers_per_second:.1f} offers/s now vs "
+            f"{committed_throughput:.1f} committed"
+        )
 
 
 def test_bench_runtime_executor_parity(benchmark):
@@ -86,3 +135,43 @@ def test_bench_runtime_executor_parity(benchmark):
 
     fingerprints = run_once(benchmark, run_all_executors)
     assert fingerprints["serial"] == fingerprints["thread"] == fingerprints["process"]
+
+
+def test_bench_runtime_sqlite_store(benchmark, tmp_path):
+    """The durable store path: fresh run, then an interrupted-and-resumed
+    run against the same file, both byte-identical to the baselines."""
+    harness = ExperimentHarness(CorpusPreset.SMALL.config(seed=2011))
+    _ = harness.unmatched_offers
+    _ = harness.offline_result
+    _ = harness.category_classifier
+    store_path = str(tmp_path / "bench-catalog.sqlite3")
+
+    def run_sqlite():
+        fresh = runtime_bench.run(
+            num_offers=1_000,
+            num_batches=5,
+            executor="process",
+            num_shards=4,
+            harness=harness,
+            store="sqlite",
+            store_path=store_path,
+        )
+        assert fresh.products_identical
+        # Resume against the already-populated store: the whole stream is
+        # deduplicated, so products must come out unchanged.
+        resumed = runtime_bench.run(
+            num_offers=1_000,
+            num_batches=5,
+            executor="process",
+            num_shards=4,
+            harness=harness,
+            store="sqlite",
+            store_path=store_path,
+            resume=True,
+        )
+        assert resumed.products_identical
+        assert resumed.resumed
+        assert resumed.num_products == fresh.num_products
+        return fresh.num_products
+
+    assert run_once(benchmark, run_sqlite) > 0

@@ -190,7 +190,9 @@ def main() -> None:
         ("RPM", "Speed"),
     ]:
         result.correspondences.add(
-            AttributeCorrespondence(catalog_attribute, offer_attribute, "amazon", "computing.hdd", 1.0)
+            AttributeCorrespondence(
+                catalog_attribute, offer_attribute, "amazon", "computing.hdd", 1.0
+            )
         )
 
     # --- Run-time synthesis of the missing Deskstar T7K500 ------------------

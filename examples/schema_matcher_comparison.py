@@ -42,7 +42,9 @@ def main() -> None:
         "DUMAS": DumasMatcher(harness.corpus.catalog),
         "Instance-based Naive Bayes": InstanceNaiveBayesMatcher(harness.corpus.catalog),
         "Name-based COMA++": ComaStyleMatcher(harness.corpus.catalog, ComaConfiguration.NAME),
-        "Instance-based COMA++": ComaStyleMatcher(harness.corpus.catalog, ComaConfiguration.INSTANCE),
+        "Instance-based COMA++": ComaStyleMatcher(
+            harness.corpus.catalog, ComaConfiguration.INSTANCE
+        ),
         "Combined COMA++": ComaStyleMatcher(harness.corpus.catalog, ComaConfiguration.COMBINED),
     }
     for name, matcher in matchers.items():

@@ -79,7 +79,9 @@ class ComaStyleMatcher:
         return attribute_name_similarity(catalog_attribute, offer_attribute)
 
     @staticmethod
-    def instance_similarity(product_bag: Optional[BagOfWords], offer_bag: Optional[BagOfWords]) -> float:
+    def instance_similarity(
+        product_bag: Optional[BagOfWords], offer_bag: Optional[BagOfWords]
+    ) -> float:
         """Average of Jaccard term overlap and TF cosine over value bags."""
         if not product_bag or not offer_bag:
             return 0.0

@@ -175,8 +175,16 @@ def _computing_specs() -> List[CategorySpec]:
         attributes=_key_attributes()
         + _brand_model()
         + (
-            _numeric("Capacity", ("80", "160", "250", "320", "400", "500", "640", "750", "1000", "1500", "2000"), "GB", offer_coverage=0.9),
-            _categorical("Interface", ("Serial ATA-300", "Serial ATA-150", "ATA-100", "ATA-133", "SCSI Ultra320", "SAS")),
+            _numeric(
+                "Capacity",
+                ("80", "160", "250", "320", "400", "500", "640", "750", "1000", "1500", "2000"),
+                "GB",
+                offer_coverage=0.9,
+            ),
+            _categorical(
+                "Interface",
+                ("Serial ATA-300", "Serial ATA-150", "ATA-100", "ATA-133", "SCSI Ultra320", "SAS"),
+            ),
             _numeric("Spindle Speed", ("5400", "7200", "10000", "15000"), "rpm"),
             _numeric("Buffer Size", ("2", "8", "16", "32", "64"), "MB"),
             _categorical("Form Factor", ('3.5"', '2.5"', '1.8"')),
@@ -192,14 +200,59 @@ def _computing_specs() -> List[CategorySpec]:
         attributes=_key_attributes()
         + _brand_model()
         + (
-            _numeric("Screen Size", ("11.6", "12.1", "13.3", "14.1", "15.4", "15.6", "17.3"), "inches", offer_coverage=0.85),
-            _categorical("Processor Type", ("Intel Core 2 Duo", "Intel Core i3", "Intel Core i5", "Intel Core i7", "AMD Turion", "AMD Athlon X2", "Intel Atom")),
-            _numeric("Processor Speed", ("1.6", "1.86", "2.0", "2.26", "2.4", "2.53", "2.66", "2.8"), "GHz"),
+            _numeric(
+                "Screen Size",
+                ("11.6", "12.1", "13.3", "14.1", "15.4", "15.6", "17.3"),
+                "inches",
+                offer_coverage=0.85,
+            ),
+            _categorical(
+                "Processor Type",
+                (
+                    "Intel Core 2 Duo",
+                    "Intel Core i3",
+                    "Intel Core i5",
+                    "Intel Core i7",
+                    "AMD Turion",
+                    "AMD Athlon X2",
+                    "Intel Atom",
+                ),
+            ),
+            _numeric(
+                "Processor Speed",
+                ("1.6", "1.86", "2.0", "2.26", "2.4", "2.53", "2.66", "2.8"),
+                "GHz",
+            ),
             _numeric("Memory", ("1", "2", "3", "4", "6", "8"), "GB", offer_coverage=0.85),
             _numeric("Hard Drive", ("160", "250", "320", "500", "640", "750"), "GB"),
-            _categorical("Operating System", ("Windows 7 Home Premium", "Windows 7 Professional", "Windows Vista Home Basic", "Windows XP Professional", "Mac OS X", "Linux")),
-            _categorical("Graphics", ("Intel GMA 4500MHD", "NVIDIA GeForce 9400M", "ATI Radeon HD 4570", "NVIDIA GeForce GT 330M", "Intel HD Graphics"), offer_coverage=0.5),
-            _numeric("Weight", ("3.5", "4.2", "4.8", "5.4", "6.2", "7.5"), "lbs", offer_coverage=0.6),
+            _categorical(
+                "Operating System",
+                (
+                    "Windows 7 Home Premium",
+                    "Windows 7 Professional",
+                    "Windows Vista Home Basic",
+                    "Windows XP Professional",
+                    "Mac OS X",
+                    "Linux",
+                ),
+            ),
+            _categorical(
+                "Graphics",
+                (
+                    "Intel GMA 4500MHD",
+                    "NVIDIA GeForce 9400M",
+                    "ATI Radeon HD 4570",
+                    "NVIDIA GeForce GT 330M",
+                    "Intel HD Graphics",
+                ),
+                offer_coverage=0.5,
+            ),
+            _numeric(
+                "Weight",
+                ("3.5", "4.2", "4.8", "5.4", "6.2", "7.5"),
+                "lbs",
+                offer_coverage=0.6,
+            ),
             _numeric("Battery Life", ("3", "4", "5", "6", "8", "10"), "hours", offer_coverage=0.45),
         ),
     )
@@ -212,12 +265,30 @@ def _computing_specs() -> List[CategorySpec]:
         attributes=_key_attributes()
         + _brand_model()
         + (
-            _numeric("Screen Size", ("17", "19", "20", "22", "23", "24", "27", "30"), "inches", offer_coverage=0.9),
-            _categorical("Resolution", ("1280 x 1024", "1440 x 900", "1680 x 1050", "1920 x 1080", "1920 x 1200", "2560 x 1600")),
+            _numeric(
+                "Screen Size",
+                ("17", "19", "20", "22", "23", "24", "27", "30"),
+                "inches",
+                offer_coverage=0.9,
+            ),
+            _categorical(
+                "Resolution",
+                (
+                    "1280 x 1024",
+                    "1440 x 900",
+                    "1680 x 1050",
+                    "1920 x 1080",
+                    "1920 x 1200",
+                    "2560 x 1600",
+                ),
+            ),
             _numeric("Refresh Rate", ("60", "75", "120"), "Hz", offer_coverage=0.5),
             _categorical("Contrast Ratio", ("1000:1", "3000:1", "10000:1", "50000:1", "1000000:1")),
             _numeric("Brightness", ("250", "300", "350", "400"), "cd/m2", offer_coverage=0.55),
-            _categorical("Interface", ("VGA", "DVI", "VGA, DVI", "DVI, HDMI", "DisplayPort, DVI, HDMI")),
+            _categorical(
+                "Interface",
+                ("VGA", "DVI", "VGA, DVI", "DVI, HDMI", "DisplayPort, DVI, HDMI"),
+            ),
         ),
     )
     memory = CategorySpec(
@@ -244,12 +315,39 @@ def _computing_specs() -> List[CategorySpec]:
         attributes=_key_attributes()
         + _brand_model()
         + (
-            _categorical("Processor Type", ("Intel Core i5", "Intel Core i7", "Intel Core 2 Quad", "AMD Phenom II X4", "Intel Xeon")),
+            _categorical(
+                "Processor Type",
+                (
+                    "Intel Core i5",
+                    "Intel Core i7",
+                    "Intel Core 2 Quad",
+                    "AMD Phenom II X4",
+                    "Intel Xeon",
+                ),
+            ),
             _numeric("Processor Speed", ("2.4", "2.66", "2.8", "3.0", "3.2", "3.4"), "GHz"),
             _numeric("Memory", ("2", "4", "6", "8", "12", "16"), "GB"),
             _numeric("Hard Drive", ("320", "500", "750", "1000", "1500", "2000"), "GB"),
-            _categorical("Operating System", ("Windows 7 Home Premium", "Windows 7 Professional", "Windows Vista Business", "Linux", "No OS")),
-            _categorical("Graphics", ("Intel HD Graphics", "NVIDIA GeForce GT 220", "ATI Radeon HD 5450", "NVIDIA Quadro FX 580"), offer_coverage=0.55),
+            _categorical(
+                "Operating System",
+                (
+                    "Windows 7 Home Premium",
+                    "Windows 7 Professional",
+                    "Windows Vista Business",
+                    "Linux",
+                    "No OS",
+                ),
+            ),
+            _categorical(
+                "Graphics",
+                (
+                    "Intel HD Graphics",
+                    "NVIDIA GeForce GT 220",
+                    "ATI Radeon HD 5450",
+                    "NVIDIA Quadro FX 580",
+                ),
+                offer_coverage=0.55,
+            ),
         ),
     )
     return [hard_drives, laptops, monitors, memory, workstations]
@@ -265,13 +363,23 @@ def _camera_specs() -> List[CategorySpec]:
         attributes=_key_attributes()
         + _brand_model()
         + (
-            _numeric("Megapixels", ("8", "10", "10.1", "12", "12.1", "14.1", "16", "18"), "MP", offer_coverage=0.9),
+            _numeric(
+                "Megapixels",
+                ("8", "10", "10.1", "12", "12.1", "14.1", "16", "18"),
+                "MP",
+                offer_coverage=0.9,
+            ),
             _numeric("Optical Zoom", ("3", "4", "5", "8", "10", "12", "15", "20"), "x"),
             _categorical("Sensor Type", ("CCD", "CMOS", "Super HAD CCD", "Live MOS")),
             _numeric("LCD Size", ("2.5", "2.7", "3.0", "3.5"), "inches"),
             _categorical("ISO Rating", ("80-1600", "100-3200", "100-6400", "200-12800")),
             _categorical("Color", COLOR_POOL[:6], offer_coverage=0.65),
-            _numeric("Weight", ("4.2", "5.1", "6.3", "7.7", "9.8", "12.5"), "oz", offer_coverage=0.5),
+            _numeric(
+                "Weight",
+                ("4.2", "5.1", "6.3", "7.7", "9.8", "12.5"),
+                "oz",
+                offer_coverage=0.5,
+            ),
         ),
     )
     slr_lenses = CategorySpec(
@@ -283,9 +391,16 @@ def _camera_specs() -> List[CategorySpec]:
         attributes=_key_attributes()
         + _brand_model()
         + (
-            _categorical("Focal Length", ("18-55mm", "55-200mm", "70-300mm", "50mm", "85mm", "24-70mm", "100-400mm"), offer_coverage=0.9),
+            _categorical(
+                "Focal Length",
+                ("18-55mm", "55-200mm", "70-300mm", "50mm", "85mm", "24-70mm", "100-400mm"),
+                offer_coverage=0.9,
+            ),
             _categorical("Aperture", ("f/1.4", "f/1.8", "f/2.8", "f/3.5-5.6", "f/4-5.6", "f/4")),
-            _categorical("Lens Type", ("Canon EF", "Canon EF-S", "Nikon F", "Sony Alpha", "Four Thirds", "Pentax K")),
+            _categorical(
+                "Lens Type",
+                ("Canon EF", "Canon EF-S", "Nikon F", "Sony Alpha", "Four Thirds", "Pentax K"),
+            ),
             _numeric("Weight", ("6.8", "9.2", "13.9", "21.2", "33.5"), "oz", offer_coverage=0.55),
         ),
     )
@@ -324,10 +439,18 @@ def _furnishing_specs() -> List[CategorySpec]:
                 catalog_coverage=1.0,
                 offer_coverage=0.85,
             ),
-            _categorical("Size", ("Twin", "Full", "Queen", "King", "California King"), offer_coverage=0.85),
+            _categorical(
+                "Size",
+                ("Twin", "Full", "Queen", "King", "California King"),
+                offer_coverage=0.85,
+            ),
             _categorical("Color", COLOR_POOL, offer_coverage=0.8),
             _categorical("Material", MATERIAL_POOL[:9], offer_coverage=0.6),
-            _categorical("Pattern", ("Floral", "Striped", "Solid", "Paisley", "Plaid", "Geometric"), offer_coverage=0.4),
+            _categorical(
+                "Pattern",
+                ("Floral", "Striped", "Solid", "Paisley", "Plaid", "Geometric"),
+                offer_coverage=0.4,
+            ),
         ),
     )
     lighting = CategorySpec(
@@ -346,7 +469,11 @@ def _furnishing_specs() -> List[CategorySpec]:
                 offer_coverage=0.8,
             ),
             _categorical("Color", COLOR_POOL, offer_coverage=0.7),
-            _categorical("Material", ("Brushed Nickel", "Bronze", "Brass", "Chrome", "Wrought Iron", "Glass"), offer_coverage=0.55),
+            _categorical(
+                "Material",
+                ("Brushed Nickel", "Bronze", "Brass", "Chrome", "Wrought Iron", "Glass"),
+                offer_coverage=0.55,
+            ),
             _numeric("Wattage", ("40", "60", "75", "100", "150"), "W", offer_coverage=0.5),
         ),
     )
@@ -366,7 +493,11 @@ def _furnishing_specs() -> List[CategorySpec]:
                 offer_coverage=0.8,
             ),
             _categorical("Color", COLOR_POOL, offer_coverage=0.75),
-            _categorical("Material", ("Leather", "Microfiber", "Fabric", "Bonded Leather", "Velvet"), offer_coverage=0.6),
+            _categorical(
+                "Material",
+                ("Leather", "Microfiber", "Fabric", "Bonded Leather", "Velvet"),
+                offer_coverage=0.6,
+            ),
             _numeric("Seat Height", ("17", "18", "19", "20", "21"), "inches", offer_coverage=0.35),
         ),
     )
@@ -390,7 +521,12 @@ def _kitchen_specs() -> List[CategorySpec]:
                 offer_coverage=0.9,
             ),
             _categorical("Color", COLOR_POOL, offer_coverage=0.75),
-            _numeric("Wattage", ("250", "300", "325", "450", "525", "575"), "W", offer_coverage=0.65),
+            _numeric(
+                "Wattage",
+                ("250", "300", "325", "450", "525", "575"),
+                "W",
+                offer_coverage=0.65,
+            ),
             _numeric("Bowl Capacity", ("4.5", "5", "6", "7"), "quarts", offer_coverage=0.55),
             _numeric("Number of Settings", ("5", "6", "10", "12"), None, offer_coverage=0.4),
         ),
@@ -411,7 +547,12 @@ def _kitchen_specs() -> List[CategorySpec]:
                 offer_coverage=0.9,
             ),
             _categorical("Color", COLOR_POOL, offer_coverage=0.75),
-            _numeric("Number of Cups", ("1", "4", "8", "10", "12", "14"), "cups", offer_coverage=0.7),
+            _numeric(
+                "Number of Cups",
+                ("1", "4", "8", "10", "12", "14"),
+                "cups",
+                offer_coverage=0.7,
+            ),
             _numeric("Wattage", ("600", "900", "1000", "1100", "1500"), "W", offer_coverage=0.5),
         ),
     )
@@ -450,7 +591,11 @@ def _kitchen_specs() -> List[CategorySpec]:
                 catalog_coverage=1.0,
                 offer_coverage=0.85,
             ),
-            _categorical("Blade Material", ("Stainless Steel", "High-Carbon Steel", "Ceramic", "Damascus Steel"), offer_coverage=0.6),
+            _categorical(
+                "Blade Material",
+                ("Stainless Steel", "High-Carbon Steel", "Ceramic", "Damascus Steel"),
+                offer_coverage=0.6,
+            ),
             _categorical("Color", ("Black", "Silver", "White", "Red"), offer_coverage=0.5),
         ),
     )

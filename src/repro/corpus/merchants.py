@@ -82,7 +82,11 @@ class MerchantDialectFactory:
         self._config = config
         self._rng = rng
 
-    def create(self, merchant: Merchant, category_ids_by_domain: Dict[str, List[Tuple[str, Sequence[str]]]]) -> MerchantDialect:
+    def create(
+        self,
+        merchant: Merchant,
+        category_ids_by_domain: Dict[str, List[Tuple[str, Sequence[str]]]],
+    ) -> MerchantDialect:
         """Create the dialect for one merchant.
 
         Parameters

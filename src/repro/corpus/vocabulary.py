@@ -167,9 +167,21 @@ MODEL_WORDS: Dict[str, Tuple[str, ...]] = {
 ATTRIBUTE_SYNONYMS: Dict[str, Tuple[str, ...]] = {
     "Brand": ("Manufacturer", "Brand Name", "Make", "Mfg"),
     "Model": ("Model Name", "Product Model", "Model No", "Series"),
-    "Model Part Number": ("MPN", "Mfr. Part #", "Manufacturers Part Number", "Part Number", "Mfg Part No"),
+    "Model Part Number": (
+        "MPN",
+        "Mfr. Part #",
+        "Manufacturers Part Number",
+        "Part Number",
+        "Mfg Part No",
+    ),
     "UPC": ("UPC Code", "Universal Product Code", "UPC Number"),
-    "Capacity": ("Hard Disk Size", "Storage Capacity", "Hard Drive / Capacity", "Disk Capacity", "Size"),
+    "Capacity": (
+        "Hard Disk Size",
+        "Storage Capacity",
+        "Hard Drive / Capacity",
+        "Disk Capacity",
+        "Size",
+    ),
     "Interface": ("Interface Type", "Int. Type", "Connection Interface", "Drive Interface"),
     "Spindle Speed": ("RPM", "Rotational Speed", "Drive Speed", "Speed"),
     "Buffer Size": ("Cache", "Cache Size", "Buffer Memory", "Data Buffer"),

@@ -18,6 +18,11 @@ Run the streaming-runtime throughput benchmark (see
 
     repro-synthesize runtime-bench --offers 10000 --executor process \
         --json BENCH_runtime.json
+
+Exercise the durable catalog store, then resume the same stream::
+
+    repro-synthesize runtime-bench --store sqlite --store-path catalog.sqlite3
+    repro-synthesize runtime-bench --store sqlite --store-path catalog.sqlite3 --resume
 """
 
 from __future__ import annotations
@@ -102,12 +107,35 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
     )
     parser.add_argument("--seed", type=int, default=2011, help="corpus RNG seed")
     parser.add_argument(
+        "--store",
+        choices=["memory", "sqlite"],
+        default="memory",
+        help="engine catalog store backend (default: memory)",
+    )
+    parser.add_argument(
+        "--store-path",
+        metavar="PATH",
+        default=None,
+        help="SQLite store file (default: BENCH_catalog.sqlite3 with --store sqlite)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reopen an existing SQLite store and continue the stream "
+        "instead of starting fresh (requires --store sqlite)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
         help="also write the result as JSON (e.g. BENCH_runtime.json)",
     )
-    return parser.parse_args(argv)
+    args = parser.parse_args(argv)
+    if args.resume and args.store != "sqlite":
+        parser.error("--resume requires --store sqlite")
+    if args.store == "sqlite" and args.store_path is None:
+        args.store_path = "BENCH_catalog.sqlite3"
+    return args
 
 
 def _run_runtime_bench(argv: Sequence[str]) -> int:
@@ -118,6 +146,9 @@ def _run_runtime_bench(argv: Sequence[str]) -> int:
         executor=args.executor,
         num_shards=args.shards,
         seed=args.seed,
+        store=args.store,
+        store_path=args.store_path,
+        resume=args.resume,
     )
     print(result.to_text())
     if args.json:

@@ -13,20 +13,30 @@ must have an up-to-date set of synthesized products.
   incrementally (O(batch) work per batch), re-fusing only the clusters
   the batch touched, with sharded execution and memoised text statistics.
 
+For a process-pool executor the engine run is measured twice: once with
+the delta re-fusion protocol (workers keep shard-resident cluster state,
+batches ship only new offers) and once with full-state shipping (every
+touched cluster re-pickled per batch, the pre-delta behaviour), so the
+payload cut is visible in the report (``offers_shipped_*``).
+
 Both sides see identical pre-extracted offers and produce identical
 products (asserted), so the comparison is purely about work avoided.
+The engine side can run against the durable SQLite catalog store
+(``store="sqlite"``), including resuming a previously interrupted run
+(``resume=True``), which is what the CI durable-path smoke exercises.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.corpus.config import CorpusPreset
 from repro.experiments.harness import ExperimentHarness
-from repro.model.products import Product
+from repro.model.products import Product, product_fingerprint
 from repro.runtime import SynthesisEngine
 from repro.runtime.executors import ShardExecutor
 from repro.synthesis.pipeline import ProductSynthesisPipeline
@@ -44,6 +54,8 @@ class RuntimeBenchResult:
     executor: str
     num_shards: int
     seed: int
+    #: Catalog store backend the engine ran against ("memory"/"sqlite").
+    store: str
     #: Seconds for the looped pipeline to keep products current per batch.
     baseline_seconds: float
     #: Seconds for one monolithic ``synthesize()`` over the whole stream.
@@ -55,6 +67,15 @@ class RuntimeBenchResult:
     #: Whether engine and baseline products are byte-identical.
     products_identical: bool
     category_vocabulary: Dict[str, int] = field(default_factory=dict)
+    #: Engine time with delta re-fusion disabled (process executors only).
+    full_ship_seconds: Optional[float] = None
+    #: Offers shipped to workers with the delta protocol / full shipping.
+    offers_shipped_delta: Optional[int] = None
+    offers_shipped_full: Optional[int] = None
+    #: Clusters process workers resynced from the durable store.
+    worker_resyncs: int = 0
+    #: Whether the engine resumed a previously persisted stream.
+    resumed: bool = False
 
     @property
     def speedup(self) -> float:
@@ -70,14 +91,22 @@ class RuntimeBenchResult:
             return float("inf")
         return self.num_offers / self.engine_seconds
 
+    @property
+    def delta_payload_ratio(self) -> Optional[float]:
+        """Delta-shipped offers over full-shipped offers (lower is better)."""
+        if not self.offers_shipped_full or self.offers_shipped_delta is None:
+            return None
+        return self.offers_shipped_delta / self.offers_shipped_full
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable summary (written to ``BENCH_runtime.json``)."""
-        return {
+        payload: Dict[str, object] = {
             "num_offers": self.num_offers,
             "num_batches": self.num_batches,
             "executor": self.executor,
             "num_shards": self.num_shards,
             "seed": self.seed,
+            "store": self.store,
             "baseline_seconds": round(self.baseline_seconds, 4),
             "single_pass_seconds": round(self.single_pass_seconds, 4),
             "engine_seconds": round(self.engine_seconds, 4),
@@ -86,7 +115,19 @@ class RuntimeBenchResult:
             "num_products": self.num_products,
             "products_identical": self.products_identical,
             "num_categories": len(self.category_vocabulary),
+            "worker_resyncs": self.worker_resyncs,
+            "resumed": self.resumed,
         }
+        if self.full_ship_seconds is not None:
+            payload["full_ship_seconds"] = round(self.full_ship_seconds, 4)
+        if self.offers_shipped_delta is not None:
+            payload["offers_shipped_delta"] = self.offers_shipped_delta
+        if self.offers_shipped_full is not None:
+            payload["offers_shipped_full"] = self.offers_shipped_full
+        ratio = self.delta_payload_ratio
+        if ratio is not None:
+            payload["delta_payload_ratio"] = round(ratio, 4)
+        return payload
 
     def write_json(self, path: str) -> None:
         """Write :meth:`to_dict` to ``path`` as JSON."""
@@ -100,7 +141,8 @@ class RuntimeBenchResult:
             "Runtime throughput benchmark (streaming engine vs looped pipeline)",
             f"  stream: {self.num_offers:,} offers in {self.num_batches} micro-batches "
             f"(seed {self.seed})",
-            f"  engine: {self.num_shards} shards, {self.executor} executor",
+            f"  engine: {self.num_shards} shards, {self.executor} executor, "
+            f"{self.store} store" + (" (resumed)" if self.resumed else ""),
             f"  looped pipeline : {self.baseline_seconds:8.2f}s "
             f"(re-synthesizes the accumulated stream per batch)",
             f"  single pass     : {self.single_pass_seconds:8.2f}s "
@@ -111,25 +153,36 @@ class RuntimeBenchResult:
             f"  products        : {self.num_products:,} "
             f"(identical: {self.products_identical})",
         ]
+        if self.full_ship_seconds is not None:
+            lines.append(
+                f"  full shipping   : {self.full_ship_seconds:8.2f}s "
+                f"(delta protocol disabled)"
+            )
+        ratio = self.delta_payload_ratio
+        if ratio is not None:
+            lines.append(
+                f"  delta payloads  : {self.offers_shipped_delta:,} offers shipped "
+                f"vs {self.offers_shipped_full:,} full-state "
+                f"({100.0 * (1.0 - ratio):.0f}% cut)"
+            )
         return "\n".join(lines)
 
 
 def _product_fingerprint(products: List[Product]) -> List[Tuple[object, ...]]:
-    return sorted(
-        (
-            product.product_id,
-            product.category_id,
-            product.title,
-            tuple(pair.as_tuple() for pair in product.specification),
-            product.source_offer_ids,
-        )
-        for product in products
-    )
+    return sorted(product_fingerprint(products))
 
 
 def _batches(items: List, num_batches: int) -> List[List]:
     size = max(1, (len(items) + num_batches - 1) // num_batches)
     return [items[start : start + size] for start in range(0, len(items), size)]
+
+
+def _remove_sqlite_files(path: str) -> None:
+    for suffix in ("", "-wal", "-shm"):
+        try:
+            os.remove(path + suffix)
+        except FileNotFoundError:
+            pass
 
 
 def run(
@@ -139,6 +192,9 @@ def run(
     num_shards: int = 8,
     seed: int = 2011,
     harness: Optional[ExperimentHarness] = None,
+    store: str = "memory",
+    store_path: Optional[str] = None,
+    resume: bool = False,
 ) -> RuntimeBenchResult:
     """Run the throughput benchmark and return its measurements.
 
@@ -156,13 +212,32 @@ def run(
     harness:
         Pre-built harness to reuse (tests); overrides ``num_offers``'s
         corpus scaling but still truncates the stream.
+    store, store_path:
+        Catalog store backend for the engine run; ``"sqlite"`` requires
+        ``store_path`` and exercises the durable path (per-ingest
+        commits, WAL mode).
+    resume:
+        Reopen an existing SQLite store instead of starting fresh: the
+        engine restores the persisted state and deduplicates replayed
+        offers, so an interrupted stream continues where it left off.
     """
+    if store == "sqlite" and store_path is None:
+        raise ValueError("store='sqlite' requires store_path")
+    if resume and store != "sqlite":
+        raise ValueError("resume=True requires store='sqlite'")
     if harness is None:
         # SMALL yields ~1.3k unmatched offers at scale 1; overshoot a little
         # so the stream can be truncated to exactly num_offers.
         factor = max(1.0, num_offers / 1200.0)
         harness = ExperimentHarness(CorpusPreset.SMALL.config(seed=seed).scaled(factor))
     offers = harness.unmatched_offers[:num_offers]
+    # The corpus generator emits a product's offers adjacently; real
+    # streams are *merchant feeds*, so the same product's offers arrive
+    # spread across batches.  A stable sort by merchant reproduces that
+    # (each batch ≈ a few merchants' feeds) and is what makes clusters
+    # grow across batches — the case the re-fusion protocols differ on.
+    # Deterministic, and every measured side sees the identical stream.
+    offers = sorted(offers, key=lambda offer: offer.merchant_id)
     batches = _batches(offers, num_batches)
 
     def build_pipeline() -> ProductSynthesisPipeline:
@@ -172,6 +247,30 @@ def run(
             extractor=harness.extractor,
             category_classifier=harness.category_classifier,
         )
+
+    def run_engine(
+        engine_store: str,
+        engine_store_path: Optional[str],
+        delta_refusion: Optional[bool],
+    ) -> Tuple[float, List[Product], SynthesisEngine]:
+        clear_text_caches()
+        engine = SynthesisEngine(
+            catalog=harness.corpus.catalog,
+            correspondences=harness.offline_result.correspondences,
+            extractor=harness.extractor,
+            category_classifier=harness.category_classifier,
+            num_shards=num_shards,
+            executor=executor,
+            store=engine_store,
+            store_path=engine_store_path,
+            delta_refusion=delta_refusion,
+        )
+        start = time.perf_counter()
+        for batch in batches:
+            engine.ingest(batch)
+        products = engine.products()
+        seconds = time.perf_counter() - start
+        return seconds, products, engine
 
     # -- baseline: keep products current by re-running the one-shot pipeline
     clear_text_caches()
@@ -192,28 +291,38 @@ def run(
     single_pass_seconds = time.perf_counter() - start
 
     # -- engine: incremental ingest of the same stream
-    clear_text_caches()
-    engine = SynthesisEngine(
-        catalog=harness.corpus.catalog,
-        correspondences=harness.offline_result.correspondences,
-        extractor=harness.extractor,
-        category_classifier=harness.category_classifier,
-        num_shards=num_shards,
-        executor=executor,
-    )
-    start = time.perf_counter()
-    for batch in batches:
-        engine.ingest(batch)
-    engine_products = engine.products()
-    engine_seconds = time.perf_counter() - start
+    if store == "sqlite" and not resume:
+        _remove_sqlite_files(store_path)  # type: ignore[arg-type]
+    engine_seconds, engine_products, engine = run_engine(store, store_path, None)
     snapshot = engine.snapshot()
+    transport = engine.transport_stats()
     engine.close()
 
+    # -- comparison: same engine with the delta protocol disabled
+    # (full-state shipping), for executors that support delta at all.
+    full_ship_seconds: Optional[float] = None
+    offers_shipped_delta: Optional[int] = None
+    offers_shipped_full: Optional[int] = None
+    full_ship_products: Optional[List[Product]] = None
+    if getattr(engine._executor, "supports_pinning", False):
+        full_store_path = None if store_path is None else store_path + ".fullship"
+        if full_store_path is not None:
+            _remove_sqlite_files(full_store_path)
+        full_ship_seconds, full_ship_products, full_engine = run_engine(
+            store, full_store_path, False
+        )
+        offers_shipped_delta = transport.offers_shipped
+        offers_shipped_full = full_engine.transport_stats().offers_shipped
+        full_engine.close()
+        if full_store_path is not None:
+            _remove_sqlite_files(full_store_path)
+
     fingerprint = _product_fingerprint(engine_products)
-    identical = (
-        fingerprint == _product_fingerprint(baseline_products)
-        and fingerprint == _product_fingerprint(single_pass_products)
+    identical = fingerprint == _product_fingerprint(baseline_products) and (
+        fingerprint == _product_fingerprint(single_pass_products)
     )
+    if full_ship_products is not None:
+        identical = identical and fingerprint == _product_fingerprint(full_ship_products)
     executor_name = executor if isinstance(executor, str) else executor.name
     return RuntimeBenchResult(
         num_offers=len(offers),
@@ -221,10 +330,16 @@ def run(
         executor=executor_name,
         num_shards=num_shards,
         seed=seed,
+        store=store,
         baseline_seconds=baseline_seconds,
         single_pass_seconds=single_pass_seconds,
         engine_seconds=engine_seconds,
         num_products=len(engine_products),
         products_identical=identical,
         category_vocabulary=snapshot.category_vocabulary,
+        full_ship_seconds=full_ship_seconds,
+        offers_shipped_delta=offers_shipped_delta,
+        offers_shipped_full=offers_shipped_full,
+        worker_resyncs=transport.worker_resyncs,
+        resumed=resume,
     )

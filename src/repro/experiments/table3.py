@@ -77,7 +77,9 @@ class Table3Result:
             ]
             for row in self.rows
         ]
-        return format_table(headers, table_rows, title="Table 3 — Synthesis per top-level category")
+        return format_table(
+            headers, table_rows, title="Table 3 — Synthesis per top-level category"
+        )
 
 
 def run(harness: Optional[ExperimentHarness] = None) -> Table3Result:

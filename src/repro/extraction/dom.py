@@ -18,7 +18,22 @@ __all__ = ["DomNode", "parse_html"]
 
 #: Elements that never have closing tags.
 _VOID_ELEMENTS = frozenset(
-    {"area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source", "track", "wbr"}
+    {
+        "area",
+        "base",
+        "br",
+        "col",
+        "embed",
+        "hr",
+        "img",
+        "input",
+        "link",
+        "meta",
+        "param",
+        "source",
+        "track",
+        "wbr",
+    }
 )
 
 #: Start tags that implicitly close still-open elements (a small subset of the

@@ -94,7 +94,11 @@ class MatchedValueIndex:
                 # offer itself does not carry one so both configurations see
                 # the same offers.
                 category_id = offer.category_id
-                if category_id is None and product_id is not None and self._catalog.has_product(product_id):
+                if (
+                    category_id is None
+                    and product_id is not None
+                    and self._catalog.has_product(product_id)
+                ):
                     category_id = self._catalog.product(product_id).category_id
                 if category_id is None:
                     continue

@@ -17,6 +17,7 @@ from repro.matching.correspondence import AttributeCorrespondence, Correspondenc
 from repro.model.attributes import Specification
 from repro.model.catalog import Catalog
 from repro.model.merchants import Merchant
+from repro.model.offers import Offer
 from repro.model.products import Product
 from repro.model.schema import AttributeKind, CategorySchema
 from repro.model.taxonomy import Taxonomy
@@ -32,6 +33,12 @@ __all__ = [
     "load_correspondences",
     "products_to_dicts",
     "products_from_dicts",
+    "product_to_dict",
+    "product_from_dict",
+    "offer_to_dict",
+    "offer_from_dict",
+    "offers_to_dicts",
+    "offers_from_dicts",
 ]
 
 PathLike = Union[str, Path]
@@ -43,7 +50,8 @@ _FORMAT_VERSION = 1
 # --- products ----------------------------------------------------------------
 
 
-def _product_to_dict(product: Product) -> Dict:
+def product_to_dict(product: Product) -> Dict:
+    """Serialise one product to a JSON-compatible dict."""
     return {
         "product_id": product.product_id,
         "category_id": product.category_id,
@@ -53,7 +61,8 @@ def _product_to_dict(product: Product) -> Dict:
     }
 
 
-def _product_from_dict(payload: Dict) -> Product:
+def product_from_dict(payload: Dict) -> Product:
+    """Deserialise one product previously produced by :func:`product_to_dict`."""
     return Product(
         product_id=payload["product_id"],
         category_id=payload["category_id"],
@@ -61,6 +70,11 @@ def _product_from_dict(payload: Dict) -> Product:
         specification=Specification(payload.get("specification", [])),
         source_offer_ids=tuple(payload.get("source_offer_ids", [])),
     )
+
+
+# Backwards-compatible aliases (the public names are new).
+_product_to_dict = product_to_dict
+_product_from_dict = product_from_dict
 
 
 def products_to_dicts(products: List[Product]) -> List[Dict]:
@@ -71,6 +85,58 @@ def products_to_dicts(products: List[Product]) -> List[Dict]:
 def products_from_dicts(payloads: List[Dict]) -> List[Product]:
     """Deserialise products previously produced by :func:`products_to_dicts`."""
     return [_product_from_dict(payload) for payload in payloads]
+
+
+# --- offers ------------------------------------------------------------------
+
+
+def offer_to_dict(offer: Offer) -> Dict:
+    """Serialise one offer to a JSON-compatible dict.
+
+    Every field round-trips exactly (including the reconciled
+    specification), which is what lets the durable runtime catalog store
+    rebuild clusters whose fused products are byte-identical to the
+    in-memory originals.
+    """
+    payload: Dict = {
+        "offer_id": offer.offer_id,
+        "merchant_id": offer.merchant_id,
+        "title": offer.title,
+        "price": offer.price,
+        "url": offer.url,
+        "feed_category": offer.feed_category,
+        "specification": [pair.as_tuple() for pair in offer.specification],
+    }
+    if offer.image_url is not None:
+        payload["image_url"] = offer.image_url
+    if offer.category_id is not None:
+        payload["category_id"] = offer.category_id
+    return payload
+
+
+def offer_from_dict(payload: Dict) -> Offer:
+    """Deserialise one offer previously produced by :func:`offer_to_dict`."""
+    return Offer(
+        offer_id=payload["offer_id"],
+        merchant_id=payload["merchant_id"],
+        title=payload.get("title", ""),
+        price=payload.get("price", 0.0),
+        url=payload.get("url", ""),
+        image_url=payload.get("image_url"),
+        feed_category=payload.get("feed_category", ""),
+        category_id=payload.get("category_id"),
+        specification=Specification(payload.get("specification", [])),
+    )
+
+
+def offers_to_dicts(offers: List[Offer]) -> List[Dict]:
+    """Serialise a list of offers to JSON-compatible dicts."""
+    return [offer_to_dict(offer) for offer in offers]
+
+
+def offers_from_dicts(payloads: List[Dict]) -> List[Offer]:
+    """Deserialise offers previously produced by :func:`offers_to_dicts`."""
+    return [offer_from_dict(payload) for payload in payloads]
 
 
 # --- catalog -----------------------------------------------------------------

@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.model.attributes import Specification
 
-__all__ = ["Product"]
+__all__ = ["Product", "product_fingerprint"]
 
 
 @dataclass
@@ -73,3 +73,23 @@ class Product:
             f"Product(id={self.product_id!r}, category={self.category_id!r}, "
             f"attrs={self.num_attributes()})"
         )
+
+
+def product_fingerprint(products: List["Product"]) -> List[Tuple[object, ...]]:
+    """Byte-comparable serialisation of a product list.
+
+    The single definition of what "byte-identical products" means across
+    the runtime benchmarks and the test suite: every field of every
+    product, in order.  Two product lists are byte-identical exactly
+    when their (sorted) fingerprints compare equal.
+    """
+    return [
+        (
+            product.product_id,
+            product.category_id,
+            product.title,
+            tuple(pair.as_tuple() for pair in product.specification),
+            product.source_offer_ids,
+        )
+        for product in products
+    ]

@@ -8,6 +8,15 @@ that practical at scale:
     :class:`~repro.runtime.engine.SynthesisEngine` — a sharded,
     micro-batched, incrementally clustering wrapper around the pipeline
     stages.  Feed it a stream with repeated ``ingest(offers)`` calls.
+``state`` / ``store``
+    The pluggable catalog state layer: a
+    :class:`~repro.runtime.state.CatalogStore` protocol with an
+    in-memory backend (zero-copy default) and a durable WAL-mode SQLite
+    backend (per-ingest commits, snapshot/restore across restarts).
+``delta``
+    The delta re-fusion protocol: process workers keep shard-resident
+    cluster state and receive only new offers per batch, resyncing from
+    the store when they restart or fall behind.
 ``executors``
     Pluggable shard executors (serial / thread pool / process pool) with
     identical outputs and different wall-clock profiles.
@@ -15,6 +24,7 @@ that practical at scale:
     Stable (cross-process deterministic) category sharding.
 """
 
+from repro.runtime.delta import TransportStats
 from repro.runtime.engine import EngineSnapshot, IngestReport, SynthesisEngine
 from repro.runtime.executors import (
     ProcessPoolShardExecutor,
@@ -23,6 +33,8 @@ from repro.runtime.executors import (
     resolve_executor,
 )
 from repro.runtime.sharding import partition_by_shard, shard_for_category
+from repro.runtime.state import CatalogStore, ClusterState, resolve_store
+from repro.runtime.store import MemoryCatalogStore, SqliteCatalogStore
 
 __all__ = [
     "SynthesisEngine",
@@ -34,4 +46,10 @@ __all__ = [
     "resolve_executor",
     "partition_by_shard",
     "shard_for_category",
+    "CatalogStore",
+    "ClusterState",
+    "resolve_store",
+    "MemoryCatalogStore",
+    "SqliteCatalogStore",
+    "TransportStats",
 ]

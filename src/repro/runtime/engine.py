@@ -8,6 +8,23 @@ grow *incrementally* across batches, and only the clusters a batch
 touched are re-fused — by category shard, in parallel when a thread- or
 process-pool executor is plugged in.
 
+All engine state — clusters, cached fusion results, seen-offer ids,
+per-category TF-IDF statistics, reconciliation counters — lives behind a
+pluggable :class:`~repro.runtime.state.CatalogStore`:
+
+* ``store="memory"`` (default) keeps the original zero-copy in-process
+  behaviour;
+* ``store="sqlite"`` (with ``store_path``) commits after every ingest
+  and restores the full engine state across process restarts, so a
+  stream can resume exactly where a killed process left off.
+
+With a process-pool executor the engine speaks the *delta re-fusion
+protocol* (:mod:`repro.runtime.delta`): workers keep shard-resident
+cluster state and each batch ships only the new offers plus touched
+cluster ids, with a per-shard version counter so a worker that restarted
+or fell behind resyncs from the store.  Serial and thread execution
+share the store's memory directly and need no deltas.
+
 Compared with looping ``pipeline.synthesize()`` over a stream (which must
 re-run every stage over all offers seen so far to keep the product set
 current), the engine does O(batch) work per batch instead of O(total),
@@ -24,7 +41,8 @@ Examples
 --------
 >>> # doctest-style sketch (see tests/test_runtime_engine.py for runnable use)
 >>> # engine = SynthesisEngine(catalog, correspondences, num_shards=8,
->>> #                          executor="process")
+>>> #                          executor="process", store="sqlite",
+>>> #                          store_path="catalog.sqlite3")
 >>> # for batch in feed:
 >>> #     report = engine.ingest(batch)
 >>> # products = engine.products()
@@ -32,7 +50,7 @@ Examples
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.extraction.extractor import WebPageAttributeExtractor
@@ -40,12 +58,15 @@ from repro.matching.correspondence import CorrespondenceSet
 from repro.model.catalog import Catalog
 from repro.model.offers import Offer
 from repro.model.products import Product
-from repro.runtime.executors import (
-    ProcessPoolShardExecutor,
-    ShardExecutor,
-    resolve_executor,
+from repro.runtime.delta import (
+    ClusterDelta,
+    DeltaShardTask,
+    TransportStats,
+    fuse_delta_shard,
 )
+from repro.runtime.executors import ShardExecutor, resolve_executor
 from repro.runtime.sharding import shard_for_category
+from repro.runtime.state import CatalogStore, ClusterId, resolve_store
 from repro.synthesis.category_classifier import TitleCategoryClassifier
 from repro.synthesis.clustering import KeyAttributeClusterer, OfferCluster
 from repro.synthesis.fusion import CentroidValueFusion, MemoizedValueFusion
@@ -95,14 +116,18 @@ class EngineSnapshot:
 
 
 @dataclass
-class _ClusterState:
-    """One cluster plus its cached fusion result."""
+class _PendingAppend:
+    """This batch's additions to one cluster, before re-fusion."""
 
-    cluster: OfferCluster
-    product: Optional[Product] = None
+    shard_index: int
+    #: Cluster size before this batch (what a worker delta applies on top of).
+    base_size: int
+    offers: List[Offer] = field(default_factory=list)
 
 
-#: One executor payload: fuse these clusters with these schema attributes.
+#: One full-state executor payload: fuse these clusters with these
+#: schema attributes (the non-delta protocol; see repro.runtime.delta
+#: for the incremental one).
 _ShardTask = Tuple[List[Tuple[OfferCluster, List[str]]], object]
 
 
@@ -144,6 +169,22 @@ class SynthesisEngine:
         synthesized products, only the wall-clock time.
     max_workers:
         Worker count for pool executors (``None`` = library default).
+    store:
+        ``"memory"`` (default), ``"sqlite"`` (durable; requires
+        ``store_path``), or a pre-built
+        :class:`~repro.runtime.state.CatalogStore`.  Opening a durable
+        store that already holds state resumes the stream exactly where
+        it left off — replayed offers are deduplicated, clusters keep
+        growing, and products stay byte-identical to an uninterrupted
+        run.  Store choice never changes the synthesized products.
+    store_path:
+        Filesystem path of the SQLite store (``store="sqlite"`` only).
+    delta_refusion:
+        ``None`` (default) enables the delta protocol whenever the
+        executor supports pinned dispatch (the process pool); ``False``
+        forces full-state shipping; ``True`` requires a pinning executor.
+        Either way the products are byte-identical — only the payload
+        volume differs (see :meth:`transport_stats`).
     """
 
     def __init__(
@@ -159,6 +200,9 @@ class SynthesisEngine:
         executor: Union[str, ShardExecutor, None] = "serial",
         max_workers: Optional[int] = None,
         track_category_statistics: bool = True,
+        store: Union[str, CatalogStore, None] = None,
+        store_path: Optional[str] = None,
+        delta_refusion: Optional[bool] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -179,23 +223,36 @@ class SynthesisEngine:
         self._track_category_statistics = track_category_statistics
         self._num_shards = num_shards
         self._executor = resolve_executor(executor, max_workers=max_workers)
-        # Process workers get the plain fusion (shipping a memo there is
-        # dead weight: its updates never come back).  Serial and thread
-        # execution share this memo across batches, so unchanged
-        # attribute-value lists are selected once.  Either way the
-        # selected values are identical — the memo is transparent.
-        base_fusion = self._pipeline.fusion
-        self._worker_fusion: CentroidValueFusion = base_fusion
-        if not isinstance(self._executor, ProcessPoolShardExecutor):
-            self._worker_fusion = MemoizedValueFusion(base_fusion)
 
-        self._shards: List[Dict[Tuple[str, str], _ClusterState]] = [
-            {} for _ in range(num_shards)
-        ]
-        self._seen_offer_ids: set = set()
-        self._reconciliation_stats = ReconciliationStats()
-        self._assigned_categories: Dict[str, str] = {}
-        self._category_stats: Dict[str, IncrementalTfIdf] = {}
+        # The engine owns (and therefore closes) stores it resolved from a
+        # name; a user-supplied instance stays open for reuse elsewhere.
+        self._owns_store = not isinstance(store, CatalogStore)
+        self._store = resolve_store(store, path=store_path)
+        self._store.bind(num_shards)
+
+        supports_pinning = getattr(self._executor, "supports_pinning", False)
+        if delta_refusion and not supports_pinning:
+            raise ValueError(
+                "delta_refusion=True requires an executor with pinned dispatch "
+                f"(got {self._executor.name!r}); use executor='process'"
+            )
+        self._delta_refusion = (
+            supports_pinning if delta_refusion is None else bool(delta_refusion)
+        )
+        self._transport_stats = TransportStats()
+        self._closed = False
+
+        # Full-state process payloads get the plain fusion (shipping a
+        # memo there is dead weight: its updates never come back); delta
+        # workers wrap the base fusion in their own shard-resident memo.
+        # Serial and thread execution share one memo across batches, so
+        # unchanged attribute-value lists are selected once.  Either way
+        # the selected values are identical — the memo is transparent.
+        base_fusion = self._pipeline.fusion
+        self._base_fusion = base_fusion
+        self._worker_fusion: CentroidValueFusion = base_fusion
+        if not supports_pinning:
+            self._worker_fusion = MemoizedValueFusion(base_fusion)
 
     # -- streaming ingest ------------------------------------------------------
 
@@ -204,33 +261,54 @@ class SynthesisEngine:
 
         Re-ingesting an offer id that was already absorbed is a no-op
         (idempotent streams: merchant feeds re-send their inventory), so
-        replaying a batch leaves the engine state byte-identical.
+        replaying a batch leaves the engine state byte-identical.  The
+        store commits at the end of every ingest, so with a durable
+        backend a crash loses at most the batch that was in flight.
         """
         report = IngestReport(offers_in_batch=len(offers))
+        if self._store.closed:
+            # Fail fast: processing the batch into the orphaned mirror
+            # would mark its offers seen without ever persisting them.
+            raise RuntimeError(
+                "cannot ingest: the engine's catalog store is closed "
+                "(reopen the store path with a new engine to resume)"
+            )
+        # Ingesting re-arms a closed engine (memory-store engines stay
+        # usable after close(); executor pools are re-created lazily).
+        self._closed = False
+        # Filtering against both sets also deduplicates repeats inside a
+        # single batch, not just across batches.  Ids are only *marked*
+        # seen after the fallible pipeline stages below succeed, so a
+        # batch that raises (untrained classifier, extractor failure)
+        # can be retried instead of being silently dropped as duplicate.
         fresh: List[Offer] = []
+        batch_ids = set()
         for offer in offers:
-            # Marking ids seen *while filtering* also deduplicates repeats
-            # inside a single batch, not just across batches.
-            if offer.offer_id in self._seen_offer_ids:
+            if self._store.is_seen(offer.offer_id) or offer.offer_id in batch_ids:
                 continue
-            self._seen_offer_ids.add(offer.offer_id)
+            batch_ids.add(offer.offer_id)
             fresh.append(offer)
         report.offers_new = len(fresh)
         report.offers_duplicate = report.offers_in_batch - report.offers_new
         if not fresh:
+            self._store.commit()
             return report
 
         categorised = self._pipeline._assign_categories(fresh)
         extracted = self._extract_specifications(categorised)
         reconciled, stats = self._pipeline.reconciler.reconcile_offers(extracted)
-        self._merge_reconciliation_stats(stats)
+        for offer in fresh:
+            self._store.mark_seen(offer.offer_id)
+        self._store.merge_reconciliation_stats(stats)
         for offer in categorised:
             if offer.category_id is not None:
-                self._assigned_categories[offer.offer_id] = offer.category_id
+                self._store.record_category(offer.offer_id, offer.category_id)
 
-        touched = self._route_to_clusters(reconciled, report)
-        report.clusters_touched = len(touched)
-        report.products_refreshed = self._refuse_clusters(touched)
+        pending = self._route_to_clusters(reconciled, report)
+        report.clusters_touched = len(pending)
+        report.products_refreshed = self._refuse_clusters(pending)
+        self._transport_stats.batches += 1
+        self._store.commit()
         return report
 
     def _extract_specifications(self, offers: Sequence[Offer]) -> List[Offer]:
@@ -252,11 +330,15 @@ class SynthesisEngine:
 
     def _route_to_clusters(
         self, reconciled: Sequence[Offer], report: IngestReport
-    ) -> List[Tuple[int, Tuple[str, str]]]:
-        """Append offers to their clusters; return the touched cluster keys."""
+    ) -> "Dict[ClusterId, _PendingAppend]":
+        """Route offers to their clusters; returns this batch's appends.
+
+        The returned dict is keyed by cluster id in first-touch order and
+        records, per touched cluster, the pre-batch size plus the new
+        offers — exactly what both re-fusion protocols need.
+        """
         clusterer = self._pipeline.clusterer
-        touched: List[Tuple[int, Tuple[str, str]]] = []
-        touched_set = set()
+        pending: Dict[ClusterId, _PendingAppend] = {}
         for offer in reconciled:
             if offer.category_id is None:
                 report.offers_uncategorised += 1
@@ -266,74 +348,184 @@ class SynthesisEngine:
                 report.offers_without_key += 1
                 continue
             self._update_category_stats(offer)
-            shard_index = shard_for_category(offer.category_id, self._num_shards)
-            cluster_id = (offer.category_id, key)
-            state = self._shards[shard_index].get(cluster_id)
-            if state is None:
-                state = _ClusterState(
-                    cluster=OfferCluster(category_id=offer.category_id, key=key)
-                )
-                self._shards[shard_index][cluster_id] = state
-            state.cluster.offers.append(offer)
+            cluster_id: ClusterId = (offer.category_id, key)
+            entry = pending.get(cluster_id)
+            if entry is None:
+                shard_index = shard_for_category(offer.category_id, self._num_shards)
+                state = self._store.get_cluster(cluster_id)
+                if state is None:
+                    state = self._store.create_cluster(shard_index, cluster_id)
+                entry = _PendingAppend(shard_index=shard_index, base_size=state.size())
+                pending[cluster_id] = entry
+            entry.offers.append(offer)
             report.offers_clustered += 1
-            if (shard_index, cluster_id) not in touched_set:
-                touched_set.add((shard_index, cluster_id))
-                touched.append((shard_index, cluster_id))
-        return touched
+        for cluster_id, entry in pending.items():
+            self._store.append_offers(cluster_id, entry.offers)
+        return pending
 
-    def _refuse_clusters(self, touched: Sequence[Tuple[int, Tuple[str, str]]]) -> int:
+    def _refuse_clusters(self, pending: "Dict[ClusterId, _PendingAppend]") -> int:
         """Re-fuse the touched clusters (sharded, via the executor)."""
-        by_shard: Dict[int, List[Tuple[str, str]]] = {}
-        for shard_index, cluster_id in touched:
-            by_shard.setdefault(shard_index, []).append(cluster_id)
+        by_shard: Dict[int, List[ClusterId]] = {}
+        for cluster_id, entry in pending.items():
+            by_shard.setdefault(entry.shard_index, []).append(cluster_id)
+        if not by_shard:
+            return 0
+        if self._delta_refusion:
+            return self._refuse_delta(by_shard, pending)
+        return self._refuse_full(by_shard)
 
+    # -- full-state protocol ---------------------------------------------------
+
+    def _refuse_full(self, by_shard: Dict[int, List[ClusterId]]) -> int:
+        """Ship complete touched-cluster contents (the original protocol)."""
         payloads: List[_ShardTask] = []
-        payload_shards: List[int] = []
-        payload_keys: List[List[Tuple[str, str]]] = []
+        payload_keys: List[List[ClusterId]] = []
         for shard_index in sorted(by_shard):
             jobs: List[Tuple[OfferCluster, List[str]]] = []
-            keys: List[Tuple[str, str]] = []
+            keys: List[ClusterId] = []
             for cluster_id in by_shard[shard_index]:
-                state = self._shards[shard_index][cluster_id]
-                if state.cluster.size() < self._min_cluster_size:
-                    state.product = None
+                state = self._store.get_cluster(cluster_id)
+                if state.size() < self._min_cluster_size:
+                    self._store.set_product(cluster_id, None)
                     continue
                 jobs.append(
                     (state.cluster, self._pipeline.attribute_names_for(state.cluster))
                 )
                 keys.append(cluster_id)
+                self._transport_stats.clusters_shipped += 1
+                self._transport_stats.offers_shipped += state.size()
             if jobs:
                 payloads.append((jobs, self._worker_fusion))
-                payload_shards.append(shard_index)
                 payload_keys.append(keys)
+        self._transport_stats.shard_tasks += len(payloads)
 
         refreshed = 0
         results = self._executor.map_shards(_fuse_shard, payloads)
-        for shard_index, keys, products in zip(payload_shards, payload_keys, results):
+        for keys, products in zip(payload_keys, results):
             for cluster_id, product in zip(keys, products):
-                state = self._shards[shard_index][cluster_id]
-                state.product = product
+                self._store.set_product(cluster_id, product)
                 if product is not None:
                     refreshed += 1
         return refreshed
 
+    # -- delta protocol --------------------------------------------------------
+
+    def _delta_for(
+        self, cluster_id: ClusterId, base_size: int, offers: List[Offer]
+    ) -> ClusterDelta:
+        state = self._store.get_cluster(cluster_id)
+        self._transport_stats.clusters_shipped += 1
+        self._transport_stats.offers_shipped += len(offers)
+        return ClusterDelta(
+            cluster_id=cluster_id,
+            attribute_names=self._pipeline.attribute_names_for(state.cluster),
+            base_size=base_size,
+            new_offers=offers,
+            fuse=state.size() >= self._min_cluster_size,
+        )
+
+    def _dispatch_delta_tasks(
+        self, tasks_by_shard: Dict[int, List[ClusterDelta]]
+    ) -> List[ClusterId]:
+        """Dispatch one delta task per shard; returns clusters to re-ship.
+
+        Applies every fused product to the store; clusters a worker could
+        not reconstruct (restart without a durable resync source) are
+        returned for a full-content retry.
+        """
+        payloads: List[DeltaShardTask] = []
+        shards: List[int] = []
+        resync_path = self._store.worker_resync_path()
+        for shard_index in sorted(tasks_by_shard):
+            base_version, new_version = self._store.advance_shard_version(shard_index)
+            payloads.append(
+                DeltaShardTask(
+                    store_token=self._store.token,
+                    shard_index=shard_index,
+                    base_version=base_version,
+                    new_version=new_version,
+                    deltas=tasks_by_shard[shard_index],
+                    fusion=self._base_fusion,
+                    resync_path=resync_path,
+                )
+            )
+            shards.append(shard_index)
+        self._transport_stats.shard_tasks += len(payloads)
+
+        results = self._executor.map_pinned(fuse_delta_shard, payloads, shards)
+        missing: List[ClusterId] = []
+        for task, result in zip(payloads, results):
+            unresolved = set(result.missing)
+            for delta, product in zip(task.deltas, result.products):
+                if delta.cluster_id in unresolved:
+                    continue
+                self._store.set_product(delta.cluster_id, product if delta.fuse else None)
+            self._transport_stats.worker_resyncs += result.resynced
+            missing.extend(result.missing)
+        return missing
+
+    def _refuse_delta(
+        self,
+        by_shard: Dict[int, List[ClusterId]],
+        pending: "Dict[ClusterId, _PendingAppend]",
+    ) -> int:
+        """Ship only new offers per touched cluster (pinned workers)."""
+        tasks_by_shard: Dict[int, List[ClusterDelta]] = {}
+        for shard_index in sorted(by_shard):
+            tasks_by_shard[shard_index] = [
+                self._delta_for(
+                    cluster_id, pending[cluster_id].base_size, pending[cluster_id].offers
+                )
+                for cluster_id in by_shard[shard_index]
+            ]
+        missing = self._dispatch_delta_tasks(tasks_by_shard)
+
+        if missing:
+            # A worker restarted and had no durable store to resync from:
+            # re-ship those clusters in full (base_size=0 = replace).
+            self._transport_stats.full_retries += len(missing)
+            retry_by_shard: Dict[int, List[ClusterDelta]] = {}
+            for cluster_id in missing:
+                state = self._store.get_cluster(cluster_id)
+                delta = ClusterDelta(
+                    cluster_id=cluster_id,
+                    attribute_names=self._pipeline.attribute_names_for(state.cluster),
+                    base_size=0,
+                    new_offers=list(state.cluster.offers),
+                    fuse=state.size() >= self._min_cluster_size,
+                )
+                self._transport_stats.clusters_shipped += 1
+                self._transport_stats.offers_shipped += state.size()
+                retry_by_shard.setdefault(state.shard_index, []).append(delta)
+            still_missing = self._dispatch_delta_tasks(retry_by_shard)
+            # base_size=0 replacements always apply; fuse any leftovers
+            # engine-side so no cluster is ever silently dropped.
+            for cluster_id in still_missing:  # pragma: no cover - defensive
+                state = self._store.get_cluster(cluster_id)
+                product = None
+                if state.size() >= self._min_cluster_size:
+                    product = build_product_from_cluster(
+                        state.cluster,
+                        self._pipeline.attribute_names_for(state.cluster),
+                        self._base_fusion,
+                    )
+                self._store.set_product(cluster_id, product)
+
+        refreshed = 0
+        for cluster_id in pending:
+            state = self._store.get_cluster(cluster_id)
+            if state.product is not None:
+                refreshed += 1
+        return refreshed
+
+    # -- statistics ------------------------------------------------------------
+
     def _update_category_stats(self, offer: Offer) -> None:
         if not self._track_category_statistics:
             return
-        category_id = offer.category_id or ""
-        stats = self._category_stats.get(category_id)
-        if stats is None:
-            stats = IncrementalTfIdf()
-            self._category_stats[category_id] = stats
+        stats = self._store.category_stats_for_update(offer.category_id or "")
         for pair in offer.specification:
             stats.add(pair.value)
-
-    def _merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
-        total = self._reconciliation_stats
-        total.offers_processed += stats.offers_processed
-        total.pairs_seen += stats.pairs_seen
-        total.pairs_mapped += stats.pairs_mapped
-        total.pairs_discarded += stats.pairs_discarded
 
     # -- views ----------------------------------------------------------------
 
@@ -341,44 +533,64 @@ class SynthesisEngine:
         """All current synthesized products.
 
         Sorted by (category, cluster key), so the listing is deterministic
-        regardless of shard count, executor, or how the stream was batched.
+        regardless of shard count, executor, store backend, or how the
+        stream was batched.
         """
-        collected: List[Tuple[Tuple[str, str], Product]] = []
-        for shard in self._shards:
-            for cluster_id, state in shard.items():
-                if state.product is not None:
-                    collected.append((cluster_id, state.product))
+        collected: List[Tuple[ClusterId, Product]] = []
+        for cluster_id, state in self._store.iter_clusters():
+            if state.product is not None:
+                collected.append((cluster_id, state.product))
         collected.sort(key=lambda item: item[0])
         return [product for _, product in collected]
 
     def num_clusters(self) -> int:
         """Number of clusters tracked so far (including sub-threshold ones)."""
-        return sum(len(shard) for shard in self._shards)
+        return self._store.num_clusters()
 
     def category_statistics(self, category_id: str) -> Optional[IncrementalTfIdf]:
         """The incremental TF-IDF statistics of one category (or ``None``)."""
-        return self._category_stats.get(category_id)
+        return self._store.category_stats(category_id)
+
+    @property
+    def store(self) -> CatalogStore:
+        """The catalog store holding this engine's state."""
+        return self._store
+
+    def transport_stats(self) -> TransportStats:
+        """Cumulative executor-payload accounting (see :class:`TransportStats`)."""
+        return self._transport_stats
 
     def snapshot(self) -> EngineSnapshot:
         """A consistent summary of everything ingested so far."""
         return EngineSnapshot(
             products=self.products(),
             num_clusters=self.num_clusters(),
-            offers_ingested=len(self._seen_offer_ids),
-            # Copy: a snapshot must not keep mutating with later ingests.
-            reconciliation_stats=replace(self._reconciliation_stats),
-            assigned_categories=dict(self._assigned_categories),
-            category_vocabulary={
-                category_id: stats.vocabulary_size
-                for category_id, stats in sorted(self._category_stats.items())
-            },
+            offers_ingested=self._store.num_seen(),
+            # The store hands out copies, so a snapshot never keeps
+            # mutating with later ingests.
+            reconciliation_stats=self._store.reconciliation_stats(),
+            assigned_categories=self._store.assigned_categories(),
+            category_vocabulary=self._store.category_vocabulary(),
         )
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Release executor workers (the engine stays usable afterwards)."""
+        """Release executor workers and flush/close an engine-owned store.
+
+        Idempotent: calling it twice (or after ``__exit__``) is safe.  A
+        store passed in as an instance is committed but left open for its
+        owner; with the default in-memory store the engine stays fully
+        usable after ``close`` (workers are re-created lazily).
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._executor.close()
+        if self._owns_store:
+            self._store.close()
+        else:
+            self._store.commit()
 
     def __enter__(self) -> "SynthesisEngine":
         return self

@@ -1,0 +1,266 @@
+"""The pluggable catalog state layer of the run-time engine.
+
+:class:`~repro.runtime.engine.SynthesisEngine` used to keep all of its
+state — clusters, cached fusion results, seen-offer ids, per-category
+TF-IDF statistics, reconciliation counters — in private in-memory dicts.
+This module factorises that implicit state behind an explicit
+:class:`CatalogStore` interface so backends can be swapped:
+
+* :class:`~repro.runtime.store.memory.MemoryCatalogStore` — the original
+  zero-copy in-process behaviour (the default);
+* :class:`~repro.runtime.store.sqlite.SqliteCatalogStore` — a durable
+  WAL-mode SQLite backend that commits after every ingest and restores
+  the full engine state across process restarts.
+
+The store is also the source of truth for the *delta re-fusion protocol*
+(:mod:`repro.runtime.delta`): it tracks a monotonic version counter per
+category shard, and a durable store exposes a ``worker_resync_path`` so a
+process worker that restarted or fell behind can reload shard state
+straight from disk instead of having it re-shipped.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.model.offers import Offer
+from repro.model.products import Product
+from repro.synthesis.clustering import OfferCluster
+from repro.synthesis.reconciliation import ReconciliationStats
+from repro.text.tfidf import IncrementalTfIdf
+
+__all__ = ["ClusterId", "ClusterState", "CatalogStore", "resolve_store"]
+
+#: A cluster is identified by (category_id, clustering key) — the same
+#: pair the clusterer uses, so cluster identity is store-independent.
+ClusterId = Tuple[str, str]
+
+#: Monotonic source for store tokens; combined with the PID so tokens
+#: from engines in different processes can never collide.
+_TOKEN_COUNTER = itertools.count(1)
+
+
+def _new_store_token() -> str:
+    return f"store-{os.getpid()}-{next(_TOKEN_COUNTER)}"
+
+
+@dataclass
+class ClusterState:
+    """One cluster, its cached fusion result, and its shard assignment."""
+
+    shard_index: int
+    cluster: OfferCluster
+    product: Optional[Product] = None
+
+    def size(self) -> int:
+        """Number of offers currently in the cluster."""
+        return self.cluster.size()
+
+
+class CatalogStore(abc.ABC):
+    """Everything the synthesis engine remembers between ingests.
+
+    The contract mirrors the engine's access patterns: membership checks
+    and appends on the hot ingest path, whole-shard iteration for views,
+    and an explicit :meth:`commit` barrier at the end of every ingest
+    (durable backends flush exactly there, so a killed process loses at
+    most the in-flight batch).
+
+    A store instance carries a ``token`` unique per open; the delta
+    protocol keys worker-resident shard caches on it, so state cached for
+    a previous store generation can never leak into a new run.
+    """
+
+    #: Name used by CLI flags and reports ("memory", "sqlite", ...).
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.token = _new_store_token()
+        self._num_shards = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def bind(self, num_shards: int) -> None:
+        """Attach the store to an engine with ``num_shards`` category shards.
+
+        Restored state written under a different shard count is re-indexed
+        by the backend (cluster identity never depends on the shard count,
+        only the parallel grouping does).
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self._num_shards = num_shards
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count the store is bound to (0 before :meth:`bind`)."""
+        return self._num_shards
+
+    @abc.abstractmethod
+    def commit(self) -> None:
+        """Make everything recorded so far durable (no-op for memory)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release backend resources; safe to call more than once."""
+
+    @property
+    def closed(self) -> bool:
+        """Whether the store can no longer accept writes.
+
+        In-memory stores never close in this sense; durable backends
+        report ``True`` once their connection is released, and the
+        engine refuses further ingests instead of mutating a mirror
+        whose writes could never be persisted.
+        """
+        return False
+
+    # -- seen offers -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def is_seen(self, offer_id: str) -> bool:
+        """Whether an offer id was already absorbed."""
+
+    @abc.abstractmethod
+    def mark_seen(self, offer_id: str) -> bool:
+        """Record an offer id; ``False`` when it was already recorded."""
+
+    @abc.abstractmethod
+    def num_seen(self) -> int:
+        """Distinct offer ids absorbed so far."""
+
+    # -- assigned categories ---------------------------------------------------
+
+    @abc.abstractmethod
+    def record_category(self, offer_id: str, category_id: str) -> None:
+        """Remember which catalog category an offer was assigned to."""
+
+    @abc.abstractmethod
+    def assigned_categories(self) -> Dict[str, str]:
+        """A copy of the offer-id -> category-id assignment map."""
+
+    # -- clusters --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def get_cluster(self, cluster_id: ClusterId) -> Optional[ClusterState]:
+        """The state of one cluster, or ``None`` when it does not exist."""
+
+    @abc.abstractmethod
+    def create_cluster(self, shard_index: int, cluster_id: ClusterId) -> ClusterState:
+        """Create (and return) an empty cluster in the given shard."""
+
+    @abc.abstractmethod
+    def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
+        """Append a batch of reconciled offers to an existing cluster."""
+
+    @abc.abstractmethod
+    def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
+        """Record the (re-)fused product of a cluster (``None`` = below bar)."""
+
+    @abc.abstractmethod
+    def iter_clusters(self) -> Iterator[Tuple[ClusterId, ClusterState]]:
+        """Iterate over every tracked cluster (order unspecified)."""
+
+    @abc.abstractmethod
+    def shard_cluster_ids(self, shard_index: int) -> List[ClusterId]:
+        """Ids of every cluster living in one shard."""
+
+    @abc.abstractmethod
+    def num_clusters(self) -> int:
+        """Number of clusters tracked so far (including sub-threshold ones)."""
+
+    # -- per-category statistics -----------------------------------------------
+
+    @abc.abstractmethod
+    def category_stats_for_update(self, category_id: str) -> IncrementalTfIdf:
+        """Get-or-create the mutable TF-IDF statistics of one category.
+
+        The returned object may be mutated in place; durable backends
+        persist it at the next :meth:`commit`.
+        """
+
+    @abc.abstractmethod
+    def category_stats(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        """The TF-IDF statistics of one category, or ``None``."""
+
+    @abc.abstractmethod
+    def category_vocabulary(self) -> Dict[str, int]:
+        """category_id -> distinct value-token vocabulary size, sorted by id."""
+
+    # -- reconciliation stats --------------------------------------------------
+
+    @abc.abstractmethod
+    def merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
+        """Fold one batch's reconciliation counters into the running total."""
+
+    @abc.abstractmethod
+    def reconciliation_stats(self) -> ReconciliationStats:
+        """A copy of the accumulated reconciliation counters."""
+
+    # -- shard versions (delta re-fusion protocol) -----------------------------
+
+    @abc.abstractmethod
+    def shard_version(self, shard_index: int) -> int:
+        """The current version counter of one shard (0 = never dispatched)."""
+
+    @abc.abstractmethod
+    def advance_shard_version(self, shard_index: int) -> Tuple[int, int]:
+        """Bump a shard's version; returns ``(base_version, new_version)``."""
+
+    # -- worker resync ---------------------------------------------------------
+
+    def worker_resync_path(self) -> Optional[str]:
+        """Durable location a process worker can reload shard state from.
+
+        ``None`` (the default) means workers cannot self-resync and the
+        engine must re-ship full cluster contents instead.
+        """
+        return None
+
+
+@dataclass
+class _InMemoryState:
+    """The dict-shaped state shared by the concrete backends.
+
+    :class:`~repro.runtime.store.memory.MemoryCatalogStore` *is* this
+    state; :class:`~repro.runtime.store.sqlite.SqliteCatalogStore` keeps
+    it as a read-through mirror and journals mutations to disk at commit.
+    """
+
+    clusters: Dict[ClusterId, ClusterState] = field(default_factory=dict)
+    shard_index: Dict[int, List[ClusterId]] = field(default_factory=dict)
+    seen_offer_ids: set = field(default_factory=set)
+    assigned_categories: Dict[str, str] = field(default_factory=dict)
+    category_stats: Dict[str, IncrementalTfIdf] = field(default_factory=dict)
+    reconciliation_stats: ReconciliationStats = field(default_factory=ReconciliationStats)
+    shard_versions: Dict[int, int] = field(default_factory=dict)
+
+
+def resolve_store(
+    store: Union[str, CatalogStore, None],
+    path: Optional[str] = None,
+) -> CatalogStore:
+    """Turn a store name (or instance, or ``None``) into a catalog store.
+
+    ``None`` and ``"memory"`` give a fresh in-memory store; ``"sqlite"``
+    opens (or creates) a durable store at ``path``.
+    """
+    # Imported here: the backends import this module for the protocol.
+    from repro.runtime.store.memory import MemoryCatalogStore
+    from repro.runtime.store.sqlite import SqliteCatalogStore
+
+    if store is None:
+        return MemoryCatalogStore()
+    if isinstance(store, CatalogStore):
+        return store
+    if store == "memory":
+        return MemoryCatalogStore()
+    if store == "sqlite":
+        if path is None:
+            raise ValueError("store='sqlite' requires a store path")
+        return SqliteCatalogStore(path)
+    raise ValueError(f"unknown store {store!r}; expected one of ['memory', 'sqlite']")

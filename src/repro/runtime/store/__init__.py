@@ -1,0 +1,13 @@
+"""Concrete catalog-store backends for the run-time engine.
+
+``memory``
+    :class:`MemoryCatalogStore` — the zero-copy in-process default.
+``sqlite``
+    :class:`SqliteCatalogStore` — durable WAL-mode SQLite with
+    per-ingest commits and full snapshot/restore across restarts.
+"""
+
+from repro.runtime.store.memory import MemoryCatalogStore
+from repro.runtime.store.sqlite import SqliteCatalogStore
+
+__all__ = ["MemoryCatalogStore", "SqliteCatalogStore"]

@@ -1,0 +1,132 @@
+"""The in-memory catalog store (the engine's original behaviour).
+
+Everything lives in plain dicts; cluster payloads handed to the engine
+are live references, so serial and thread execution stay zero-copy.
+``commit`` is a no-op and nothing survives the process — use
+:class:`~repro.runtime.store.sqlite.SqliteCatalogStore` for durability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.model.offers import Offer
+from repro.model.products import Product
+from repro.runtime.state import CatalogStore, ClusterId, ClusterState, _InMemoryState
+from repro.synthesis.clustering import OfferCluster
+from repro.synthesis.reconciliation import ReconciliationStats
+from repro.text.tfidf import IncrementalTfIdf
+
+__all__ = ["MemoryCatalogStore"]
+
+
+class MemoryCatalogStore(CatalogStore):
+    """Keep all engine state in process memory (fast, volatile)."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state = _InMemoryState()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Nothing to flush."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    # -- seen offers -----------------------------------------------------------
+
+    def is_seen(self, offer_id: str) -> bool:
+        return offer_id in self._state.seen_offer_ids
+
+    def mark_seen(self, offer_id: str) -> bool:
+        seen = self._state.seen_offer_ids
+        if offer_id in seen:
+            return False
+        seen.add(offer_id)
+        return True
+
+    def num_seen(self) -> int:
+        return len(self._state.seen_offer_ids)
+
+    # -- assigned categories ---------------------------------------------------
+
+    def record_category(self, offer_id: str, category_id: str) -> None:
+        self._state.assigned_categories[offer_id] = category_id
+
+    def assigned_categories(self) -> Dict[str, str]:
+        return dict(self._state.assigned_categories)
+
+    # -- clusters --------------------------------------------------------------
+
+    def get_cluster(self, cluster_id: ClusterId) -> Optional[ClusterState]:
+        return self._state.clusters.get(cluster_id)
+
+    def create_cluster(self, shard_index: int, cluster_id: ClusterId) -> ClusterState:
+        category_id, key = cluster_id
+        state = ClusterState(
+            shard_index=shard_index,
+            cluster=OfferCluster(category_id=category_id, key=key),
+        )
+        self._state.clusters[cluster_id] = state
+        self._state.shard_index.setdefault(shard_index, []).append(cluster_id)
+        return state
+
+    def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
+        self._state.clusters[cluster_id].cluster.offers.extend(offers)
+
+    def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
+        self._state.clusters[cluster_id].product = product
+
+    def iter_clusters(self) -> Iterator[Tuple[ClusterId, ClusterState]]:
+        return iter(self._state.clusters.items())
+
+    def shard_cluster_ids(self, shard_index: int) -> List[ClusterId]:
+        return list(self._state.shard_index.get(shard_index, ()))
+
+    def num_clusters(self) -> int:
+        return len(self._state.clusters)
+
+    # -- per-category statistics -----------------------------------------------
+
+    def category_stats_for_update(self, category_id: str) -> IncrementalTfIdf:
+        stats = self._state.category_stats.get(category_id)
+        if stats is None:
+            stats = IncrementalTfIdf()
+            self._state.category_stats[category_id] = stats
+        return stats
+
+    def category_stats(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        return self._state.category_stats.get(category_id)
+
+    def category_vocabulary(self) -> Dict[str, int]:
+        return {
+            category_id: stats.vocabulary_size
+            for category_id, stats in sorted(self._state.category_stats.items())
+        }
+
+    # -- reconciliation stats --------------------------------------------------
+
+    def merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
+        total = self._state.reconciliation_stats
+        total.offers_processed += stats.offers_processed
+        total.pairs_seen += stats.pairs_seen
+        total.pairs_mapped += stats.pairs_mapped
+        total.pairs_discarded += stats.pairs_discarded
+
+    def reconciliation_stats(self) -> ReconciliationStats:
+        return replace(self._state.reconciliation_stats)
+
+    # -- shard versions --------------------------------------------------------
+
+    def shard_version(self, shard_index: int) -> int:
+        return self._state.shard_versions.get(shard_index, 0)
+
+    def advance_shard_version(self, shard_index: int) -> Tuple[int, int]:
+        base = self._state.shard_versions.get(shard_index, 0)
+        self._state.shard_versions[shard_index] = base + 1
+        return base, base + 1

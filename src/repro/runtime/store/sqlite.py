@@ -1,0 +1,470 @@
+"""Durable WAL-mode SQLite catalog store.
+
+Layout (one row per fact, JSON payloads via the
+:mod:`repro.model.persistence` serialisers)::
+
+    meta(key, value)                      -- format version, shard count
+    seen_offers(offer_id)                 -- ingest dedup set
+    assigned_categories(offer_id, ...)    -- classifier output
+    clusters(category_id, cluster_key, product)
+    cluster_offers(category_id, cluster_key, position, offer)
+    category_stats(category_id, stats)    -- IncrementalTfIdf state dicts
+    shard_versions(shard, version)        -- delta-protocol counters
+    reconciliation_stats(id=1, ...)       -- running totals
+
+The store keeps a full in-memory mirror (reads never touch disk on the
+hot path) and journals mutations, flushing them in one transaction per
+:meth:`commit` — the engine commits at the end of every ingest, so a
+killed process loses at most the batch that was in flight.  Reopening
+the same path restores the complete engine state; re-fusing restored
+clusters yields byte-identical products because offers round-trip
+exactly through the JSON serialisers.
+
+Because the file is a consistent snapshot after every commit, process
+workers of the delta re-fusion protocol can resync a shard straight from
+it (:meth:`worker_resync_path`) instead of having cluster contents
+re-shipped through the task queue.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.model.offers import Offer
+from repro.model.persistence import (
+    offer_from_dict,
+    offer_to_dict,
+    product_from_dict,
+    product_to_dict,
+)
+from repro.model.products import Product
+from repro.runtime.sharding import shard_for_category
+from repro.runtime.state import CatalogStore, ClusterId, ClusterState, _InMemoryState
+from repro.synthesis.clustering import OfferCluster
+from repro.synthesis.reconciliation import ReconciliationStats
+from repro.text.tfidf import IncrementalTfIdf
+
+__all__ = ["SqliteCatalogStore", "load_shard_clusters"]
+
+#: Bumped when the table layout changes incompatibly.
+_FORMAT_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS seen_offers (
+    offer_id TEXT PRIMARY KEY
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS assigned_categories (
+    offer_id TEXT PRIMARY KEY,
+    category_id TEXT NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS clusters (
+    category_id TEXT NOT NULL,
+    cluster_key TEXT NOT NULL,
+    product TEXT,
+    PRIMARY KEY (category_id, cluster_key)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS cluster_offers (
+    category_id TEXT NOT NULL,
+    cluster_key TEXT NOT NULL,
+    position INTEGER NOT NULL,
+    offer TEXT NOT NULL,
+    PRIMARY KEY (category_id, cluster_key, position)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS category_stats (
+    category_id TEXT PRIMARY KEY,
+    stats TEXT NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS shard_versions (
+    shard INTEGER PRIMARY KEY,
+    version INTEGER NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS reconciliation_stats (
+    id INTEGER PRIMARY KEY CHECK (id = 1),
+    offers_processed INTEGER NOT NULL,
+    pairs_seen INTEGER NOT NULL,
+    pairs_mapped INTEGER NOT NULL,
+    pairs_discarded INTEGER NOT NULL
+);
+"""
+
+
+def load_shard_clusters(
+    path: str, cluster_ids: List[ClusterId]
+) -> Dict[ClusterId, List[Offer]]:
+    """Load the committed offer lists of selected clusters from ``path``.
+
+    Used by delta-protocol process workers to resync: the file reflects
+    the last engine commit (= the state *before* the in-flight batch), so
+    the caller applies the current batch's delta on top.  Missing
+    clusters simply have no entry in the result.
+    """
+    # A plain read-only connection per call keeps the worker side free of
+    # connection state; resyncs are rare (worker restart / fresh worker).
+    connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    try:
+        loaded: Dict[ClusterId, List[Offer]] = {}
+        for category_id, cluster_key in cluster_ids:
+            rows = connection.execute(
+                "SELECT offer FROM cluster_offers"
+                " WHERE category_id = ? AND cluster_key = ? ORDER BY position",
+                (category_id, cluster_key),
+            ).fetchall()
+            if rows:
+                loaded[(category_id, cluster_key)] = [
+                    offer_from_dict(json.loads(row[0])) for row in rows
+                ]
+        return loaded
+    finally:
+        connection.close()
+
+
+class SqliteCatalogStore(CatalogStore):
+    """Durable catalog store over a single SQLite file (WAL mode)."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self._path = os.path.abspath(path)
+        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(self._path)
+        # Validate the format marker *before* touching the file: running
+        # the schema script against a future-format store would write v1
+        # tables into it, and restoring would crash with an opaque
+        # OperationalError instead of this ValueError.
+        stored_version = self._stored_format_version()
+        if stored_version is not None and stored_version != _FORMAT_VERSION:
+            self._connection.close()
+            self._connection = None
+            raise ValueError(
+                f"unsupported catalog store format version: {stored_version}"
+            )
+        self._connection.executescript(_SCHEMA)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._state = _InMemoryState()
+        # Mutation journals, flushed in one transaction per commit().
+        self._new_seen: List[str] = []
+        self._new_categories: List[Tuple[str, str]] = []
+        self._new_clusters: List[ClusterId] = []
+        self._new_offers: List[Tuple[str, str, int, str]] = []
+        self._dirty_products: Dict[ClusterId, Optional[Product]] = {}
+        self._dirty_stats: set = set()
+        self._dirty_versions: set = set()
+        self._stats_dirty = False
+        self._restore()
+        if stored_version is None:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("format_version", str(_FORMAT_VERSION)),
+            )
+            self._connection.commit()
+
+    # -- restore ---------------------------------------------------------------
+
+    def _stored_format_version(self) -> Optional[int]:
+        """The format marker of an existing store file, before any writes."""
+        assert self._connection is not None
+        has_meta = self._connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' AND name = 'meta'"
+        ).fetchone()
+        if has_meta is None:
+            return None
+        version = self._meta("format_version")
+        return None if version is None else int(version)
+
+    def _meta(self, key: str) -> Optional[str]:
+        assert self._connection is not None
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def _restore(self) -> None:
+        """Populate the in-memory mirror from the persisted snapshot."""
+        assert self._connection is not None
+        state = self._state
+        for (offer_id,) in self._connection.execute("SELECT offer_id FROM seen_offers"):
+            state.seen_offer_ids.add(offer_id)
+        for offer_id, category_id in self._connection.execute(
+            "SELECT offer_id, category_id FROM assigned_categories"
+        ):
+            state.assigned_categories[offer_id] = category_id
+        for category_id, cluster_key, product_json in self._connection.execute(
+            "SELECT category_id, cluster_key, product FROM clusters"
+        ):
+            product = None
+            if product_json is not None:
+                product = product_from_dict(json.loads(product_json))
+            # Shard assignment is recomputed at bind(); -1 marks unbound.
+            state.clusters[(category_id, cluster_key)] = ClusterState(
+                shard_index=-1,
+                cluster=OfferCluster(category_id=category_id, key=cluster_key),
+                product=product,
+            )
+        for category_id, cluster_key, offer_json in self._connection.execute(
+            "SELECT category_id, cluster_key, offer FROM cluster_offers"
+            " ORDER BY category_id, cluster_key, position"
+        ):
+            state.clusters[(category_id, cluster_key)].cluster.offers.append(
+                offer_from_dict(json.loads(offer_json))
+            )
+        for category_id, stats_json in self._connection.execute(
+            "SELECT category_id, stats FROM category_stats"
+        ):
+            state.category_stats[category_id] = IncrementalTfIdf.from_state_dict(
+                json.loads(stats_json)
+            )
+        for shard, version in self._connection.execute(
+            "SELECT shard, version FROM shard_versions"
+        ):
+            state.shard_versions[shard] = version
+        row = self._connection.execute(
+            "SELECT offers_processed, pairs_seen, pairs_mapped, pairs_discarded"
+            " FROM reconciliation_stats WHERE id = 1"
+        ).fetchone()
+        if row is not None:
+            state.reconciliation_stats = ReconciliationStats(*row)
+
+    def bind(self, num_shards: int) -> None:
+        super().bind(num_shards)
+        stored = self._meta("num_shards")
+        if stored is not None and int(stored) != num_shards:
+            # Shard indices (and therefore per-shard version counters)
+            # are meaningless under a different shard count; reset them.
+            # Worker caches are keyed by store token, so no worker can
+            # hold state for this store generation yet.
+            self._state.shard_versions = {}
+            assert self._connection is not None
+            self._connection.execute("DELETE FROM shard_versions")
+        assert self._connection is not None
+        self._connection.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            ("num_shards", str(num_shards)),
+        )
+        self._connection.commit()
+        self._state.shard_index = {}
+        for cluster_id, cluster_state in self._state.clusters.items():
+            shard = shard_for_category(cluster_id[0], num_shards)
+            cluster_state.shard_index = shard
+            self._state.shard_index.setdefault(shard, []).append(cluster_id)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Flush journalled mutations in one transaction."""
+        connection = self._connection
+        if connection is None:
+            raise RuntimeError("catalog store is closed")
+        if self._new_seen:
+            connection.executemany(
+                "INSERT OR IGNORE INTO seen_offers (offer_id) VALUES (?)",
+                [(offer_id,) for offer_id in self._new_seen],
+            )
+        if self._new_categories:
+            connection.executemany(
+                "INSERT OR REPLACE INTO assigned_categories (offer_id, category_id)"
+                " VALUES (?, ?)",
+                self._new_categories,
+            )
+        if self._new_clusters:
+            connection.executemany(
+                "INSERT OR IGNORE INTO clusters (category_id, cluster_key, product)"
+                " VALUES (?, ?, NULL)",
+                self._new_clusters,
+            )
+        if self._new_offers:
+            connection.executemany(
+                "INSERT OR REPLACE INTO cluster_offers"
+                " (category_id, cluster_key, position, offer) VALUES (?, ?, ?, ?)",
+                self._new_offers,
+            )
+        if self._dirty_products:
+            connection.executemany(
+                "UPDATE clusters SET product = ? WHERE category_id = ? AND cluster_key = ?",
+                [
+                    (
+                        None if product is None else json.dumps(product_to_dict(product)),
+                        category_id,
+                        cluster_key,
+                    )
+                    for (category_id, cluster_key), product in self._dirty_products.items()
+                ],
+            )
+        if self._dirty_stats:
+            connection.executemany(
+                "INSERT OR REPLACE INTO category_stats (category_id, stats) VALUES (?, ?)",
+                [
+                    (category_id, json.dumps(self._state.category_stats[category_id].state_dict()))
+                    for category_id in sorted(self._dirty_stats)
+                ],
+            )
+        if self._dirty_versions:
+            connection.executemany(
+                "INSERT OR REPLACE INTO shard_versions (shard, version) VALUES (?, ?)",
+                [
+                    (shard, self._state.shard_versions.get(shard, 0))
+                    for shard in sorted(self._dirty_versions)
+                ],
+            )
+        if self._stats_dirty:
+            totals = self._state.reconciliation_stats
+            connection.execute(
+                "INSERT OR REPLACE INTO reconciliation_stats"
+                " (id, offers_processed, pairs_seen, pairs_mapped, pairs_discarded)"
+                " VALUES (1, ?, ?, ?, ?)",
+                (
+                    totals.offers_processed,
+                    totals.pairs_seen,
+                    totals.pairs_mapped,
+                    totals.pairs_discarded,
+                ),
+            )
+        connection.commit()
+        self._new_seen = []
+        self._new_categories = []
+        self._new_clusters = []
+        self._new_offers = []
+        self._dirty_products = {}
+        self._dirty_stats = set()
+        self._dirty_versions = set()
+        self._stats_dirty = False
+
+    def close(self) -> None:
+        """Flush pending mutations and close the connection (idempotent)."""
+        if self._connection is None:
+            return
+        self.commit()
+        self._connection.close()
+        self._connection = None
+
+    @property
+    def closed(self) -> bool:
+        return self._connection is None
+
+    @property
+    def path(self) -> str:
+        """Absolute path of the backing SQLite file."""
+        return self._path
+
+    def worker_resync_path(self) -> Optional[str]:
+        return self._path
+
+    # -- seen offers -----------------------------------------------------------
+
+    def is_seen(self, offer_id: str) -> bool:
+        return offer_id in self._state.seen_offer_ids
+
+    def mark_seen(self, offer_id: str) -> bool:
+        seen = self._state.seen_offer_ids
+        if offer_id in seen:
+            return False
+        seen.add(offer_id)
+        self._new_seen.append(offer_id)
+        return True
+
+    def num_seen(self) -> int:
+        return len(self._state.seen_offer_ids)
+
+    # -- assigned categories ---------------------------------------------------
+
+    def record_category(self, offer_id: str, category_id: str) -> None:
+        self._state.assigned_categories[offer_id] = category_id
+        self._new_categories.append((offer_id, category_id))
+
+    def assigned_categories(self) -> Dict[str, str]:
+        return dict(self._state.assigned_categories)
+
+    # -- clusters --------------------------------------------------------------
+
+    def get_cluster(self, cluster_id: ClusterId) -> Optional[ClusterState]:
+        return self._state.clusters.get(cluster_id)
+
+    def create_cluster(self, shard_index: int, cluster_id: ClusterId) -> ClusterState:
+        category_id, key = cluster_id
+        state = ClusterState(
+            shard_index=shard_index,
+            cluster=OfferCluster(category_id=category_id, key=key),
+        )
+        self._state.clusters[cluster_id] = state
+        self._state.shard_index.setdefault(shard_index, []).append(cluster_id)
+        self._new_clusters.append(cluster_id)
+        return state
+
+    def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
+        cluster = self._state.clusters[cluster_id].cluster
+        position = len(cluster.offers)
+        category_id, cluster_key = cluster_id
+        for offset, offer in enumerate(offers):
+            self._new_offers.append(
+                (category_id, cluster_key, position + offset, json.dumps(offer_to_dict(offer)))
+            )
+        cluster.offers.extend(offers)
+
+    def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
+        self._state.clusters[cluster_id].product = product
+        self._dirty_products[cluster_id] = product
+
+    def iter_clusters(self) -> Iterator[Tuple[ClusterId, ClusterState]]:
+        return iter(self._state.clusters.items())
+
+    def shard_cluster_ids(self, shard_index: int) -> List[ClusterId]:
+        return list(self._state.shard_index.get(shard_index, ()))
+
+    def num_clusters(self) -> int:
+        return len(self._state.clusters)
+
+    # -- per-category statistics -----------------------------------------------
+
+    def category_stats_for_update(self, category_id: str) -> IncrementalTfIdf:
+        stats = self._state.category_stats.get(category_id)
+        if stats is None:
+            stats = IncrementalTfIdf()
+            self._state.category_stats[category_id] = stats
+        self._dirty_stats.add(category_id)
+        return stats
+
+    def category_stats(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        return self._state.category_stats.get(category_id)
+
+    def category_vocabulary(self) -> Dict[str, int]:
+        return {
+            category_id: stats.vocabulary_size
+            for category_id, stats in sorted(self._state.category_stats.items())
+        }
+
+    # -- reconciliation stats --------------------------------------------------
+
+    def merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
+        total = self._state.reconciliation_stats
+        total.offers_processed += stats.offers_processed
+        total.pairs_seen += stats.pairs_seen
+        total.pairs_mapped += stats.pairs_mapped
+        total.pairs_discarded += stats.pairs_discarded
+        self._stats_dirty = True
+
+    def reconciliation_stats(self) -> ReconciliationStats:
+        totals = self._state.reconciliation_stats
+        return ReconciliationStats(
+            offers_processed=totals.offers_processed,
+            pairs_seen=totals.pairs_seen,
+            pairs_mapped=totals.pairs_mapped,
+            pairs_discarded=totals.pairs_discarded,
+        )
+
+    # -- shard versions --------------------------------------------------------
+
+    def shard_version(self, shard_index: int) -> int:
+        return self._state.shard_versions.get(shard_index, 0)
+
+    def advance_shard_version(self, shard_index: int) -> Tuple[int, int]:
+        base = self._state.shard_versions.get(shard_index, 0)
+        self._state.shard_versions[shard_index] = base + 1
+        self._dirty_versions.add(shard_index)
+        return base, base + 1

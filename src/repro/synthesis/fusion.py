@@ -98,7 +98,10 @@ class CentroidValueFusion:
 
         def distance(vector: List[float]) -> float:
             return math.sqrt(
-                sum((component - centroid[position]) ** 2 for position, component in enumerate(vector))
+                sum(
+                    (component - centroid[position]) ** 2
+                    for position, component in enumerate(vector)
+                )
             )
 
         ranked = sorted(

@@ -74,6 +74,33 @@ class IncrementalTfIdf:
                 self._document_frequency.get(token, 0) + frequency
             )
 
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The raw statistics as a JSON-compatible dict (see :meth:`from_state_dict`)."""
+        return {
+            "num_documents": self._num_documents,
+            "document_frequency": dict(self._document_frequency),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, object]) -> "IncrementalTfIdf":
+        """Rebuild statistics previously captured with :meth:`state_dict`.
+
+        The restored object is indistinguishable from the original: same
+        document count, same document frequencies, hence identical IDF
+        values — what lets a durable catalog store resume per-category
+        statistics across process restarts.
+        """
+        stats = cls()
+        stats._num_documents = int(state.get("num_documents", 0))
+        frequencies = state.get("document_frequency", {})
+        stats._document_frequency = {
+            str(token): int(frequency)
+            for token, frequency in frequencies.items()  # type: ignore[union-attr]
+        }
+        return stats
+
     # -- statistics ------------------------------------------------------------
 
     def _idf_value(self, document_frequency: int) -> float:

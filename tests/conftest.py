@@ -23,6 +23,10 @@ from repro.model.schema import AttributeKind, CategorySchema
 from repro.model.taxonomy import Taxonomy
 
 
+# Re-exported so test modules share the canonical byte-identity oracle.
+from repro.model.products import product_fingerprint  # noqa: E402,F401
+
+
 @pytest.fixture(scope="session")
 def tiny_corpus():
     """A tiny synthetic corpus shared across the test session."""

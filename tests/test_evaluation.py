@@ -156,7 +156,9 @@ class TestCorrespondenceJudgement:
         assert not oracle.correspondence_is_correct(wrong)
         labelled = oracle.correspondence_labels([correct, wrong, identity])
         assert len(labelled) == 2
-        labelled_all = oracle.correspondence_labels([correct, wrong, identity], exclude_identity=False)
+        labelled_all = oracle.correspondence_labels(
+            [correct, wrong, identity], exclude_identity=False
+        )
         assert len(labelled_all) == 3
 
 

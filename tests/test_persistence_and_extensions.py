@@ -22,6 +22,10 @@ from repro.model.persistence import (
     correspondences_to_dict,
     load_catalog,
     load_correspondences,
+    offer_from_dict,
+    offer_to_dict,
+    offers_from_dicts,
+    offers_to_dicts,
     products_from_dicts,
     products_to_dicts,
     save_catalog,
@@ -84,6 +88,22 @@ class TestProductAndCorrespondencePersistence:
             assert before.product_id == after.product_id
             assert before.specification == after.specification
             assert before.source_offer_ids == after.source_offer_ids
+
+    def test_offer_round_trip_is_exact(self, tiny_harness):
+        offers = tiny_harness.unmatched_offers[:10]
+        restored = offers_from_dicts(json.loads(json.dumps(offers_to_dicts(offers))))
+        # Every field round-trips exactly (dataclass equality covers the
+        # specification too) — the durable catalog store relies on this
+        # to re-fuse byte-identical products after a restart.
+        assert restored == offers
+
+    def test_offer_round_trip_optional_fields(self):
+        from repro.model.offers import Offer
+
+        bare = Offer(offer_id="o-1", merchant_id="m-1", title="Widget")
+        assert offer_from_dict(offer_to_dict(bare)) == bare
+        assert "category_id" not in offer_to_dict(bare)
+        assert "image_url" not in offer_to_dict(bare)
 
     def test_correspondences_round_trip(self, tmp_path):
         correspondences = CorrespondenceSet(

@@ -19,18 +19,7 @@ from repro.synthesis.pipeline import ProductSynthesisPipeline, stable_product_id
 from repro.text.tfidf import IncrementalTfIdf, TfIdfVectorizer
 
 
-def fingerprint(products):
-    """Byte-comparable serialization of a product list."""
-    return [
-        (
-            product.product_id,
-            product.category_id,
-            product.title,
-            tuple(pair.as_tuple() for pair in product.specification),
-            product.source_offer_ids,
-        )
-        for product in products
-    ]
+from conftest import product_fingerprint as fingerprint
 
 
 def make_engine(harness, **kwargs):
@@ -221,9 +210,22 @@ class TestExecutorParity:
             engine.ingest(tiny_harness.unmatched_offers[:20])
             assert engine.products() or engine.num_clusters() >= 0
 
+    def test_engine_close_is_idempotent(self, tiny_harness):
+        engine = make_engine(tiny_harness, executor="thread")
+        engine.ingest(tiny_harness.unmatched_offers[:20])
+        engine.close()
+        engine.close()  # safe to call twice
+        with make_engine(tiny_harness, executor="thread") as context_engine:
+            context_engine.ingest(tiny_harness.unmatched_offers[:20])
+        context_engine.close()  # and after __exit__
+
     def test_resolve_executor_rejects_unknown_name(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             resolve_executor("gpu")
+        # The error lists the valid executor names.
+        message = str(excinfo.value)
+        for name in ("serial", "thread", "process"):
+            assert name in message
         assert isinstance(resolve_executor(None), SerialExecutor)
 
 

@@ -1,0 +1,308 @@
+"""Tests for the pluggable catalog state layer and the delta protocol.
+
+Covers the CatalogStore backends (memory + durable SQLite), snapshot
+durability across simulated process kills, and the delta re-fusion
+protocol's resync paths (worker restart with and without a durable
+store to reload from).
+"""
+
+import pytest
+
+from repro.model.offers import Offer
+from repro.runtime import (
+    MemoryCatalogStore,
+    SqliteCatalogStore,
+    SynthesisEngine,
+    resolve_store,
+)
+from repro.synthesis.reconciliation import ReconciliationStats
+
+
+from conftest import product_fingerprint as fingerprint
+
+
+def make_engine(harness, **kwargs):
+    return SynthesisEngine(
+        catalog=harness.corpus.catalog,
+        correspondences=harness.offline_result.correspondences,
+        extractor=harness.extractor,
+        category_classifier=harness.category_classifier,
+        **kwargs,
+    )
+
+
+def stream(offers, num_batches):
+    size = max(1, (len(offers) + num_batches - 1) // num_batches)
+    return [offers[start : start + size] for start in range(0, len(offers), size)]
+
+
+@pytest.fixture(scope="module")
+def expected_products(tiny_harness):
+    """Products of an uninterrupted serial in-memory run."""
+    engine = make_engine(tiny_harness, num_shards=4)
+    for batch in stream(tiny_harness.unmatched_offers, 4):
+        engine.ingest(batch)
+    return fingerprint(engine.products())
+
+
+class TestCatalogStoreBasics:
+    def test_resolve_store(self, tmp_path):
+        assert isinstance(resolve_store(None), MemoryCatalogStore)
+        assert isinstance(resolve_store("memory"), MemoryCatalogStore)
+        sqlite_store = resolve_store("sqlite", path=str(tmp_path / "cat.sqlite3"))
+        assert isinstance(sqlite_store, SqliteCatalogStore)
+        sqlite_store.close()
+        assert resolve_store(sqlite_store) is sqlite_store
+        with pytest.raises(ValueError, match="sqlite"):
+            resolve_store("sqlite")
+        with pytest.raises(ValueError, match="memory"):
+            resolve_store("redis")
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_seen_and_versions(self, backend, tmp_path):
+        if backend == "memory":
+            store = MemoryCatalogStore()
+        else:
+            store = SqliteCatalogStore(str(tmp_path / "cat.sqlite3"))
+        store.bind(4)
+        assert store.mark_seen("o-1")
+        assert not store.mark_seen("o-1")
+        assert store.mark_seen("o-2")
+        assert store.num_seen() == 2
+        assert store.shard_version(3) == 0
+        assert store.advance_shard_version(3) == (0, 1)
+        assert store.advance_shard_version(3) == (1, 2)
+        assert store.shard_version(3) == 2
+        assert store.shard_version(0) == 0
+        store.merge_reconciliation_stats(ReconciliationStats(1, 2, 3, 4))
+        copy = store.reconciliation_stats()
+        copy.offers_processed = 99
+        assert store.reconciliation_stats().offers_processed == 1
+        store.close()
+
+    def test_store_tokens_unique(self, tmp_path):
+        first = MemoryCatalogStore()
+        second = MemoryCatalogStore()
+        third = SqliteCatalogStore(str(tmp_path / "cat.sqlite3"))
+        assert len({first.token, second.token, third.token}) == 3
+        third.close()
+
+    def test_sqlite_rejects_future_format_untouched(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "future.sqlite3")
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        connection.execute("INSERT INTO meta VALUES ('format_version', '99')")
+        connection.commit()
+        connection.close()
+        with pytest.raises(ValueError, match="format version"):
+            SqliteCatalogStore(path)
+        # The incompatible file was not mutated: no v1 tables were created.
+        connection = sqlite3.connect(path)
+        tables = {
+            row[0]
+            for row in connection.execute("SELECT name FROM sqlite_master WHERE type='table'")
+        }
+        connection.close()
+        assert tables == {"meta"}
+
+    def test_failed_ingest_is_retryable(self, tiny_harness):
+        """A batch that raises mid-pipeline must not poison the dedup set."""
+        from repro.matching.correspondence import CorrespondenceSet
+
+        # No classifier: offers without a category make ingest raise.
+        engine = SynthesisEngine(
+            catalog=tiny_harness.corpus.catalog,
+            correspondences=CorrespondenceSet(),
+        )
+        offer = tiny_harness.corpus.unmatched_offers()[0]
+        uncategorised = offer.with_specification(offer.specification)
+        uncategorised.category_id = None
+        with pytest.raises(ValueError):
+            engine.ingest([uncategorised])
+        # The failed batch was not absorbed; a corrected retry is fresh.
+        report = engine.ingest([uncategorised.with_category("computing.hdd")])
+        assert report.offers_new == 1
+
+    def test_sqlite_close_idempotent(self, tmp_path):
+        store = SqliteCatalogStore(str(tmp_path / "cat.sqlite3"))
+        store.bind(2)
+        store.mark_seen("o-1")
+        store.close()
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.commit()
+
+
+class TestSqliteRestore:
+    def test_state_round_trips_across_reopen(self, tmp_path, tiny_harness):
+        path = str(tmp_path / "cat.sqlite3")
+        engine = make_engine(tiny_harness, num_shards=4, store="sqlite", store_path=path)
+        batches = stream(tiny_harness.unmatched_offers, 4)
+        for batch in batches:
+            engine.ingest(batch)
+        snapshot = engine.snapshot()
+        products = fingerprint(engine.products())
+        engine.close()
+
+        restored = make_engine(tiny_harness, num_shards=4, store="sqlite", store_path=path)
+        restored_snapshot = restored.snapshot()
+        assert fingerprint(restored.products()) == products
+        assert restored.num_clusters() == snapshot.num_clusters
+        assert restored_snapshot.offers_ingested == snapshot.offers_ingested
+        assert restored_snapshot.assigned_categories == snapshot.assigned_categories
+        assert restored_snapshot.category_vocabulary == snapshot.category_vocabulary
+        stats = restored_snapshot.reconciliation_stats
+        assert stats == snapshot.reconciliation_stats
+        # TF-IDF statistics restore exactly (same document counts => same IDF).
+        category_id = next(iter(snapshot.category_vocabulary))
+        original = engine.store.category_stats(category_id)
+        rebuilt = restored.store.category_stats(category_id)
+        assert rebuilt.num_documents == original.num_documents
+        assert rebuilt.idf("seagate") == pytest.approx(original.idf("seagate"))
+        restored.close()
+
+    def test_replayed_offers_deduplicated_after_restore(self, tmp_path, tiny_harness):
+        path = str(tmp_path / "cat.sqlite3")
+        offers = tiny_harness.unmatched_offers
+        engine = make_engine(tiny_harness, store="sqlite", store_path=path)
+        engine.ingest(offers)
+        before = fingerprint(engine.products())
+        engine.close()
+
+        restored = make_engine(tiny_harness, store="sqlite", store_path=path)
+        report = restored.ingest(offers)  # the feed re-sends its inventory
+        assert report.offers_new == 0
+        assert report.offers_duplicate == len(offers)
+        assert fingerprint(restored.products()) == before
+        restored.close()
+
+    def test_ingest_after_close_fails_fast(self, tmp_path, tiny_harness):
+        """A closed durable store cannot absorb offers: the engine must
+        refuse instead of marking them seen without persisting them."""
+        path = str(tmp_path / "cat.sqlite3")
+        engine = make_engine(tiny_harness, store="sqlite", store_path=path)
+        offers = tiny_harness.unmatched_offers
+        engine.ingest(offers[:20])
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.ingest(offers[20:40])
+        # Nothing leaked into the dedup set: a new engine over the same
+        # file ingests the refused offers as fresh.
+        resumed = make_engine(tiny_harness, store="sqlite", store_path=path)
+        report = resumed.ingest(offers[20:40])
+        assert report.offers_new == 20
+        resumed.close()
+
+    def test_rebind_with_different_shard_count(self, tmp_path, tiny_harness):
+        path = str(tmp_path / "cat.sqlite3")
+        engine = make_engine(tiny_harness, num_shards=8, store="sqlite", store_path=path)
+        engine.ingest(tiny_harness.unmatched_offers)
+        products = fingerprint(engine.products())
+        engine.close()
+        restored = make_engine(tiny_harness, num_shards=2, store="sqlite", store_path=path)
+        # Versions reset with the new shard layout; products unaffected.
+        assert restored.store.shard_version(0) == 0
+        assert fingerprint(restored.products()) == products
+        restored.close()
+
+
+class TestSnapshotDurability:
+    """ISSUE 2 satellite: kill mid-stream, reopen, finish, byte-identical."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_kill_and_resume_matches_uninterrupted_run(
+        self, tmp_path, tiny_harness, expected_products, executor
+    ):
+        path = str(tmp_path / f"cat-{executor}.sqlite3")
+        batches = stream(tiny_harness.unmatched_offers, 4)
+        first = make_engine(
+            tiny_harness, num_shards=4, executor=executor, store="sqlite", store_path=path
+        )
+        for batch in batches[:2]:
+            first.ingest(batch)
+        # Simulated kill: the engine is abandoned without close(); every
+        # ingest committed, so the store file is a consistent snapshot.
+        del first
+
+        second = make_engine(
+            tiny_harness, num_shards=4, executor=executor, store="sqlite", store_path=path
+        )
+        for batch in batches[2:]:
+            second.ingest(batch)
+        assert fingerprint(second.products()) == expected_products
+        second.close()
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_memory_and_sqlite_stores_byte_identical(
+        self, tmp_path, tiny_harness, expected_products, executor
+    ):
+        path = str(tmp_path / f"parity-{executor}.sqlite3")
+        memory = make_engine(tiny_harness, num_shards=4, executor=executor)
+        durable = make_engine(
+            tiny_harness, num_shards=4, executor=executor, store="sqlite", store_path=path
+        )
+        for batch in stream(tiny_harness.unmatched_offers, 3):
+            memory.ingest(batch)
+            durable.ingest(batch)
+        assert fingerprint(memory.products()) == expected_products
+        assert fingerprint(durable.products()) == expected_products
+        memory.close()
+        durable.close()
+
+
+class TestDeltaProtocol:
+    def test_delta_requires_pinning_executor(self, tiny_harness):
+        with pytest.raises(ValueError, match="pinned dispatch"):
+            make_engine(tiny_harness, executor="serial", delta_refusion=True)
+
+    def test_delta_and_full_shipping_byte_identical(self, tiny_harness, expected_products):
+        delta = make_engine(tiny_harness, num_shards=4, executor="process")
+        full = make_engine(
+            tiny_harness, num_shards=4, executor="process", delta_refusion=False
+        )
+        for batch in stream(tiny_harness.unmatched_offers, 4):
+            delta.ingest(batch)
+            full.ingest(batch)
+        assert fingerprint(delta.products()) == expected_products
+        assert fingerprint(full.products()) == expected_products
+        # The delta protocol never ships more than full-state shipping.
+        assert (
+            delta.transport_stats().offers_shipped
+            <= full.transport_stats().offers_shipped
+        )
+        delta.close()
+        full.close()
+
+    def test_worker_restart_resyncs_from_sqlite(self, tmp_path, tiny_harness, expected_products):
+        path = str(tmp_path / "resync.sqlite3")
+        engine = make_engine(
+            tiny_harness, num_shards=4, executor="process", store="sqlite", store_path=path
+        )
+        batches = stream(tiny_harness.unmatched_offers, 4)
+        for batch in batches[:2]:
+            engine.ingest(batch)
+        # Kill every pinned worker: their shard-resident caches are gone,
+        # so clusters grown before the restart miss their base state.
+        engine._executor.close()
+        for batch in batches[2:]:
+            engine.ingest(batch)
+        assert fingerprint(engine.products()) == expected_products
+        # Workers reloaded the missing clusters straight from the store.
+        assert engine.transport_stats().worker_resyncs > 0
+        engine.close()
+
+    def test_worker_restart_falls_back_to_full_reship(self, tiny_harness, expected_products):
+        engine = make_engine(tiny_harness, num_shards=4, executor="process")
+        batches = stream(tiny_harness.unmatched_offers, 4)
+        for batch in batches[:2]:
+            engine.ingest(batch)
+        engine._executor.close()
+        for batch in batches[2:]:
+            engine.ingest(batch)
+        assert fingerprint(engine.products()) == expected_products
+        # No durable store to resync from: the engine re-shipped the
+        # missing clusters in full instead.
+        assert engine.transport_stats().full_retries > 0
+        engine.close()

@@ -41,7 +41,9 @@ class TestCategoryClassifier:
 
     def test_classify_with_confidence(self, tiny_harness):
         classifier = tiny_harness.category_classifier
-        label, confidence = classifier.classify_with_confidence("Seagate Barracuda 500 GB Hard Drive")
+        label, confidence = classifier.classify_with_confidence(
+            "Seagate Barracuda 500 GB Hard Drive"
+        )
         assert isinstance(label, str)
         assert 0.0 < confidence <= 1.0
 

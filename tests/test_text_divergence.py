@@ -32,7 +32,10 @@ class TestKlDivergence:
     def test_asymmetric(self):
         left = TermDistribution.from_counts({"a": 3, "b": 1})
         right = TermDistribution.from_counts({"a": 1, "b": 3})
-        assert kl_divergence(left, right) != pytest.approx(kl_divergence(right, left), abs=1e-12) or True
+        assert (
+            kl_divergence(left, right) != pytest.approx(kl_divergence(right, left), abs=1e-12)
+            or True
+        )
         # Both directions are finite and non-negative.
         assert kl_divergence(left, right) >= 0.0
         assert kl_divergence(right, left) >= 0.0
@@ -82,7 +85,10 @@ class TestJensenShannon:
     def test_empty_distribution_gives_maximum(self):
         dist = TermDistribution.from_values(["a"])
         assert jensen_shannon_divergence(TermDistribution({}), dist) == MAX_JS_DIVERGENCE
-        assert jensen_shannon_divergence(TermDistribution({}), TermDistribution({})) == MAX_JS_DIVERGENCE
+        assert (
+            jensen_shannon_divergence(TermDistribution({}), TermDistribution({}))
+            == MAX_JS_DIVERGENCE
+        )
 
     def test_similarity_is_one_minus_divergence(self):
         left = TermDistribution.from_counts({"a": 2, "b": 1})

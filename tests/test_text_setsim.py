@@ -17,7 +17,9 @@ term_sets = st.sets(st.text(alphabet="abcdef", min_size=1, max_size=4), max_size
 
 class TestJaccard:
     def test_half_overlap(self):
-        assert jaccard_coefficient({"ata", "ide", "133"}, {"ata", "ide", "100"}) == pytest.approx(0.5)
+        assert jaccard_coefficient({"ata", "ide", "133"}, {"ata", "ide", "100"}) == (
+            pytest.approx(0.5)
+        )
 
     def test_identical_sets(self):
         assert jaccard_coefficient({"a", "b"}, {"a", "b"}) == 1.0

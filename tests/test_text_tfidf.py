@@ -1,5 +1,7 @@
 """Tests for TF-IDF vectors and the SoftTFIDF similarity used by DUMAS."""
 
+import json
+
 import pytest
 
 from repro.text.tfidf import SoftTfIdf, TfIdfVectorizer
@@ -48,7 +50,9 @@ class TestTfIdfVectorizer:
 class TestSoftTfIdf:
     def test_exact_match_high(self):
         soft = SoftTfIdf(CORPUS)
-        assert soft.similarity("Seagate Barracuda", "Seagate Barracuda") == pytest.approx(1.0, abs=1e-6)
+        assert soft.similarity("Seagate Barracuda", "Seagate Barracuda") == (
+            pytest.approx(1.0, abs=1e-6)
+        )
 
     def test_near_token_match_counts(self):
         soft = SoftTfIdf(CORPUS, threshold=0.85)
@@ -81,3 +85,27 @@ class TestSoftTfIdf:
 
     def test_threshold_property(self):
         assert SoftTfIdf(CORPUS, threshold=0.95).threshold == 0.95
+
+
+class TestIncrementalTfIdfPersistence:
+    def test_state_dict_round_trip(self):
+        from repro.text.tfidf import IncrementalTfIdf
+
+        stats = IncrementalTfIdf(CORPUS)
+        restored = IncrementalTfIdf.from_state_dict(
+            json.loads(json.dumps(stats.state_dict()))
+        )
+        assert restored.num_documents == stats.num_documents
+        assert restored.vocabulary_size == stats.vocabulary_size
+        for token in ("seagate", "barracuda", "unseen-token"):
+            assert restored.idf(token) == pytest.approx(stats.idf(token))
+        # The restored object keeps accumulating like the original.
+        restored.add("Seagate Cheetah")
+        assert restored.num_documents == stats.num_documents + 1
+
+    def test_empty_state_dict(self):
+        from repro.text.tfidf import IncrementalTfIdf
+
+        restored = IncrementalTfIdf.from_state_dict({})
+        assert restored.num_documents == 0
+        assert restored.vocabulary_size == 0
