@@ -23,6 +23,12 @@ Exercise the durable catalog store, then resume the same stream::
 
     repro-synthesize runtime-bench --store sqlite --store-path catalog.sqlite3
     repro-synthesize runtime-bench --store sqlite --store-path catalog.sqlite3 --resume
+
+Measure multi-node ingest scaling (clusters of 1, 2 and 4 engine nodes
+over one shared store, see :mod:`repro.runtime.cluster`)::
+
+    repro-synthesize runtime-bench --nodes 4 --store sqlite \
+        --store-path catalog.sqlite3 --json BENCH_runtime_cluster.json
 """
 
 from __future__ import annotations
@@ -105,6 +111,15 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
     parser.add_argument(
         "--shards", type=int, default=8, help="category shards (default: 8)"
     )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the multi-node scaling benchmark with clusters of "
+        "1..N engine nodes over a shared store (default: 1 = the "
+        "single-engine throughput benchmark)",
+    )
     parser.add_argument("--seed", type=int, default=2011, help="corpus RNG seed")
     parser.add_argument(
         "--store",
@@ -133,13 +148,43 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.resume and args.store != "sqlite":
         parser.error("--resume requires --store sqlite")
+    if args.nodes < 1:
+        parser.error("--nodes must be >= 1")
+    if args.resume and args.nodes > 1:
+        parser.error("--resume is a single-engine path; drop --nodes")
     if args.store == "sqlite" and args.store_path is None:
         args.store_path = "BENCH_catalog.sqlite3"
     return args
 
 
+def _multinode_counts(max_nodes: int) -> "list[int]":
+    """1, then doubling up to ``max_nodes`` (e.g. 4 -> [1, 2, 4])."""
+    counts = [1]
+    while counts[-1] * 2 < max_nodes:
+        counts.append(counts[-1] * 2)
+    if counts[-1] != max_nodes:
+        counts.append(max_nodes)
+    return counts
+
+
 def _run_runtime_bench(argv: Sequence[str]) -> int:
     args = _parse_runtime_bench_args(argv)
+    if args.nodes > 1:
+        result = runtime_bench.run_multinode(
+            num_offers=args.offers,
+            num_batches=args.batches,
+            executor=args.executor,
+            num_shards=args.shards,
+            seed=args.seed,
+            store=args.store,
+            store_path=args.store_path,
+            node_counts=_multinode_counts(args.nodes),
+        )
+        print(result.to_text())
+        if args.json:
+            result.write_json(args.json)
+            print(f"[wrote {args.json}]")
+        return 0 if result.products_identical else 1
     result = runtime_bench.run(
         num_offers=args.offers,
         num_batches=args.batches,

@@ -8,6 +8,13 @@ that practical at scale:
     :class:`~repro.runtime.engine.SynthesisEngine` — a sharded,
     micro-batched, incrementally clustering wrapper around the pipeline
     stages.  Feed it a stream with repeated ``ingest(offers)`` calls.
+``cluster``
+    Horizontal scaling: a :class:`~repro.runtime.cluster.ShardCoordinator`
+    partitions category shards across N engine nodes over one shared
+    store, with per-shard epoch fencing so a lagging or crashed node can
+    never commit stale cluster state;
+    :class:`~repro.runtime.cluster.MultiNodeEngine` is the single-engine-
+    compatible facade (join/leave/fence, crash recovery via rollback).
 ``state`` / ``store``
     The pluggable catalog state layer: a
     :class:`~repro.runtime.state.CatalogStore` protocol with an
@@ -24,6 +31,13 @@ that practical at scale:
     Stable (cross-process deterministic) category sharding.
 """
 
+from repro.runtime.cluster import (
+    FencedStoreView,
+    MultiNodeEngine,
+    NodeStats,
+    ShardCoordinator,
+    ShardLease,
+)
 from repro.runtime.delta import TransportStats
 from repro.runtime.engine import EngineSnapshot, IngestReport, SynthesisEngine
 from repro.runtime.executors import (
@@ -33,13 +47,19 @@ from repro.runtime.executors import (
     resolve_executor,
 )
 from repro.runtime.sharding import partition_by_shard, shard_for_category
-from repro.runtime.state import CatalogStore, ClusterState, resolve_store
+from repro.runtime.state import CatalogStore, ClusterState, StaleEpochError, resolve_store
 from repro.runtime.store import MemoryCatalogStore, SqliteCatalogStore
 
 __all__ = [
     "SynthesisEngine",
     "IngestReport",
     "EngineSnapshot",
+    "MultiNodeEngine",
+    "ShardCoordinator",
+    "ShardLease",
+    "FencedStoreView",
+    "NodeStats",
+    "StaleEpochError",
     "SerialExecutor",
     "ThreadPoolShardExecutor",
     "ProcessPoolShardExecutor",

@@ -1,0 +1,905 @@
+"""Multi-node shard coordination with per-shard version fencing.
+
+One :class:`~repro.runtime.engine.SynthesisEngine` scales vertically
+(sharded executors); this module scales it *horizontally*: a
+:class:`ShardCoordinator` partitions the category shards across N engine
+nodes that cooperate over one shared :class:`~repro.runtime.state.CatalogStore`
+— the paper's catalog-at-web-scale scenario, with the authoritative
+state kept in a single fenced store and only compact per-batch deltas
+moving between processes.
+
+The safety mechanism is **epoch fencing**.  Every shard carries a
+monotonic *epoch* in the store (distinct from the delta protocol's
+per-dispatch *version* counter): granting a shard to a node bumps the
+epoch, and the grant — a :class:`ShardLease` — records the epoch the
+node was given.  Every cluster write a node issues travels through its
+:class:`FencedStoreView`, carries the leased epoch, and is checked
+against the store's authoritative epoch
+(:meth:`~repro.runtime.state.CatalogStore.check_shard_epoch`).  A node
+that lags, restarts, or loses a shard to reassignment therefore cannot
+commit stale cluster state: its next write (or at latest its commit)
+raises :class:`~repro.runtime.state.StaleEpochError`.
+
+:class:`MultiNodeEngine` is the facade: it exposes the same ``ingest`` /
+``products`` / ``snapshot`` API as a single engine, routes each batch to
+the owning nodes (category -> shard -> node), and handles membership:
+
+* **join** (:meth:`MultiNodeEngine.add_node`) — the coordinator
+  rebalances; moved shards get fresh epochs and the new node's workers
+  resync cluster state through the existing delta protocol (from the
+  durable store, or via a one-time full re-ship).
+* **leave** (:meth:`MultiNodeEngine.remove_node`) — drain (ingest is a
+  batch barrier, so the node is quiescent between batches and its state
+  already lives in the shared store), reassign with fresh epochs, release
+  the node's workers.
+* **crash** (:meth:`MultiNodeEngine.fence_node`, or automatic when a
+  node dies mid-batch) — the store is rolled back to the last commit
+  barrier, the dead node's epochs are fenced, its shards are reassigned,
+  and the in-flight batch is replayed on the survivors.  With a durable
+  store the resumed catalog is byte-identical to an uninterrupted run.
+
+Determinism: batches commit through a single barrier per cluster ingest,
+offers of one category always land on one node in stream order, and
+fusion is content-deterministic — so the product set is byte-identical
+to a single engine's for any node count, dispatch mode, and store
+backend (the property-based equivalence suite pins this down).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.extraction.extractor import WebPageAttributeExtractor
+from repro.matching.correspondence import CorrespondenceSet
+from repro.model.catalog import Catalog
+from repro.model.offers import Offer
+from repro.model.products import Product
+from repro.runtime.delta import TransportStats
+from repro.runtime.engine import EngineSnapshot, IngestReport, SynthesisEngine
+from repro.runtime.executors import ShardExecutor
+from repro.runtime.sharding import shard_for_category
+from repro.runtime.state import (
+    CatalogStore,
+    ClusterId,
+    ClusterState,
+    StaleEpochError,
+    resolve_store,
+)
+from repro.synthesis.category_classifier import TitleCategoryClassifier
+from repro.synthesis.clustering import KeyAttributeClusterer
+from repro.synthesis.fusion import CentroidValueFusion
+from repro.synthesis.reconciliation import ReconciliationStats
+from repro.text.tfidf import IncrementalTfIdf
+
+__all__ = [
+    "ShardLease",
+    "FencedStoreView",
+    "ShardCoordinator",
+    "NodeStats",
+    "MultiNodeEngine",
+]
+
+
+@dataclass
+class ShardLease:
+    """The shards one node currently holds, with their granted epochs.
+
+    The coordinator mutates the lease in place on every grant or
+    revocation, so the node's :class:`FencedStoreView` always writes with
+    the epochs it actually holds.  When a node is *fenced* the lease is
+    deliberately left stale instead: its epochs no longer match the
+    store, which is exactly what makes the node's writes bounce.
+    """
+
+    node_id: str
+    #: shard index -> epoch the store had when the shard was granted.
+    epochs: Dict[int, int] = field(default_factory=dict)
+    #: Set (never cleared) when the coordinator forcibly fences the node.
+    #: The in-process fast path: a fenced node's very first write raises,
+    #: before it can touch even the globally-scoped state.  The epochs
+    #: above stay authoritative for writers the coordinator cannot reach
+    #: (a lagging node fenced by someone else hits the store-side check).
+    fenced: bool = False
+
+    def shards(self) -> List[int]:
+        """The shard indices this lease covers, ascending."""
+        return sorted(self.epochs)
+
+
+class FencedStoreView(CatalogStore):
+    """One node's epoch-carrying, lock-serialised view of a shared store.
+
+    Reads and global writes delegate to the base store under the cluster
+    lock; cluster-scoped writes (create/append/product/version) first
+    present the leased epoch of the target shard for validation, so a
+    fenced-out node fails fast instead of corrupting reassigned shards.
+    Global writes are fenced at the commit barrier: ``commit`` validates
+    the whole lease before anything is flushed.
+
+    With ``deferred_commit=True`` (how :class:`MultiNodeEngine` mounts
+    it) the view's ``commit`` only validates — the cluster engine flushes
+    the base store once per cluster batch, giving all nodes one shared
+    commit barrier.
+    """
+
+    def __init__(
+        self,
+        base: CatalogStore,
+        lease: ShardLease,
+        lock: Optional[threading.RLock] = None,
+        deferred_commit: bool = False,
+    ) -> None:
+        super().__init__()
+        self._base = base
+        self._lease = lease
+        self._lock = lock if lock is not None else threading.RLock()
+        self._deferred_commit = deferred_commit
+        # The delta protocol keys worker-resident caches on the token:
+        # views must share the base store's generation, or every node
+        # restart would needlessly orphan worker state.
+        self.token = base.token
+        self.name = f"fenced-{base.name}"
+        self._num_shards = base.num_shards
+
+    @property
+    def lease(self) -> ShardLease:
+        """The shard lease this view writes under."""
+        return self._lease
+
+    @property
+    def base(self) -> CatalogStore:
+        """The shared store this view delegates to."""
+        return self._base
+
+    # -- fencing ---------------------------------------------------------------
+
+    def _check_writable(self) -> None:
+        if self._lease.fenced:
+            raise StaleEpochError(
+                f"node {self._lease.node_id!r} was fenced: its lease is "
+                "revoked and no write of it may reach the shared store"
+            )
+
+    def _check_shard(self, shard_index: int) -> None:
+        self._check_writable()
+        epoch = self._lease.epochs.get(shard_index)
+        if epoch is None:
+            raise StaleEpochError(
+                f"node {self._lease.node_id!r} holds no lease on shard "
+                f"{shard_index}: the shard was reassigned (or never granted)"
+            )
+        self._base.check_shard_epoch(shard_index, epoch)
+
+    def validate_lease(self) -> None:
+        """Raise :class:`StaleEpochError` unless every held epoch is current."""
+        self._check_writable()
+        for shard_index, epoch in self._lease.epochs.items():
+            self._base.check_shard_epoch(shard_index, epoch)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def bind(self, num_shards: int) -> None:
+        if num_shards != self._base.num_shards:
+            raise ValueError(
+                f"node engine wants {num_shards} shards but the cluster "
+                f"store is bound to {self._base.num_shards}"
+            )
+        self._num_shards = num_shards
+
+    def commit(self) -> None:
+        with self._lock:
+            self.validate_lease()
+            if not self._deferred_commit:
+                self._base.commit()
+
+    def close(self) -> None:
+        """Views release nothing: the cluster owns the base store.
+
+        Best-effort commit only — ``close`` must stay safe on any path
+        (the ``CatalogStore`` contract), and a fenced node has nothing
+        it is allowed to flush anyway.
+        """
+        try:
+            self.commit()
+        except StaleEpochError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._base.closed
+
+    def worker_resync_path(self) -> Optional[str]:
+        return self._base.worker_resync_path()
+
+    # -- seen offers -----------------------------------------------------------
+
+    def is_seen(self, offer_id: str) -> bool:
+        with self._lock:
+            return self._base.is_seen(offer_id)
+
+    def mark_seen(self, offer_id: str) -> bool:
+        with self._lock:
+            self._check_writable()
+            return self._base.mark_seen(offer_id)
+
+    def num_seen(self) -> int:
+        with self._lock:
+            return self._base.num_seen()
+
+    # -- assigned categories ---------------------------------------------------
+
+    def record_category(self, offer_id: str, category_id: str) -> None:
+        with self._lock:
+            self._check_writable()
+            self._base.record_category(offer_id, category_id)
+
+    def assigned_categories(self) -> Dict[str, str]:
+        with self._lock:
+            return self._base.assigned_categories()
+
+    # -- clusters (epoch-checked writes) ---------------------------------------
+
+    def get_cluster(self, cluster_id: ClusterId) -> Optional[ClusterState]:
+        with self._lock:
+            return self._base.get_cluster(cluster_id)
+
+    def create_cluster(self, shard_index: int, cluster_id: ClusterId) -> ClusterState:
+        with self._lock:
+            self._check_shard(shard_index)
+            return self._base.create_cluster(shard_index, cluster_id)
+
+    def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
+        with self._lock:
+            state = self._base.get_cluster(cluster_id)
+            if state is not None:
+                self._check_shard(state.shard_index)
+            self._base.append_offers(cluster_id, offers)
+
+    def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
+        with self._lock:
+            state = self._base.get_cluster(cluster_id)
+            if state is not None:
+                self._check_shard(state.shard_index)
+            self._base.set_product(cluster_id, product)
+
+    def iter_clusters(self) -> Iterator[Tuple[ClusterId, ClusterState]]:
+        with self._lock:
+            return iter(list(self._base.iter_clusters()))
+
+    def shard_cluster_ids(self, shard_index: int) -> List[ClusterId]:
+        with self._lock:
+            return self._base.shard_cluster_ids(shard_index)
+
+    def num_clusters(self) -> int:
+        with self._lock:
+            return self._base.num_clusters()
+
+    # -- per-category statistics -----------------------------------------------
+
+    def category_stats_for_update(self, category_id: str) -> IncrementalTfIdf:
+        # The returned object is mutated lock-free by the engine: safe,
+        # because one category belongs to one shard and so to one node.
+        with self._lock:
+            self._check_writable()
+            return self._base.category_stats_for_update(category_id)
+
+    def category_stats(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        with self._lock:
+            return self._base.category_stats(category_id)
+
+    def category_vocabulary(self) -> Dict[str, int]:
+        with self._lock:
+            return self._base.category_vocabulary()
+
+    # -- reconciliation stats --------------------------------------------------
+
+    def merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
+        with self._lock:
+            self._check_writable()
+            self._base.merge_reconciliation_stats(stats)
+
+    def reconciliation_stats(self) -> ReconciliationStats:
+        with self._lock:
+            return self._base.reconciliation_stats()
+
+    # -- shard versions / epochs -----------------------------------------------
+
+    def shard_version(self, shard_index: int) -> int:
+        with self._lock:
+            return self._base.shard_version(shard_index)
+
+    def advance_shard_version(self, shard_index: int) -> Tuple[int, int]:
+        with self._lock:
+            self._check_shard(shard_index)
+            return self._base.advance_shard_version(shard_index)
+
+    def shard_epoch(self, shard_index: int) -> int:
+        with self._lock:
+            return self._base.shard_epoch(shard_index)
+
+    def advance_shard_epoch(self, shard_index: int) -> int:
+        raise RuntimeError(
+            "only the shard coordinator advances fencing epochs; a node "
+            "bumping its own epoch would un-fence itself"
+        )
+
+
+class ShardCoordinator:
+    """Authoritative shard -> node assignment with epoch fencing.
+
+    Assignment is deterministic — shard ``i`` belongs to the ``i mod N``-th
+    node in node-id order — so any observer can recompute the layout, and
+    membership changes move the minimal ``1/N`` slice of shards.  Every
+    ownership change bumps the shard's epoch *in the store* before the
+    new lease is granted: fence first, hand over second.
+    """
+
+    def __init__(self, store: CatalogStore, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self._store = store
+        self._num_shards = num_shards
+        self._assignment: Dict[int, str] = {}
+        self._leases: Dict[str, ShardLease] = {}
+
+    @property
+    def num_shards(self) -> int:
+        """Number of category shards under coordination."""
+        return self._num_shards
+
+    def nodes(self) -> List[str]:
+        """Registered node ids, ascending."""
+        return sorted(self._leases)
+
+    def assignment(self) -> Dict[int, str]:
+        """A copy of the current shard -> node-id map."""
+        return dict(self._assignment)
+
+    def node_for_shard(self, shard_index: int) -> str:
+        """The node currently owning one shard."""
+        return self._assignment[shard_index]
+
+    def lease_for(self, node_id: str) -> ShardLease:
+        """The live lease of one registered node."""
+        return self._leases[node_id]
+
+    def register_node(self, node_id: str, rebalance: bool = True) -> ShardLease:
+        """Add a node and rebalance; returns its (live) lease.
+
+        ``rebalance=False`` defers the layout change: callers registering
+        several nodes at once (cluster bootstrap) apply one final
+        :meth:`apply_layout` instead of re-fencing shards through every
+        intermediate membership.
+        """
+        if node_id in self._leases:
+            raise ValueError(f"node {node_id!r} is already registered")
+        lease = ShardLease(node_id=node_id)
+        self._leases[node_id] = lease
+        if rebalance:
+            self._rebalance()
+        return lease
+
+    def apply_layout(self) -> None:
+        """(Re-)apply the deterministic modulo layout for the current
+        membership — the explicit finish of deferred registrations."""
+        self._rebalance()
+
+    def retire_node(self, node_id: str, fence: bool = False) -> None:
+        """Remove a node and reassign its shards (with fresh epochs).
+
+        ``fence=False`` is the graceful leave: the departing lease is
+        emptied so the node object, if kept around, knows it holds
+        nothing.  ``fence=True`` is the crash path: the lease is left
+        *stale* on purpose — a zombie still holding the object presents
+        outdated epochs and every write it attempts is rejected.
+        """
+        if node_id not in self._leases:
+            raise ValueError(f"node {node_id!r} is not registered")
+        if len(self._leases) == 1:
+            raise RuntimeError(
+                f"cannot retire {node_id!r}: it is the last node of the cluster"
+            )
+        lease = self._leases.pop(node_id)
+        if fence:
+            # Flag first: the zombie's next write bounces before the
+            # reassignment below even finishes.
+            lease.fenced = True
+        self._rebalance()
+        if not fence:
+            lease.epochs.clear()
+
+    def rebalance_by_load(self, loads: Dict[int, float]) -> Dict[int, str]:
+        """Reassign shards greedily by observed load (largest first).
+
+        ``loads`` maps shard index to any monotone load measure (offers
+        held, ingest seconds); unknown or zero-load shards weigh 1 so
+        they still spread.  Deterministic: ties break on shard index and
+        node id.  Every shard that changes owner is re-fenced exactly as
+        in a membership change, so in-flight holders are cut off and the
+        new owner's workers resync through the delta protocol.  Returns
+        the new assignment.
+        """
+        nodes = self.nodes()
+        bins = {node_id: 0.0 for node_id in nodes}
+        order = sorted(
+            range(self._num_shards),
+            key=lambda shard: (-loads.get(shard, 0.0), shard),
+        )
+        for shard_index in order:
+            target = min(nodes, key=lambda node_id: (bins[node_id], node_id))
+            bins[target] += loads.get(shard_index, 0.0) or 1.0
+            self._grant(shard_index, target)
+        return self.assignment()
+
+    def _grant(self, shard_index: int, owner: str) -> None:
+        """Move one shard to ``owner`` (no-op if already there).
+
+        Fence first: the epoch is bumped in the store before the new
+        lease entry exists, so no previous holder can write in between.
+        """
+        previous = self._assignment.get(shard_index)
+        if previous == owner:
+            return
+        epoch = self._store.advance_shard_epoch(shard_index)
+        if previous is not None and previous in self._leases:
+            self._leases[previous].epochs.pop(shard_index, None)
+        self._leases[owner].epochs[shard_index] = epoch
+        self._assignment[shard_index] = owner
+
+    def _rebalance(self) -> None:
+        """Recompute the deterministic modulo layout after a membership
+        change (a load-aware layout can be re-applied afterwards via
+        :meth:`rebalance_by_load`)."""
+        nodes = self.nodes()
+        for shard_index in range(self._num_shards):
+            self._grant(shard_index, nodes[shard_index % len(nodes)])
+
+
+@dataclass
+class NodeStats:
+    """Per-node accounting of one :class:`MultiNodeEngine`."""
+
+    node_id: str
+    shards: List[int]
+    offers_routed: int
+    batches: int
+    busy_seconds: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible summary."""
+        return {
+            "node_id": self.node_id,
+            "shards": list(self.shards),
+            "offers_routed": self.offers_routed,
+            "batches": self.batches,
+            "busy_seconds": round(self.busy_seconds, 4),
+        }
+
+
+@dataclass
+class _EngineNode:
+    """One cluster member: its lease, fenced view, and engine."""
+
+    node_id: str
+    lease: ShardLease
+    view: FencedStoreView
+    engine: SynthesisEngine
+    offers_routed: int = 0
+    batches: int = 0
+    busy_seconds: float = 0.0
+
+
+class _NodeFailure(Exception):
+    """Internal: a node died mid-batch; carries who and why."""
+
+    def __init__(self, node_id: str, cause: BaseException) -> None:
+        super().__init__(f"node {node_id!r} failed mid-batch: {cause}")
+        self.node_id = node_id
+        self.cause = cause
+
+
+class MultiNodeEngine:
+    """N cooperating synthesis engines over one shared, fenced store.
+
+    Exposes the same ``ingest`` / ``products`` / ``snapshot`` surface as
+    :class:`~repro.runtime.engine.SynthesisEngine`; behind it, each batch
+    is routed by category shard to the owning node and every node writes
+    through its :class:`FencedStoreView`.
+
+    Parameters mirror the single engine's; the additional ones:
+
+    num_nodes:
+        Initial cluster size (nodes are named ``node-1`` ... ``node-N``;
+        membership can change later via :meth:`add_node` /
+        :meth:`remove_node` / :meth:`fence_node`).
+    concurrent:
+        Dispatch the per-node sub-batches on one thread per node instead
+        of sequentially.  Store access is serialised by the cluster lock
+        either way, and the product set is identical — concurrency only
+        overlaps the nodes' compute (which pays off when nodes run
+        process executors, whose fusion work leaves the interpreter).
+    auto_recover:
+        When a node raises mid-batch and the store supports rollback,
+        roll back to the commit barrier, fence the node, reassign its
+        shards, and replay the batch on the survivors (default on).
+
+    The ``executor`` argument is built *per node* when given as a name,
+    so ``executor="process"`` gives every node its own worker pool.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        correspondences: CorrespondenceSet,
+        extractor: Optional[WebPageAttributeExtractor] = None,
+        category_classifier: Optional[TitleCategoryClassifier] = None,
+        clusterer: Optional[KeyAttributeClusterer] = None,
+        fusion: Optional[CentroidValueFusion] = None,
+        min_cluster_size: int = 1,
+        num_nodes: int = 2,
+        num_shards: int = 8,
+        executor: Union[str, ShardExecutor, None] = "serial",
+        max_workers: Optional[int] = None,
+        track_category_statistics: bool = True,
+        store: Union[str, CatalogStore, None] = None,
+        store_path: Optional[str] = None,
+        delta_refusion: Optional[bool] = None,
+        concurrent: bool = False,
+        auto_recover: bool = True,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self._classifier = category_classifier
+        self._engine_kwargs = dict(
+            catalog=catalog,
+            correspondences=correspondences,
+            extractor=extractor,
+            category_classifier=category_classifier,
+            clusterer=clusterer,
+            fusion=fusion,
+            min_cluster_size=min_cluster_size,
+            executor=executor,
+            max_workers=max_workers,
+            track_category_statistics=track_category_statistics,
+            delta_refusion=delta_refusion,
+        )
+        self._num_shards = num_shards
+        self._owns_store = not isinstance(store, CatalogStore)
+        self._store = resolve_store(store, path=store_path)
+        self._store.bind(num_shards)
+        self._lock = threading.RLock()
+        self._coordinator = ShardCoordinator(self._store, num_shards)
+        self._concurrent = concurrent
+        self._auto_recover = auto_recover
+        self._nodes: Dict[str, _EngineNode] = {}
+        self._node_counter = itertools.count(1)
+        self._retired_transport = TransportStats()
+        self._closed = False
+        # Bootstrap membership in one layout pass: registering the nodes
+        # first and granting shards once avoids fencing every shard
+        # through N-1 intermediate layouts (and, on sqlite, one durable
+        # epoch flush per intermediate move).
+        for _ in range(num_nodes):
+            self.add_node(defer_layout=True)
+        self._coordinator.apply_layout()
+
+    # -- membership ------------------------------------------------------------
+
+    def node_ids(self) -> List[str]:
+        """Ids of the live cluster members, ascending."""
+        return sorted(self._nodes)
+
+    @property
+    def coordinator(self) -> ShardCoordinator:
+        """The shard coordinator (assignment and fencing authority)."""
+        return self._coordinator
+
+    @property
+    def store(self) -> CatalogStore:
+        """The shared catalog store holding the cluster's state."""
+        return self._store
+
+    def node_view(self, node_id: str) -> FencedStoreView:
+        """The fenced store view of one live node (tests, diagnostics)."""
+        return self._nodes[node_id].view
+
+    def add_node(self, node_id: Optional[str] = None, defer_layout: bool = False) -> str:
+        """Join a node: rebalance, grant a lease, build its engine.
+
+        The moved shards' cluster state needs no explicit transfer — it
+        already lives in the shared store, and the new node's delta
+        workers resync from it (or get a one-time full re-ship) exactly
+        as after a worker restart.  ``defer_layout`` is the bootstrap
+        path: leases stay empty until the coordinator applies one final
+        layout for the whole initial membership.
+        """
+        if node_id is None:
+            node_id = f"node-{next(self._node_counter)}"
+        lease = self._coordinator.register_node(node_id, rebalance=not defer_layout)
+        view = FencedStoreView(self._store, lease, self._lock, deferred_commit=True)
+        engine = SynthesisEngine(num_shards=self._num_shards, store=view, **self._engine_kwargs)
+        self._nodes[node_id] = _EngineNode(node_id=node_id, lease=lease, view=view, engine=engine)
+        return node_id
+
+    def _retire(self, node_id: str, fence: bool) -> _EngineNode:
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id!r} is not a cluster member")
+        if len(self._nodes) == 1:
+            raise RuntimeError(
+                f"cannot retire {node_id!r}: it is the last node of the cluster"
+            )
+        node = self._nodes.pop(node_id)
+        self._coordinator.retire_node(node_id, fence=fence)
+        self._retired_transport.merge(node.engine.transport_stats())
+        node.engine.release_workers()
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Gracefully leave: drain, reassign with fresh epochs, release.
+
+        Ingest is a batch barrier, so between batches the node is
+        quiescent and everything it produced is in the shared store
+        (committed at the last barrier for durable backends) — the
+        "drain + snapshot via the store" half of the handoff protocol.
+        """
+        self._retire(node_id, fence=False)
+
+    def fence_node(self, node_id: str) -> None:
+        """Forcibly fence a node (crash path, or an operator evicting it).
+
+        The node's shards get fresh epochs and new owners; its lease is
+        left stale, so any write the zombie still attempts raises
+        :class:`~repro.runtime.state.StaleEpochError`.
+        """
+        self._retire(node_id, fence=True)
+
+    def rebalance(self, loads: Optional[Dict[int, float]] = None) -> Dict[int, str]:
+        """Reassign shards by load between batches; returns the layout.
+
+        With ``loads=None`` the observed load is read from the shared
+        store (offers held per shard) — the modulo layout membership
+        starts from ignores how skewed the category distribution is, and
+        a warm cluster can pull its busiest shards apart this way.
+        Moved shards are re-fenced and their new owners resync through
+        the delta protocol, exactly like a membership handoff.
+        """
+        if loads is None:
+            loads = {}
+            for _, state in self._store.iter_clusters():
+                loads[state.shard_index] = loads.get(state.shard_index, 0.0) + state.size()
+        return self._coordinator.rebalance_by_load(loads)
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route_categories(self, offers: Sequence[Offer]) -> List[Offer]:
+        """Assign categories for routing (mirrors the engine's stage).
+
+        The classifier is per-offer and deterministic, and node engines
+        keep the pre-assigned categories, so classification happens once
+        per offer no matter how many nodes the batch fans out to.
+        """
+        needs_classification = [offer for offer in offers if offer.category_id is None]
+        if not needs_classification:
+            return list(offers)
+        if self._classifier is None or not self._classifier.is_trained:
+            raise ValueError(
+                "offers without a category require a trained category classifier"
+            )
+        return self._classifier.assign_categories(list(offers))
+
+    def _partition(self, categorised: Sequence[Offer]) -> Dict[str, List[Offer]]:
+        """Group offers by owning node, preserving stream order per node."""
+        fallback: Optional[str] = None
+        routed: Dict[str, List[Offer]] = {}
+        for offer in categorised:
+            if offer.category_id is None:
+                # No category means no shard: global bookkeeping only
+                # (seen-set, reconciliation counters), which lands the
+                # same wherever it runs — pick a stable home.
+                if fallback is None:
+                    fallback = self.node_ids()[0]
+                node_id = fallback
+            else:
+                shard_index = shard_for_category(offer.category_id, self._num_shards)
+                node_id = self._coordinator.node_for_shard(shard_index)
+            routed.setdefault(node_id, []).append(offer)
+        return routed
+
+    # -- ingest ----------------------------------------------------------------
+
+    def ingest(self, offers: Sequence[Offer]) -> IngestReport:
+        """Absorb one micro-batch across the cluster.
+
+        Same contract as the single engine's ``ingest``: idempotent per
+        offer id, and one commit barrier at the end — a crash loses at
+        most the cluster batch in flight.  If a node dies mid-batch (and
+        ``auto_recover`` holds), the store rolls back to the barrier,
+        the node is fenced, and the batch replays on the survivors.
+        """
+        report = IngestReport(offers_in_batch=len(offers))
+        if self._store.closed:
+            raise RuntimeError(
+                "cannot ingest: the cluster's catalog store is closed "
+                "(reopen the store path with a new cluster to resume)"
+            )
+        self._closed = False
+        fresh: List[Offer] = []
+        batch_ids = set()
+        for offer in offers:
+            if self._store.is_seen(offer.offer_id) or offer.offer_id in batch_ids:
+                continue
+            batch_ids.add(offer.offer_id)
+            fresh.append(offer)
+        report.offers_duplicate = report.offers_in_batch - len(fresh)
+        if not fresh:
+            self._store.commit()
+            return report
+
+        categorised = self._route_categories(fresh)
+        attempts = 0
+        while True:
+            try:
+                node_reports = self._dispatch(categorised)
+                break
+            except _NodeFailure as failure:
+                attempts += 1
+                if (
+                    not self._auto_recover
+                    or not self._store.supports_rollback
+                    or len(self._nodes) <= 1
+                    or attempts >= len(self._nodes) + 1
+                ):
+                    # Unrecoverable: still return the store to the commit
+                    # barrier where possible, so the caller can retry the
+                    # batch without its offers being half-absorbed.
+                    if self._store.supports_rollback and not self._store.closed:
+                        self._store.rollback()
+                    raise failure.cause
+                # Crash recovery: back to the commit barrier, fence the
+                # dead node, replay the whole batch on the survivors
+                # (rollback un-saw the batch's offers, so the replay is
+                # not deduplicated away).
+                self._store.rollback()
+                self.fence_node(failure.node_id)
+
+        aggregate = IngestReport()
+        for node_report in node_reports:
+            aggregate.merge(node_report)
+        report.offers_new = aggregate.offers_new
+        report.offers_duplicate += aggregate.offers_duplicate
+        report.offers_clustered = aggregate.offers_clustered
+        report.offers_without_key = aggregate.offers_without_key
+        report.offers_uncategorised = aggregate.offers_uncategorised
+        report.clusters_touched = aggregate.clusters_touched
+        report.products_refreshed = aggregate.products_refreshed
+        # The single commit barrier of this cluster batch.  A failed
+        # flush is a *store* failure, not a node crash: fencing cannot
+        # help, so discard the batch (where the backend allows it) and
+        # surface the error — the caller may then retry the whole batch.
+        try:
+            self._store.commit()
+        except Exception:
+            if self._store.supports_rollback and not self._store.closed:
+                self._store.rollback()
+            raise
+        return report
+
+    def _ingest_on(self, node: _EngineNode, sub_batch: List[Offer]) -> IngestReport:
+        started = time.perf_counter()
+        try:
+            return node.engine.ingest(sub_batch)
+        except Exception as exc:  # noqa: BLE001 - re-raised via recovery
+            raise _NodeFailure(node.node_id, exc) from exc
+        finally:
+            # Busy time accrues even for an attempt that is later rolled
+            # back (the node really did spend it); the routing counters
+            # below are applied only once the whole wave succeeded, so a
+            # recovery replay never double-counts offers.
+            node.busy_seconds += time.perf_counter() - started
+
+    def _dispatch(self, categorised: Sequence[Offer]) -> List[IngestReport]:
+        """Run one batch's sub-batches on their nodes; first failure wins."""
+        routed = self._partition(categorised)
+        ordered = [(node_id, routed[node_id]) for node_id in sorted(routed)]
+        if not self._concurrent or len(ordered) == 1:
+            results = [
+                self._ingest_on(self._nodes[node_id], sub_batch)
+                for node_id, sub_batch in ordered
+            ]
+        else:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=len(ordered), thread_name_prefix="cluster-node"
+            ) as pool:
+                futures = [
+                    pool.submit(self._ingest_on, self._nodes[node_id], sub_batch)
+                    for node_id, sub_batch in ordered
+                ]
+                results = []
+                failure: Optional[_NodeFailure] = None
+                for future in futures:
+                    try:
+                        results.append(future.result())
+                    except _NodeFailure as exc:
+                        # Deterministic pick: first failed node in id order.
+                        if failure is None:
+                            failure = exc
+                if failure is not None:
+                    raise failure
+        for node_id, sub_batch in ordered:
+            node = self._nodes[node_id]
+            node.offers_routed += len(sub_batch)
+            node.batches += 1
+        return results
+
+    # -- views ----------------------------------------------------------------
+
+    def products(self) -> List[Product]:
+        """All current synthesized products (same order as a single engine)."""
+        return self._store.sorted_products()
+
+    def num_clusters(self) -> int:
+        """Number of clusters tracked so far (including sub-threshold ones)."""
+        return self._store.num_clusters()
+
+    def category_statistics(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        """The incremental TF-IDF statistics of one category (or ``None``)."""
+        return self._store.category_stats(category_id)
+
+    def snapshot(self) -> EngineSnapshot:
+        """A consistent summary of everything ingested so far."""
+        return EngineSnapshot(
+            products=self.products(),
+            num_clusters=self.num_clusters(),
+            offers_ingested=self._store.num_seen(),
+            reconciliation_stats=self._store.reconciliation_stats(),
+            assigned_categories=self._store.assigned_categories(),
+            category_vocabulary=self._store.category_vocabulary(),
+        )
+
+    def transport_stats(self) -> TransportStats:
+        """Cluster-wide executor-payload accounting (all nodes, ever)."""
+        merged = TransportStats()
+        merged.merge(self._retired_transport)
+        for node in self._nodes.values():
+            merged.merge(node.engine.transport_stats())
+        return merged
+
+    def node_stats(self) -> List[NodeStats]:
+        """Per-node routing/timing accounting, in node-id order."""
+        return [
+            NodeStats(
+                node_id=node.node_id,
+                shards=node.lease.shards(),
+                offers_routed=node.offers_routed,
+                batches=node.batches,
+                busy_seconds=node.busy_seconds,
+            )
+            for _, node in sorted(self._nodes.items())
+        ]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every node's workers and flush/close the shared store."""
+        if self._closed:
+            return
+        self._closed = True
+        for node in self._nodes.values():
+            node.engine.release_workers()
+        if self._owns_store:
+            self._store.close()
+        else:
+            self._store.commit()
+
+    def __enter__(self) -> "MultiNodeEngine":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, traceback: object) -> None:
+        self.close()

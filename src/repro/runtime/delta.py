@@ -126,6 +126,19 @@ class TransportStats:
             "full_retries": self.full_retries,
         }
 
+    def merge(self, other: "TransportStats") -> None:
+        """Fold another engine's counters into this one.
+
+        A multi-node engine aggregates its per-node transport accounting
+        this way; counters are plain sums, so the merge is order-free.
+        """
+        self.batches += other.batches
+        self.shard_tasks += other.shard_tasks
+        self.clusters_shipped += other.clusters_shipped
+        self.offers_shipped += other.offers_shipped
+        self.worker_resyncs += other.worker_resyncs
+        self.full_retries += other.full_retries
+
 
 @dataclass
 class _ShardCache:

@@ -96,6 +96,22 @@ class IngestReport:
     #: Products created or refreshed by this batch.
     products_refreshed: int = 0
 
+    def merge(self, other: "IngestReport") -> None:
+        """Fold another report's counters into this one (plain sums).
+
+        A multi-node engine aggregates the per-node reports of one
+        cluster batch this way; the caller owns ``offers_in_batch`` /
+        ``offers_duplicate`` semantics when sub-batches overlap.
+        """
+        self.offers_in_batch += other.offers_in_batch
+        self.offers_new += other.offers_new
+        self.offers_duplicate += other.offers_duplicate
+        self.offers_clustered += other.offers_clustered
+        self.offers_without_key += other.offers_without_key
+        self.offers_uncategorised += other.offers_uncategorised
+        self.clusters_touched += other.clusters_touched
+        self.products_refreshed += other.products_refreshed
+
 
 @dataclass
 class EngineSnapshot:
@@ -536,12 +552,7 @@ class SynthesisEngine:
         regardless of shard count, executor, store backend, or how the
         stream was batched.
         """
-        collected: List[Tuple[ClusterId, Product]] = []
-        for cluster_id, state in self._store.iter_clusters():
-            if state.product is not None:
-                collected.append((cluster_id, state.product))
-        collected.sort(key=lambda item: item[0])
-        return [product for _, product in collected]
+        return self._store.sorted_products()
 
     def num_clusters(self) -> int:
         """Number of clusters tracked so far (including sub-threshold ones)."""
@@ -575,6 +586,16 @@ class SynthesisEngine:
 
     # -- lifecycle -------------------------------------------------------------
 
+    def release_workers(self) -> None:
+        """Shut down executor workers without touching the store.
+
+        Pools are re-created lazily, so the engine stays usable.  The
+        cluster layer uses this to retire a node whose store view was
+        fenced — committing through that view would (correctly) raise,
+        but its worker processes still have to go.
+        """
+        self._executor.close()
+
     def close(self) -> None:
         """Release executor workers and flush/close an engine-owned store.
 
@@ -586,7 +607,7 @@ class SynthesisEngine:
         if self._closed:
             return
         self._closed = True
-        self._executor.close()
+        self.release_workers()
         if self._owns_store:
             self._store.close()
         else:

@@ -25,7 +25,7 @@ import abc
 import itertools
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.model.offers import Offer
 from repro.model.products import Product
@@ -33,7 +33,13 @@ from repro.synthesis.clustering import OfferCluster
 from repro.synthesis.reconciliation import ReconciliationStats
 from repro.text.tfidf import IncrementalTfIdf
 
-__all__ = ["ClusterId", "ClusterState", "CatalogStore", "resolve_store"]
+__all__ = [
+    "ClusterId",
+    "ClusterState",
+    "CatalogStore",
+    "StaleEpochError",
+    "resolve_store",
+]
 
 #: A cluster is identified by (category_id, clustering key) — the same
 #: pair the clusterer uses, so cluster identity is store-independent.
@@ -46,6 +52,15 @@ _TOKEN_COUNTER = itertools.count(1)
 
 def _new_store_token() -> str:
     return f"store-{os.getpid()}-{next(_TOKEN_COUNTER)}"
+
+
+class StaleEpochError(RuntimeError):
+    """A write carried a fenced-out shard epoch and was rejected.
+
+    Raised by the store layer when a writer presents a shard epoch older
+    than the authoritative one — the node was fenced (it lagged, crashed,
+    or had the shard reassigned) and must not commit stale cluster state.
+    """
 
 
 @dataclass
@@ -81,6 +96,7 @@ class CatalogStore(abc.ABC):
     def __init__(self) -> None:
         self.token = _new_store_token()
         self._num_shards = 0
+        self._fault_hook: Optional[Callable[[str], None]] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -107,6 +123,47 @@ class CatalogStore(abc.ABC):
     @abc.abstractmethod
     def close(self) -> None:
         """Release backend resources; safe to call more than once."""
+
+    @property
+    def supports_rollback(self) -> bool:
+        """Whether :meth:`rollback` can restore the last committed state.
+
+        Only durable backends can: they rebuild their mirror from the
+        last on-disk commit.  A volatile store has no committed snapshot
+        to return to, so crash recovery (which relies on discarding an
+        in-flight batch) is unavailable with it.
+        """
+        return False
+
+    def rollback(self) -> None:
+        """Discard every mutation since the last :meth:`commit`.
+
+        Crash semantics on demand: after a node dies mid-batch, the
+        coordinator rolls the shared store back to the last commit
+        barrier and replays the batch on the surviving nodes.
+        """
+        raise RuntimeError(
+            f"the {self.name!r} catalog store cannot roll back to a commit "
+            "barrier (no durable snapshot); crash recovery requires a "
+            "durable store such as store='sqlite'"
+        )
+
+    # -- fault injection (tests) -----------------------------------------------
+
+    def set_fault_hook(self, hook: Optional[Callable[[str], None]]) -> None:
+        """Install a callable invoked before every mutating operation.
+
+        The hook receives the operation name (``"append_offers"``,
+        ``"commit"``, ...) and may raise to simulate a node crashing
+        mid-batch — the crash-injection tests use this to cut a node
+        down at a precise point in the ingest path.  ``None`` uninstalls.
+        """
+        self._fault_hook = hook
+
+    def _fault_point(self, operation: str) -> None:
+        """Give an installed fault hook the chance to fail ``operation``."""
+        if self._fault_hook is not None:
+            self._fault_hook(operation)
 
     @property
     def closed(self) -> bool:
@@ -173,6 +230,22 @@ class CatalogStore(abc.ABC):
     def num_clusters(self) -> int:
         """Number of clusters tracked so far (including sub-threshold ones)."""
 
+    def sorted_products(self) -> List[Product]:
+        """All current synthesized products, sorted by (category, key).
+
+        The single definition of the engine-facing product listing:
+        deterministic regardless of shard count, executor, backend, node
+        count, or how the stream was batched.  Both the single engine
+        and the multi-node facade serve ``products()`` from here, so
+        their byte-identity contract cannot drift.
+        """
+        collected: List[Tuple[ClusterId, Product]] = []
+        for cluster_id, state in self.iter_clusters():
+            if state.product is not None:
+                collected.append((cluster_id, state.product))
+        collected.sort(key=lambda item: item[0])
+        return [product for _, product in collected]
+
     # -- per-category statistics -----------------------------------------------
 
     @abc.abstractmethod
@@ -211,6 +284,39 @@ class CatalogStore(abc.ABC):
     def advance_shard_version(self, shard_index: int) -> Tuple[int, int]:
         """Bump a shard's version; returns ``(base_version, new_version)``."""
 
+    # -- shard epochs (multi-node version fencing) -----------------------------
+
+    @abc.abstractmethod
+    def shard_epoch(self, shard_index: int) -> int:
+        """The authoritative fencing epoch of one shard (0 = never owned).
+
+        Distinct from :meth:`shard_version`: versions count *dispatches*
+        within one owner's stream and reset freely; epochs count
+        *ownership changes* across nodes and only ever grow.  A durable
+        backend persists epochs immediately (not at the commit barrier),
+        because fencing must survive exactly the crashes it guards against.
+        """
+
+    @abc.abstractmethod
+    def advance_shard_epoch(self, shard_index: int) -> int:
+        """Bump a shard's epoch (fencing out all prior holders); returns it."""
+
+    def check_shard_epoch(self, shard_index: int, epoch: int) -> None:
+        """Reject a write that carries a fenced-out epoch.
+
+        Raises :class:`StaleEpochError` unless ``epoch`` is the current
+        epoch of the shard.  This is the store-side half of the fencing
+        contract: every cluster write of a multi-node engine carries the
+        epoch its node holds, and the store refuses stale ones.
+        """
+        current = self.shard_epoch(shard_index)
+        if epoch != current:
+            raise StaleEpochError(
+                f"write to shard {shard_index} carries epoch {epoch} but the "
+                f"store is at epoch {current}: the writing node was fenced "
+                "(it lagged, restarted, or lost the shard to reassignment)"
+            )
+
     # -- worker resync ---------------------------------------------------------
 
     def worker_resync_path(self) -> Optional[str]:
@@ -238,6 +344,7 @@ class _InMemoryState:
     category_stats: Dict[str, IncrementalTfIdf] = field(default_factory=dict)
     reconciliation_stats: ReconciliationStats = field(default_factory=ReconciliationStats)
     shard_versions: Dict[int, int] = field(default_factory=dict)
+    shard_epochs: Dict[int, int] = field(default_factory=dict)
 
 
 def resolve_store(

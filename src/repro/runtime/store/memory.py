@@ -33,7 +33,8 @@ class MemoryCatalogStore(CatalogStore):
     # -- lifecycle -------------------------------------------------------------
 
     def commit(self) -> None:
-        """Nothing to flush."""
+        """Nothing to flush (but an installed fault hook still fires)."""
+        self._fault_point("commit")
 
     def close(self) -> None:
         """Nothing to release."""
@@ -44,6 +45,7 @@ class MemoryCatalogStore(CatalogStore):
         return offer_id in self._state.seen_offer_ids
 
     def mark_seen(self, offer_id: str) -> bool:
+        self._fault_point("mark_seen")
         seen = self._state.seen_offer_ids
         if offer_id in seen:
             return False
@@ -77,9 +79,11 @@ class MemoryCatalogStore(CatalogStore):
         return state
 
     def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
+        self._fault_point("append_offers")
         self._state.clusters[cluster_id].cluster.offers.extend(offers)
 
     def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
+        self._fault_point("set_product")
         self._state.clusters[cluster_id].product = product
 
     def iter_clusters(self) -> Iterator[Tuple[ClusterId, ClusterState]]:
@@ -130,3 +134,13 @@ class MemoryCatalogStore(CatalogStore):
         base = self._state.shard_versions.get(shard_index, 0)
         self._state.shard_versions[shard_index] = base + 1
         return base, base + 1
+
+    # -- shard epochs ----------------------------------------------------------
+
+    def shard_epoch(self, shard_index: int) -> int:
+        return self._state.shard_epochs.get(shard_index, 0)
+
+    def advance_shard_epoch(self, shard_index: int) -> int:
+        epoch = self._state.shard_epochs.get(shard_index, 0) + 1
+        self._state.shard_epochs[shard_index] = epoch
+        return epoch

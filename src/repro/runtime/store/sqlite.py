@@ -10,6 +10,7 @@ Layout (one row per fact, JSON payloads via the
     cluster_offers(category_id, cluster_key, position, offer)
     category_stats(category_id, stats)    -- IncrementalTfIdf state dicts
     shard_versions(shard, version)        -- delta-protocol counters
+    shard_epochs(shard, epoch)            -- multi-node fencing epochs
     reconciliation_stats(id=1, ...)       -- running totals
 
 The store keeps a full in-memory mirror (reads never touch disk on the
@@ -85,6 +86,10 @@ CREATE TABLE IF NOT EXISTS shard_versions (
     shard INTEGER PRIMARY KEY,
     version INTEGER NOT NULL
 ) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS shard_epochs (
+    shard INTEGER PRIMARY KEY,
+    epoch INTEGER NOT NULL
+) WITHOUT ROWID;
 CREATE TABLE IF NOT EXISTS reconciliation_stats (
     id INTEGER PRIMARY KEY CHECK (id = 1),
     offers_processed INTEGER NOT NULL,
@@ -133,7 +138,12 @@ class SqliteCatalogStore(CatalogStore):
     def __init__(self, path: str) -> None:
         super().__init__()
         self._path = os.path.abspath(path)
-        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(self._path)
+        # check_same_thread=False: a multi-node engine dispatches node
+        # sub-batches on worker threads; every store call is serialised
+        # by the cluster layer's lock, so cross-thread use is safe.
+        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
+            self._path, check_same_thread=False
+        )
         # Validate the format marker *before* touching the file: running
         # the schema script against a future-format store would write v1
         # tables into it, and restoring would crash with an opaque
@@ -225,6 +235,10 @@ class SqliteCatalogStore(CatalogStore):
             "SELECT shard, version FROM shard_versions"
         ):
             state.shard_versions[shard] = version
+        for shard, epoch in self._connection.execute(
+            "SELECT shard, epoch FROM shard_epochs"
+        ):
+            state.shard_epochs[shard] = epoch
         row = self._connection.execute(
             "SELECT offers_processed, pairs_seen, pairs_mapped, pairs_discarded"
             " FROM reconciliation_stats WHERE id = 1"
@@ -236,19 +250,25 @@ class SqliteCatalogStore(CatalogStore):
         super().bind(num_shards)
         stored = self._meta("num_shards")
         if stored is not None and int(stored) != num_shards:
-            # Shard indices (and therefore per-shard version counters)
-            # are meaningless under a different shard count; reset them.
-            # Worker caches are keyed by store token, so no worker can
-            # hold state for this store generation yet.
+            # Shard indices (and therefore per-shard version counters and
+            # fencing epochs) are meaningless under a different shard
+            # count; reset them.  Worker caches are keyed by store token,
+            # so no worker can hold state for this store generation yet.
             self._state.shard_versions = {}
+            self._state.shard_epochs = {}
             assert self._connection is not None
             self._connection.execute("DELETE FROM shard_versions")
+            self._connection.execute("DELETE FROM shard_epochs")
         assert self._connection is not None
         self._connection.execute(
             "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
             ("num_shards", str(num_shards)),
         )
         self._connection.commit()
+        self._reindex_shards(num_shards)
+
+    def _reindex_shards(self, num_shards: int) -> None:
+        """Recompute every mirrored cluster's shard assignment."""
         self._state.shard_index = {}
         for cluster_id, cluster_state in self._state.clusters.items():
             shard = shard_for_category(cluster_id[0], num_shards)
@@ -257,11 +277,25 @@ class SqliteCatalogStore(CatalogStore):
 
     # -- lifecycle -------------------------------------------------------------
 
+    def _require_open(self) -> sqlite3.Connection:
+        """The live connection, or a clear error once the store is closed.
+
+        Guards every mutating method: accepting writes into the mirror
+        after ``close()`` would record facts (seen offers, cluster
+        contents) that can never be flushed — the silent-loss gap the
+        fail-fast contract exists to close.
+        """
+        if self._connection is None:
+            raise RuntimeError(
+                "catalog store is closed: writes after close() can never be "
+                "persisted (reopen the store path to resume the stream)"
+            )
+        return self._connection
+
     def commit(self) -> None:
         """Flush journalled mutations in one transaction."""
-        connection = self._connection
-        if connection is None:
-            raise RuntimeError("catalog store is closed")
+        connection = self._require_open()
+        self._fault_point("commit")
         if self._new_seen:
             connection.executemany(
                 "INSERT OR IGNORE INTO seen_offers (offer_id) VALUES (?)",
@@ -345,6 +379,35 @@ class SqliteCatalogStore(CatalogStore):
         self._connection = None
 
     @property
+    def supports_rollback(self) -> bool:
+        return True
+
+    def rollback(self) -> None:
+        """Discard everything since the last commit; reload from disk.
+
+        The file is a consistent snapshot after every commit, so crash
+        recovery is exactly a mirror rebuild: drop the journalled
+        mutations, re-read the persisted state, and re-index the shards.
+        The store token is deliberately kept — delta-protocol worker
+        caches that ran ahead of the discarded batch are then caught by
+        the version/base-size guards and resync from this same file.
+        """
+        connection = self._require_open()
+        connection.rollback()
+        self._new_seen = []
+        self._new_categories = []
+        self._new_clusters = []
+        self._new_offers = []
+        self._dirty_products = {}
+        self._dirty_stats = set()
+        self._dirty_versions = set()
+        self._stats_dirty = False
+        self._state = _InMemoryState()
+        self._restore()
+        if self._num_shards:
+            self._reindex_shards(self._num_shards)
+
+    @property
     def closed(self) -> bool:
         return self._connection is None
 
@@ -362,6 +425,8 @@ class SqliteCatalogStore(CatalogStore):
         return offer_id in self._state.seen_offer_ids
 
     def mark_seen(self, offer_id: str) -> bool:
+        self._require_open()
+        self._fault_point("mark_seen")
         seen = self._state.seen_offer_ids
         if offer_id in seen:
             return False
@@ -375,6 +440,7 @@ class SqliteCatalogStore(CatalogStore):
     # -- assigned categories ---------------------------------------------------
 
     def record_category(self, offer_id: str, category_id: str) -> None:
+        self._require_open()
         self._state.assigned_categories[offer_id] = category_id
         self._new_categories.append((offer_id, category_id))
 
@@ -387,6 +453,7 @@ class SqliteCatalogStore(CatalogStore):
         return self._state.clusters.get(cluster_id)
 
     def create_cluster(self, shard_index: int, cluster_id: ClusterId) -> ClusterState:
+        self._require_open()
         category_id, key = cluster_id
         state = ClusterState(
             shard_index=shard_index,
@@ -398,6 +465,8 @@ class SqliteCatalogStore(CatalogStore):
         return state
 
     def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
+        self._require_open()
+        self._fault_point("append_offers")
         cluster = self._state.clusters[cluster_id].cluster
         position = len(cluster.offers)
         category_id, cluster_key = cluster_id
@@ -408,6 +477,8 @@ class SqliteCatalogStore(CatalogStore):
         cluster.offers.extend(offers)
 
     def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
+        self._require_open()
+        self._fault_point("set_product")
         self._state.clusters[cluster_id].product = product
         self._dirty_products[cluster_id] = product
 
@@ -423,6 +494,7 @@ class SqliteCatalogStore(CatalogStore):
     # -- per-category statistics -----------------------------------------------
 
     def category_stats_for_update(self, category_id: str) -> IncrementalTfIdf:
+        self._require_open()
         stats = self._state.category_stats.get(category_id)
         if stats is None:
             stats = IncrementalTfIdf()
@@ -442,6 +514,7 @@ class SqliteCatalogStore(CatalogStore):
     # -- reconciliation stats --------------------------------------------------
 
     def merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
+        self._require_open()
         total = self._state.reconciliation_stats
         total.offers_processed += stats.offers_processed
         total.pairs_seen += stats.pairs_seen
@@ -464,7 +537,32 @@ class SqliteCatalogStore(CatalogStore):
         return self._state.shard_versions.get(shard_index, 0)
 
     def advance_shard_version(self, shard_index: int) -> Tuple[int, int]:
+        self._require_open()
         base = self._state.shard_versions.get(shard_index, 0)
         self._state.shard_versions[shard_index] = base + 1
         self._dirty_versions.add(shard_index)
         return base, base + 1
+
+    # -- shard epochs ----------------------------------------------------------
+
+    def shard_epoch(self, shard_index: int) -> int:
+        return self._state.shard_epochs.get(shard_index, 0)
+
+    def advance_shard_epoch(self, shard_index: int) -> int:
+        """Bump a shard's fencing epoch, durably and immediately.
+
+        Unlike the journalled mutations, the epoch is flushed right away:
+        fencing decisions must survive exactly the crashes they guard
+        against, and they must not be discarded by a batch rollback.
+        (The connection carries no other pending statements — everything
+        else is journalled Python-side — so this commit is precise.)
+        """
+        connection = self._require_open()
+        epoch = self._state.shard_epochs.get(shard_index, 0) + 1
+        self._state.shard_epochs[shard_index] = epoch
+        connection.execute(
+            "INSERT OR REPLACE INTO shard_epochs (shard, epoch) VALUES (?, ?)",
+            (shard_index, epoch),
+        )
+        connection.commit()
+        return epoch

@@ -1,0 +1,489 @@
+"""Tests for the multi-node shard coordinator and version fencing.
+
+Covers the ShardCoordinator's deterministic assignment and epoch
+bookkeeping, the FencedStoreView's stale-write rejection (the fencing
+acceptance criterion), node join/leave handoff with delta-protocol
+resync, and crash injection: a node killed mid-batch via the store's
+fault hook is fenced, its shards are reassigned, and the recovered
+catalog is byte-identical to an uninterrupted run.
+"""
+
+import pytest
+
+from repro.model.products import product_fingerprint as fingerprint
+from repro.runtime import (
+    MemoryCatalogStore,
+    MultiNodeEngine,
+    ShardCoordinator,
+    StaleEpochError,
+    SynthesisEngine,
+)
+
+
+def make_single(harness, **kwargs):
+    return SynthesisEngine(
+        catalog=harness.corpus.catalog,
+        correspondences=harness.offline_result.correspondences,
+        extractor=harness.extractor,
+        category_classifier=harness.category_classifier,
+        **kwargs,
+    )
+
+
+def make_cluster(harness, **kwargs):
+    return MultiNodeEngine(
+        catalog=harness.corpus.catalog,
+        correspondences=harness.offline_result.correspondences,
+        extractor=harness.extractor,
+        category_classifier=harness.category_classifier,
+        **kwargs,
+    )
+
+
+def feed_stream(harness, num_batches=4):
+    """The tiny stream in merchant-feed order, split into micro-batches.
+
+    Feed order spreads one product's offers across batches, so clusters
+    grow *across* batch boundaries — the case handoff resync, fencing,
+    and crash recovery actually have to get right.
+    """
+    offers = sorted(harness.unmatched_offers, key=lambda offer: offer.merchant_id)
+    size = max(1, (len(offers) + num_batches - 1) // num_batches)
+    return [offers[start : start + size] for start in range(0, len(offers), size)]
+
+
+@pytest.fixture(scope="module")
+def feed_expected(tiny_harness):
+    """Products of an uninterrupted single-engine run over the feed stream."""
+    engine = make_single(tiny_harness, num_shards=8)
+    for batch in feed_stream(tiny_harness):
+        engine.ingest(batch)
+    result = sorted(fingerprint(engine.products()))
+    engine.close()
+    return result
+
+
+class TestShardCoordinator:
+    def test_deterministic_assignment_and_minimal_moves(self):
+        store = MemoryCatalogStore()
+        coordinator = ShardCoordinator(store, num_shards=8)
+        coordinator.register_node("node-1")
+        assert set(coordinator.assignment().values()) == {"node-1"}
+        assert coordinator.lease_for("node-1").shards() == list(range(8))
+
+        before = coordinator.assignment()
+        coordinator.register_node("node-2")
+        after = coordinator.assignment()
+        # Exactly the shards that changed owner moved; both nodes now
+        # hold the deterministic interleaved layout.
+        assert after == {shard: ("node-1" if shard % 2 == 0 else "node-2") for shard in range(8)}
+        moved = [shard for shard in range(8) if before[shard] != after[shard]]
+        assert moved == [1, 3, 5, 7]
+        # Every moved shard was re-fenced: its epoch grew.
+        for shard in moved:
+            assert store.shard_epoch(shard) == 2
+        for shard in (0, 2, 4, 6):
+            assert store.shard_epoch(shard) == 1
+
+    def test_register_twice_rejected(self):
+        coordinator = ShardCoordinator(MemoryCatalogStore(), num_shards=4)
+        coordinator.register_node("node-1")
+        with pytest.raises(ValueError, match="already registered"):
+            coordinator.register_node("node-1")
+
+    def test_cannot_retire_last_node(self):
+        coordinator = ShardCoordinator(MemoryCatalogStore(), num_shards=4)
+        coordinator.register_node("node-1")
+        with pytest.raises(RuntimeError, match="last node"):
+            coordinator.retire_node("node-1")
+        with pytest.raises(ValueError, match="not registered"):
+            coordinator.retire_node("node-9")
+
+    def test_fenced_lease_is_left_stale(self):
+        store = MemoryCatalogStore()
+        coordinator = ShardCoordinator(store, num_shards=4)
+        lease_1 = coordinator.register_node("node-1")
+        coordinator.register_node("node-2")
+        held = dict(lease_1.epochs)
+        coordinator.retire_node("node-1", fence=True)
+        # The zombie still presents its old epochs...
+        assert lease_1.epochs == held
+        # ...and every one of them is now fenced out in the store.
+        for shard, epoch in held.items():
+            with pytest.raises(StaleEpochError, match="fenced"):
+                store.check_shard_epoch(shard, epoch)
+        # Graceful retirement instead clears the departing lease.
+        lease_2 = coordinator.lease_for("node-2")
+        coordinator.register_node("node-3")
+        coordinator.retire_node("node-2", fence=False)
+        assert lease_2.epochs == {}
+
+
+class TestVersionFencing:
+    """The acceptance criterion: a stale-epoch write is rejected."""
+
+    def test_fenced_node_cannot_commit_stale_state(self, tiny_harness, feed_expected):
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+
+        victim_id = cluster.node_ids()[0]
+        victim_view = cluster.node_view(victim_id)
+        victim_shard = victim_view.lease.shards()[0]
+        cluster.fence_node(victim_id)
+
+        # Every write of the fenced node bounces — cluster-scoped ones...
+        with pytest.raises(StaleEpochError, match="fenced"):
+            victim_view.create_cluster(victim_shard, ("computing.hdd", "zombie-key"))
+        with pytest.raises(StaleEpochError):
+            victim_view.advance_shard_version(victim_shard)
+        # ...global ones, and the commit barrier.
+        with pytest.raises(StaleEpochError):
+            victim_view.mark_seen("zombie-offer")
+        with pytest.raises(StaleEpochError):
+            victim_view.commit()
+        # An ingest routed through the zombie's whole engine dies on its
+        # first store write, leaving the shared state untouched.
+        seen_before = cluster.store.num_seen()
+        zombie_engine = make_single(tiny_harness, num_shards=8, store=victim_view)
+        with pytest.raises(StaleEpochError):
+            zombie_engine.ingest(batches[1])
+        assert cluster.store.num_seen() == seen_before
+
+        # The surviving cluster carries the stream to the identical catalog.
+        for batch in batches[1:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_store_rejects_stale_epoch_from_lagging_node(self, tiny_harness):
+        """The store-side half of the contract: even when the in-process
+        fenced flag cannot reach a writer (fenced out-of-band), its write
+        carries an outdated epoch and the *store* rejects it."""
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=8)
+        cluster.ingest(feed_stream(tiny_harness)[0])
+        laggard = cluster.node_view(cluster.node_ids()[0])
+        shard = laggard.lease.shards()[0]
+        # Someone else re-fences the shard behind the node's back.
+        cluster.store.advance_shard_epoch(shard)
+        assert not laggard.lease.fenced
+        with pytest.raises(StaleEpochError, match="epoch"):
+            laggard.create_cluster(shard, ("computing.hdd", "laggard-key"))
+        with pytest.raises(StaleEpochError, match="epoch"):
+            laggard.commit()
+        cluster.close()
+
+    def test_view_cannot_advance_epochs(self, tiny_harness):
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=4)
+        view = cluster.node_view(cluster.node_ids()[0])
+        with pytest.raises(RuntimeError, match="coordinator"):
+            view.advance_shard_epoch(0)
+        cluster.close()
+
+    def test_epochs_survive_sqlite_reopen(self, tmp_path, tiny_harness):
+        """Fencing must survive exactly the crashes it guards against."""
+        path = str(tmp_path / "epochs.sqlite3")
+        cluster = make_cluster(
+            tiny_harness, num_nodes=2, num_shards=4, store="sqlite", store_path=path
+        )
+        cluster.ingest(feed_stream(tiny_harness)[0])
+        epochs = {shard: cluster.store.shard_epoch(shard) for shard in range(4)}
+        assert any(epoch > 0 for epoch in epochs.values())
+        cluster.close()
+
+        from repro.runtime import SqliteCatalogStore
+
+        reopened = SqliteCatalogStore(path)
+        reopened.bind(4)
+        for shard, epoch in epochs.items():
+            assert reopened.shard_epoch(shard) == epoch
+        reopened.close()
+
+
+class TestMembership:
+    def test_join_and_leave_mid_stream_byte_identical(self, tiny_harness, feed_expected):
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        joined = cluster.add_node()
+        assert joined in cluster.node_ids()
+        cluster.ingest(batches[1])
+        cluster.remove_node(cluster.node_ids()[0])
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_handoff_resyncs_through_delta_protocol(self, tmp_path, tiny_harness):
+        """A new shard owner's workers rebuild state from the shared store."""
+        path = str(tmp_path / "handoff.sqlite3")
+        cluster = make_cluster(
+            tiny_harness,
+            num_nodes=2,
+            num_shards=8,
+            executor="process",
+            store="sqlite",
+            store_path=path,
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        cluster.ingest(batches[1])
+        cluster.remove_node(cluster.node_ids()[0])
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        stats = cluster.transport_stats()
+        # The survivor's pinned workers had no state for the transferred
+        # shards and reloaded it straight from the durable store.
+        assert stats.worker_resyncs > 0
+        assert stats.full_retries == 0
+        cluster.close()
+
+    def test_handoff_full_reship_without_durable_store(self, tiny_harness):
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=8, executor="process")
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        cluster.ingest(batches[1])
+        cluster.remove_node(cluster.node_ids()[0])
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        stats = cluster.transport_stats()
+        # No durable resync source: the engine re-shipped full contents.
+        assert stats.full_retries > 0
+        cluster.close()
+
+    def test_load_aware_rebalance_levels_shards_and_refences(self, tiny_harness, feed_expected):
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        before = cluster.coordinator.assignment()
+        epochs_before = {shard: cluster.store.shard_epoch(shard) for shard in range(8)}
+
+        layout = cluster.rebalance()
+        moved = [shard for shard in range(8) if layout[shard] != before[shard]]
+        # Every moved shard was re-fenced; unmoved ones kept their epoch.
+        for shard in range(8):
+            if shard in moved:
+                assert cluster.store.shard_epoch(shard) > epochs_before[shard]
+            else:
+                assert cluster.store.shard_epoch(shard) == epochs_before[shard]
+        # The greedy layout splits observed load evenly: with the loads
+        # the coordinator read from the store, no node carries everything.
+        loads = {}
+        for _, state in cluster.store.iter_clusters():
+            loads[state.shard_index] = loads.get(state.shard_index, 0) + state.size()
+        per_node = {}
+        for shard, node_id in layout.items():
+            per_node[node_id] = per_node.get(node_id, 0) + loads.get(shard, 0)
+        assert len(per_node) == 2
+        assert max(per_node.values()) < sum(per_node.values())
+
+        for batch in batches[1:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_cannot_remove_last_node(self, tiny_harness):
+        cluster = make_cluster(tiny_harness, num_nodes=1, num_shards=4)
+        with pytest.raises(RuntimeError, match="last node"):
+            cluster.remove_node(cluster.node_ids()[0])
+        with pytest.raises(ValueError, match="not a cluster member"):
+            cluster.remove_node("node-99")
+        cluster.close()
+
+
+class _SimulatedCrash(Exception):
+    """Raised by the fault hook to cut a node down mid-batch."""
+
+
+def arm_crash(store, operation, countdown):
+    """Install a hook that raises on the Nth occurrence of ``operation``."""
+    remaining = {"count": countdown}
+
+    def hook(name):
+        if name != operation:
+            return
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            store.set_fault_hook(None)
+            raise _SimulatedCrash(f"injected crash at {operation}")
+
+    store.set_fault_hook(hook)
+
+
+class TestCrashInjection:
+    """ISSUE 3 satellite: kill a node mid-batch, fence, recover, compare."""
+
+    @pytest.mark.parametrize(
+        "operation,countdown",
+        [
+            ("append_offers", 2),
+            ("mark_seen", 5),
+            ("set_product", 1),
+        ],
+    )
+    def test_mid_batch_crash_recovers_byte_identical(
+        self, tmp_path, tiny_harness, feed_expected, operation, countdown
+    ):
+        path = str(tmp_path / f"crash-{operation}.sqlite3")
+        cluster = make_cluster(
+            tiny_harness, num_nodes=2, num_shards=8, store="sqlite", store_path=path
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        nodes_before = cluster.node_ids()
+        routed_before = {s.node_id: s.offers_routed for s in cluster.node_stats()}
+        epochs_before = {shard: cluster.store.shard_epoch(shard) for shard in range(8)}
+
+        arm_crash(cluster.store, operation, countdown)
+        report = cluster.ingest(batches[1])  # auto-recovery absorbs the crash
+        assert report.offers_new > 0
+
+        # Exactly one node was fenced and dropped from the membership.
+        survivors = cluster.node_ids()
+        assert len(survivors) == 1
+        fenced = set(nodes_before) - set(survivors)
+        assert len(fenced) == 1
+        # Every shard is owned by the survivor, under advanced epochs for
+        # the shards that changed hands.
+        assignment = cluster.coordinator.assignment()
+        assert set(assignment.values()) == set(survivors)
+        assert any(cluster.store.shard_epoch(shard) > epochs_before[shard] for shard in range(8))
+
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        # No offer was lost or double-absorbed along the way.
+        expected_total = len({o.offer_id for b in batches for o in b})
+        assert cluster.snapshot().offers_ingested == expected_total
+        # And the rolled-back attempt was not double-counted: the
+        # survivor routed its pre-crash share plus every later offer
+        # exactly once (the crashed batch counts once, via the replay).
+        survivor_stats = cluster.node_stats()[0]
+        expected_routed = routed_before[survivor_stats.node_id] + sum(
+            len(batch) for batch in batches[1:]
+        )
+        assert survivor_stats.offers_routed == expected_routed
+        cluster.close()
+
+    def test_crash_with_auto_recover_disabled_propagates_cleanly(
+        self, tmp_path, tiny_harness, feed_expected
+    ):
+        """Without auto-recovery the crash surfaces, but the store is
+        rolled back to the barrier so the caller can retry the batch."""
+        path = str(tmp_path / "crash-manual.sqlite3")
+        cluster = make_cluster(
+            tiny_harness,
+            num_nodes=2,
+            num_shards=8,
+            store="sqlite",
+            store_path=path,
+            auto_recover=False,
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        seen_at_barrier = cluster.store.num_seen()
+
+        arm_crash(cluster.store, "append_offers", 1)
+        with pytest.raises(_SimulatedCrash):
+            cluster.ingest(batches[1])
+        # Rolled back: nothing of the failed batch was half-absorbed.
+        assert cluster.store.num_seen() == seen_at_barrier
+        assert cluster.node_ids() == ["node-1", "node-2"]
+
+        for batch in batches[1:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_crash_at_commit_barrier_is_retryable(self, tmp_path, tiny_harness, feed_expected):
+        """A failed shared-store flush is a store failure, not a node
+        crash: it propagates, and the batch can simply be replayed."""
+        path = str(tmp_path / "crash-commit.sqlite3")
+        cluster = make_cluster(
+            tiny_harness, num_nodes=2, num_shards=8, store="sqlite", store_path=path
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+
+        arm_crash(cluster.store, "commit", 1)
+        with pytest.raises(_SimulatedCrash):
+            cluster.ingest(batches[1])
+        assert cluster.node_ids() == ["node-1", "node-2"]  # nobody was fenced
+        replay = cluster.ingest(batches[1])
+        assert replay.offers_new > 0
+        assert replay.offers_duplicate == 0
+
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_crash_recovery_requires_rollback_capable_store(self, tiny_harness):
+        """The volatile store has no commit barrier to return to, so a
+        mid-batch crash propagates instead of pretending to recover."""
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        arm_crash(cluster.store, "append_offers", 1)
+        with pytest.raises(_SimulatedCrash):
+            cluster.ingest(batches[1])
+        assert cluster.node_ids() == ["node-1", "node-2"]
+        cluster.close()
+
+
+class TestClusterFacade:
+    def test_reports_and_snapshot_match_single_engine(self, tiny_harness):
+        single = make_single(tiny_harness, num_shards=8)
+        cluster = make_cluster(tiny_harness, num_nodes=3, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        for batch in batches:
+            single_report = single.ingest(batch)
+            cluster_report = cluster.ingest(batch)
+            assert cluster_report.offers_in_batch == single_report.offers_in_batch
+            assert cluster_report.offers_new == single_report.offers_new
+            assert cluster_report.offers_duplicate == single_report.offers_duplicate
+            assert cluster_report.offers_clustered == single_report.offers_clustered
+            assert cluster_report.clusters_touched == single_report.clusters_touched
+        single_snapshot = single.snapshot()
+        cluster_snapshot = cluster.snapshot()
+        assert fingerprint(cluster_snapshot.products) == fingerprint(single_snapshot.products)
+        assert cluster_snapshot.num_clusters == single_snapshot.num_clusters
+        assert cluster_snapshot.offers_ingested == single_snapshot.offers_ingested
+        assert cluster_snapshot.assigned_categories == single_snapshot.assigned_categories
+        assert cluster_snapshot.category_vocabulary == single_snapshot.category_vocabulary
+        assert cluster_snapshot.reconciliation_stats == single_snapshot.reconciliation_stats
+        single.close()
+        cluster.close()
+
+    def test_node_stats_account_for_every_routed_offer(self, tiny_harness):
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        for batch in batches:
+            cluster.ingest(batch)
+        stats = cluster.node_stats()
+        assert [s.node_id for s in stats] == cluster.node_ids()
+        assert sum(s.offers_routed for s in stats) == sum(len(b) for b in batches)
+        assert {shard for s in stats for shard in s.shards} == set(range(8))
+        payload = stats[0].to_dict()
+        assert payload["node_id"] == stats[0].node_id
+        assert payload["offers_routed"] == stats[0].offers_routed
+        cluster.close()
+
+    def test_concurrent_dispatch_byte_identical(self, tiny_harness, feed_expected):
+        cluster = make_cluster(tiny_harness, num_nodes=4, num_shards=8, concurrent=True)
+        for batch in feed_stream(tiny_harness):
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_ingest_after_store_close_fails_fast(self, tmp_path, tiny_harness):
+        path = str(tmp_path / "closed.sqlite3")
+        cluster = make_cluster(
+            tiny_harness, num_nodes=2, num_shards=4, store="sqlite", store_path=path
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        cluster.store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.ingest(batches[1])
+        cluster.close()

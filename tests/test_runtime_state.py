@@ -134,6 +134,53 @@ class TestCatalogStoreBasics:
         with pytest.raises(RuntimeError):
             store.commit()
 
+    def test_sqlite_writes_after_close_fail_fast(self, tmp_path):
+        """ISSUE 3 satellite: every *store-level* write after close()
+        raises clearly, instead of mutating a mirror whose contents can
+        never be persisted (the old gap: only commit() failed)."""
+        store = SqliteCatalogStore(str(tmp_path / "cat.sqlite3"))
+        store.bind(2)
+        store.mark_seen("o-1")
+        cluster_id = ("computing.hdd", "key-1")
+        store.create_cluster(0, cluster_id)
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.mark_seen("o-2")
+        with pytest.raises(RuntimeError, match="closed"):
+            store.record_category("o-2", "computing.hdd")
+        with pytest.raises(RuntimeError, match="closed"):
+            store.create_cluster(0, ("computing.hdd", "key-2"))
+        with pytest.raises(RuntimeError, match="closed"):
+            store.append_offers(cluster_id, [])
+        with pytest.raises(RuntimeError, match="closed"):
+            store.set_product(cluster_id, None)
+        with pytest.raises(RuntimeError, match="closed"):
+            store.category_stats_for_update("computing.hdd")
+        with pytest.raises(RuntimeError, match="closed"):
+            store.merge_reconciliation_stats(ReconciliationStats())
+        with pytest.raises(RuntimeError, match="closed"):
+            store.advance_shard_version(0)
+        with pytest.raises(RuntimeError, match="closed"):
+            store.advance_shard_epoch(0)
+        with pytest.raises(RuntimeError, match="closed"):
+            store.rollback()
+        # Nothing leaked: reopening shows only the pre-close state.
+        reopened = SqliteCatalogStore(str(tmp_path / "cat.sqlite3"))
+        assert reopened.num_seen() == 1
+        assert reopened.num_clusters() == 1
+        reopened.close()
+
+    def test_engine_ingest_fails_fast_on_externally_closed_store(self, tmp_path, tiny_harness):
+        """Closing the *store* out from under a live engine (not the
+        engine itself) must also refuse the next ingest."""
+        store = SqliteCatalogStore(str(tmp_path / "cat.sqlite3"))
+        engine = make_engine(tiny_harness, store=store)
+        offers = tiny_harness.unmatched_offers
+        engine.ingest(offers[:10])
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.ingest(offers[10:20])
+
 
 class TestSqliteRestore:
     def test_state_round_trips_across_reopen(self, tmp_path, tiny_harness):
@@ -291,6 +338,58 @@ class TestDeltaProtocol:
         assert fingerprint(engine.products()) == expected_products
         # Workers reloaded the missing clusters straight from the store.
         assert engine.transport_stats().worker_resyncs > 0
+        engine.close()
+
+    def test_transport_stats_accounting_under_delta_resync(self, tmp_path, tiny_harness):
+        """ISSUE 3 satellite: pin down every TransportStats field across
+        the worker-restart resync path (previously only asserted
+        indirectly through the bench)."""
+        path = str(tmp_path / "stats.sqlite3")
+        engine = make_engine(
+            tiny_harness, num_shards=4, executor="process", store="sqlite", store_path=path
+        )
+        offers = sorted(tiny_harness.unmatched_offers, key=lambda o: o.merchant_id)
+        batches = stream(offers, 4)
+        for batch in batches[:2]:
+            engine.ingest(batch)
+        mid = engine.transport_stats()
+        assert mid.batches == 2
+        assert mid.worker_resyncs == 0
+        assert mid.full_retries == 0
+        # Delta protocol invariant: every offer ships at most once (the
+        # feed-ordered tiny stream has no resync retries yet).
+        assert mid.offers_shipped <= sum(len(batch) for batch in batches[:2])
+        assert mid.clusters_shipped >= mid.shard_tasks > 0
+
+        # Kill every pinned worker; the next batches force resyncs.
+        engine._executor.close()
+        for batch in batches[2:]:
+            engine.ingest(batch)
+        stats = engine.transport_stats()
+        assert stats.batches == len(batches)
+        assert stats.worker_resyncs > 0
+        # The durable store satisfied every resync: no full re-ship, so
+        # shipped offers still never exceed the stream length.
+        assert stats.full_retries == 0
+        assert stats.offers_shipped <= len(offers)
+        assert stats.shard_tasks >= mid.shard_tasks
+        payload = stats.to_dict()
+        assert payload == {
+            "batches": stats.batches,
+            "shard_tasks": stats.shard_tasks,
+            "clusters_shipped": stats.clusters_shipped,
+            "offers_shipped": stats.offers_shipped,
+            "worker_resyncs": stats.worker_resyncs,
+            "full_retries": stats.full_retries,
+        }
+        # merge() is plain summation (the multi-node aggregation path).
+        from repro.runtime import TransportStats
+
+        merged = TransportStats()
+        merged.merge(mid)
+        merged.merge(mid)
+        assert merged.batches == 2 * mid.batches
+        assert merged.offers_shipped == 2 * mid.offers_shipped
         engine.close()
 
     def test_worker_restart_falls_back_to_full_reship(self, tiny_harness, expected_products):
