@@ -29,6 +29,12 @@ over one shared store, see :mod:`repro.runtime.cluster`)::
 
     repro-synthesize runtime-bench --nodes 4 --store sqlite \
         --store-path catalog.sqlite3 --json BENCH_runtime_cluster.json
+
+Measure true multi-*process* scaling (one OS process per node over a
+shared WAL file, see :mod:`repro.runtime.procnode`)::
+
+    repro-synthesize runtime-bench --processes 4 \
+        --store-path catalog.sqlite3 --json BENCH_runtime_cluster.json
 """
 
 from __future__ import annotations
@@ -105,8 +111,10 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
     parser.add_argument(
         "--executor",
         choices=["serial", "thread", "process"],
-        default="process",
-        help="engine shard executor (default: process)",
+        default=None,
+        help="engine shard executor (default: process; with --processes "
+        "it is the executor INSIDE each node process, default serial — "
+        "'process' is invalid there, daemonic nodes cannot spawn pools)",
     )
     parser.add_argument(
         "--shards", type=int, default=8, help="category shards (default: 8)"
@@ -119,6 +127,15 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
         help="run the multi-node scaling benchmark with clusters of "
         "1..N engine nodes over a shared store (default: 1 = the "
         "single-engine throughput benchmark)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the multi-PROCESS scaling benchmark with clusters of "
+        "1..N node processes over a shared SQLite WAL store "
+        "(forces --store sqlite; mutually exclusive with --nodes)",
     )
     parser.add_argument("--seed", type=int, default=2011, help="corpus RNG seed")
     parser.add_argument(
@@ -150,8 +167,23 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
         parser.error("--resume requires --store sqlite")
     if args.nodes < 1:
         parser.error("--nodes must be >= 1")
-    if args.resume and args.nodes > 1:
-        parser.error("--resume is a single-engine path; drop --nodes")
+    if args.processes < 1:
+        parser.error("--processes must be >= 1")
+    if args.nodes > 1 and args.processes > 1:
+        parser.error("--nodes and --processes are mutually exclusive")
+    if args.resume and (args.nodes > 1 or args.processes > 1):
+        parser.error("--resume is a single-engine path; drop --nodes/--processes")
+    if args.processes > 1:
+        if args.executor == "process":
+            parser.error(
+                "--executor process cannot run inside node processes "
+                "(daemonic nodes cannot spawn worker pools); with "
+                "--processes use --executor serial or thread"
+            )
+        # Process nodes share state through the WAL file only.
+        args.store = "sqlite"
+    if args.executor is None:
+        args.executor = "serial" if args.processes > 1 else "process"
     if args.store == "sqlite" and args.store_path is None:
         args.store_path = "BENCH_catalog.sqlite3"
     return args
@@ -168,8 +200,11 @@ def _multinode_counts(max_nodes: int) -> "list[int]":
 
 
 def _run_runtime_bench(argv: Sequence[str]) -> int:
+    """Dispatch the ``runtime-bench`` subcommand (all of its modes)."""
     args = _parse_runtime_bench_args(argv)
-    if args.nodes > 1:
+    if args.nodes > 1 or args.processes > 1:
+        mode = "processes" if args.processes > 1 else "threads"
+        max_nodes = args.processes if mode == "processes" else args.nodes
         result = runtime_bench.run_multinode(
             num_offers=args.offers,
             num_batches=args.batches,
@@ -178,7 +213,8 @@ def _run_runtime_bench(argv: Sequence[str]) -> int:
             seed=args.seed,
             store=args.store,
             store_path=args.store_path,
-            node_counts=_multinode_counts(args.nodes),
+            node_counts=_multinode_counts(max_nodes),
+            mode=mode,
         )
         print(result.to_text())
         if args.json:

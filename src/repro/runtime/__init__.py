@@ -14,7 +14,15 @@ that practical at scale:
     store, with per-shard epoch fencing so a lagging or crashed node can
     never commit stale cluster state;
     :class:`~repro.runtime.cluster.MultiNodeEngine` is the single-engine-
-    compatible facade (join/leave/fence, crash recovery via rollback).
+    compatible facade (join/leave/fence, crash recovery via rollback),
+    and :class:`~repro.runtime.cluster.LoadSkewWatcher` closes the loop
+    with automatic load-aware rebalancing.
+``procnode``
+    True multi-*process* nodes: :class:`~repro.runtime.procnode.MultiProcessEngine`
+    runs each node in its own OS process with a private store connection
+    and mirror over the shared WAL file, coordinated through a small
+    message protocol (ingest, commit-barrier vote, fence/handoff,
+    shutdown) — same byte-identity contract, real multi-core scaling.
 ``state`` / ``store``
     The pluggable catalog state layer: a
     :class:`~repro.runtime.state.CatalogStore` protocol with an
@@ -33,12 +41,14 @@ that practical at scale:
 
 from repro.runtime.cluster import (
     FencedStoreView,
+    LoadSkewWatcher,
     MultiNodeEngine,
     NodeStats,
     ShardCoordinator,
     ShardLease,
 )
 from repro.runtime.delta import TransportStats
+from repro.runtime.procnode import MultiProcessEngine, NodeDeadError, ProcessNode
 from repro.runtime.engine import EngineSnapshot, IngestReport, SynthesisEngine
 from repro.runtime.executors import (
     ProcessPoolShardExecutor,
@@ -55,9 +65,13 @@ __all__ = [
     "IngestReport",
     "EngineSnapshot",
     "MultiNodeEngine",
+    "MultiProcessEngine",
+    "ProcessNode",
+    "NodeDeadError",
     "ShardCoordinator",
     "ShardLease",
     "FencedStoreView",
+    "LoadSkewWatcher",
     "NodeStats",
     "StaleEpochError",
     "SerialExecutor",

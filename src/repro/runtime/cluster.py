@@ -80,8 +80,11 @@ __all__ = [
     "ShardLease",
     "FencedStoreView",
     "ShardCoordinator",
+    "LoadSkewWatcher",
     "NodeStats",
     "MultiNodeEngine",
+    "ProcessNode",
+    "MultiProcessEngine",
 ]
 
 
@@ -184,6 +187,7 @@ class FencedStoreView(CatalogStore):
     # -- lifecycle -------------------------------------------------------------
 
     def bind(self, num_shards: int) -> None:
+        """Validate the engine's shard count against the cluster store's."""
         if num_shards != self._base.num_shards:
             raise ValueError(
                 f"node engine wants {num_shards} shards but the cluster "
@@ -192,6 +196,7 @@ class FencedStoreView(CatalogStore):
         self._num_shards = num_shards
 
     def commit(self) -> None:
+        """Validate the whole lease; flush the base unless deferred."""
         with self._lock:
             self.validate_lease()
             if not self._deferred_commit:
@@ -211,49 +216,59 @@ class FencedStoreView(CatalogStore):
 
     @property
     def closed(self) -> bool:
+        """Whether the shared base store can no longer accept writes."""
         return self._base.closed
 
     def worker_resync_path(self) -> Optional[str]:
+        """The base store's durable resync location (or ``None``)."""
         return self._base.worker_resync_path()
 
     # -- seen offers -----------------------------------------------------------
 
     def is_seen(self, offer_id: str) -> bool:
+        """Whether an offer id was absorbed, read under the cluster lock."""
         with self._lock:
             return self._base.is_seen(offer_id)
 
     def mark_seen(self, offer_id: str) -> bool:
+        """Record an offer id (global write; fence flag checked first)."""
         with self._lock:
             self._check_writable()
             return self._base.mark_seen(offer_id)
 
     def num_seen(self) -> int:
+        """Distinct offer ids absorbed cluster-wide."""
         with self._lock:
             return self._base.num_seen()
 
     # -- assigned categories ---------------------------------------------------
 
     def record_category(self, offer_id: str, category_id: str) -> None:
+        """Remember an offer's category (global, fence-flag-checked write)."""
         with self._lock:
             self._check_writable()
             self._base.record_category(offer_id, category_id)
 
     def assigned_categories(self) -> Dict[str, str]:
+        """A copy of the cluster-wide offer-id -> category-id map."""
         with self._lock:
             return self._base.assigned_categories()
 
     # -- clusters (epoch-checked writes) ---------------------------------------
 
     def get_cluster(self, cluster_id: ClusterId) -> Optional[ClusterState]:
+        """One cluster's shared state, read under the cluster lock."""
         with self._lock:
             return self._base.get_cluster(cluster_id)
 
     def create_cluster(self, shard_index: int, cluster_id: ClusterId) -> ClusterState:
+        """Create a cluster after validating this node's shard epoch."""
         with self._lock:
             self._check_shard(shard_index)
             return self._base.create_cluster(shard_index, cluster_id)
 
     def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
+        """Append offers after validating the owning shard's epoch."""
         with self._lock:
             state = self._base.get_cluster(cluster_id)
             if state is not None:
@@ -261,6 +276,7 @@ class FencedStoreView(CatalogStore):
             self._base.append_offers(cluster_id, offers)
 
     def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
+        """Record a fused product after validating the shard's epoch."""
         with self._lock:
             state = self._base.get_cluster(cluster_id)
             if state is not None:
@@ -268,14 +284,17 @@ class FencedStoreView(CatalogStore):
             self._base.set_product(cluster_id, product)
 
     def iter_clusters(self) -> Iterator[Tuple[ClusterId, ClusterState]]:
+        """Iterate over a stable copy of every tracked cluster."""
         with self._lock:
             return iter(list(self._base.iter_clusters()))
 
     def shard_cluster_ids(self, shard_index: int) -> List[ClusterId]:
+        """Ids of every cluster living in one shard."""
         with self._lock:
             return self._base.shard_cluster_ids(shard_index)
 
     def num_clusters(self) -> int:
+        """Number of clusters tracked cluster-wide."""
         with self._lock:
             return self._base.num_clusters()
 
@@ -284,45 +303,54 @@ class FencedStoreView(CatalogStore):
     def category_stats_for_update(self, category_id: str) -> IncrementalTfIdf:
         # The returned object is mutated lock-free by the engine: safe,
         # because one category belongs to one shard and so to one node.
+        """Mutable TF-IDF statistics of an owned category (fence-checked)."""
         with self._lock:
             self._check_writable()
             return self._base.category_stats_for_update(category_id)
 
     def category_stats(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        """Read-only TF-IDF statistics of one category (or ``None``)."""
         with self._lock:
             return self._base.category_stats(category_id)
 
     def category_vocabulary(self) -> Dict[str, int]:
+        """category_id -> vocabulary size, cluster-wide."""
         with self._lock:
             return self._base.category_vocabulary()
 
     # -- reconciliation stats --------------------------------------------------
 
     def merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
+        """Fold batch counters into the shared totals (fence-checked)."""
         with self._lock:
             self._check_writable()
             self._base.merge_reconciliation_stats(stats)
 
     def reconciliation_stats(self) -> ReconciliationStats:
+        """A copy of the cluster-wide reconciliation totals."""
         with self._lock:
             return self._base.reconciliation_stats()
 
     # -- shard versions / epochs -----------------------------------------------
 
     def shard_version(self, shard_index: int) -> int:
+        """The delta-protocol version counter of one shard."""
         with self._lock:
             return self._base.shard_version(shard_index)
 
     def advance_shard_version(self, shard_index: int) -> Tuple[int, int]:
+        """Bump an owned shard's version counter (epoch-checked)."""
         with self._lock:
             self._check_shard(shard_index)
             return self._base.advance_shard_version(shard_index)
 
     def shard_epoch(self, shard_index: int) -> int:
+        """The authoritative fencing epoch of one shard."""
         with self._lock:
             return self._base.shard_epoch(shard_index)
 
     def advance_shard_epoch(self, shard_index: int) -> int:
+        """Always refused: only the shard coordinator fences shards."""
         raise RuntimeError(
             "only the shard coordinator advances fencing epochs; a node "
             "bumping its own epoch would un-fence itself"
@@ -460,6 +488,107 @@ class ShardCoordinator:
             self._grant(shard_index, nodes[shard_index % len(nodes)])
 
 
+def assign_routing_categories(
+    offers: Sequence[Offer], classifier: Optional[TitleCategoryClassifier]
+) -> List[Offer]:
+    """Assign categories for routing (shared by both cluster facades).
+
+    The classifier is per-offer and deterministic, and node engines keep
+    pre-assigned categories, so classification happens once per offer no
+    matter how many nodes the batch fans out to.  Raises ``ValueError``
+    when offers lack categories and no trained classifier is available.
+    """
+    needs_classification = [offer for offer in offers if offer.category_id is None]
+    if not needs_classification:
+        return list(offers)
+    if classifier is None or not classifier.is_trained:
+        raise ValueError("offers without a category require a trained category classifier")
+    return classifier.assign_categories(list(offers))
+
+
+def partition_offers_by_node(
+    categorised: Sequence[Offer],
+    num_shards: int,
+    node_for_shard,
+    fallback_node_id: str,
+) -> Dict[str, List[Offer]]:
+    """Group offers by owning node, preserving stream order per node.
+
+    Offers without a category have no shard: they only need global
+    bookkeeping (seen-set, reconciliation counters), which lands the
+    same wherever it runs — they go to the stable ``fallback_node_id``.
+    Shared by both cluster facades so their routing can never diverge
+    (the byte-identity contract hangs on identical placement).
+    """
+    routed: Dict[str, List[Offer]] = {}
+    for offer in categorised:
+        if offer.category_id is None:
+            node_id = fallback_node_id
+        else:
+            shard_index = shard_for_category(offer.category_id, num_shards)
+            node_id = node_for_shard(shard_index)
+        routed.setdefault(node_id, []).append(offer)
+    return routed
+
+
+class LoadSkewWatcher:
+    """Watches per-batch busy-time skew and fires automatic rebalances.
+
+    The coordinator's modulo layout ignores how skewed the category
+    distribution is; this watcher closes the manual-`rebalance` gap.
+    After every cluster batch it observes each node's busy seconds; when
+    the busiest node exceeds ``threshold`` times the mean for
+    ``patience`` *consecutive* batches (the hysteresis — one noisy batch
+    never triggers a layout change), it reports that a load-aware
+    rebalance is due and resets.  Batches with fewer than two nodes or
+    no measurable work reset the streak: there is nothing to balance.
+    """
+
+    def __init__(self, threshold: float = 1.5, patience: int = 2) -> None:
+        """Configure the trigger.
+
+        threshold:
+            Minimum ``max(busy) / mean(busy)`` ratio that counts as a
+            skewed batch; must be >= 1.0 (1.0 = any imbalance counts).
+        patience:
+            Consecutive skewed batches required before firing (>= 1).
+        """
+        if threshold < 1.0:
+            raise ValueError(f"threshold must be >= 1.0, got {threshold}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.threshold = threshold
+        self.patience = patience
+        self._streak = 0
+
+    @property
+    def streak(self) -> int:
+        """Consecutive skewed batches observed so far (diagnostics)."""
+        return self._streak
+
+    def observe(self, busy_by_node: Dict[str, float]) -> bool:
+        """Record one batch's per-node busy seconds; ``True`` = rebalance.
+
+        Returns whether the skew streak just reached ``patience`` (the
+        caller should run a load-aware rebalance now); the streak resets
+        on firing, so back-to-back triggers need the skew to persist for
+        another full ``patience`` window after the layout change.
+        """
+        total = sum(busy_by_node.values())
+        if len(busy_by_node) < 2 or total <= 0.0:
+            self._streak = 0
+            return False
+        skew = max(busy_by_node.values()) * len(busy_by_node) / total
+        if skew < self.threshold:
+            self._streak = 0
+            return False
+        self._streak += 1
+        if self._streak >= self.patience:
+            self._streak = 0
+            return True
+        return False
+
+
 @dataclass
 class NodeStats:
     """Per-node accounting of one :class:`MultiNodeEngine`."""
@@ -527,6 +656,14 @@ class MultiNodeEngine:
         When a node raises mid-batch and the store supports rollback,
         roll back to the commit barrier, fence the node, reassign its
         shards, and replay the batch on the survivors (default on).
+    auto_rebalance_skew, auto_rebalance_patience:
+        Automatic load-aware rebalancing: when set, a
+        :class:`LoadSkewWatcher` observes every batch's per-node busy
+        seconds and triggers :meth:`rebalance` once the busiest node
+        exceeds ``auto_rebalance_skew`` times the mean for
+        ``auto_rebalance_patience`` consecutive batches.  ``None``
+        (default) keeps rebalancing manual.  Rebalancing never changes
+        the synthesized products, only the layout.
 
     The ``executor`` argument is built *per node* when given as a name,
     so ``executor="process"`` gives every node its own worker pool.
@@ -551,6 +688,8 @@ class MultiNodeEngine:
         delta_refusion: Optional[bool] = None,
         concurrent: bool = False,
         auto_recover: bool = True,
+        auto_rebalance_skew: Optional[float] = None,
+        auto_rebalance_patience: int = 2,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -578,6 +717,11 @@ class MultiNodeEngine:
         self._coordinator = ShardCoordinator(self._store, num_shards)
         self._concurrent = concurrent
         self._auto_recover = auto_recover
+        self._skew_watcher: Optional[LoadSkewWatcher] = None
+        if auto_rebalance_skew is not None:
+            self._skew_watcher = LoadSkewWatcher(
+                threshold=auto_rebalance_skew, patience=auto_rebalance_patience
+            )
         self._nodes: Dict[str, _EngineNode] = {}
         self._node_counter = itertools.count(1)
         self._retired_transport = TransportStats()
@@ -605,6 +749,11 @@ class MultiNodeEngine:
     def store(self) -> CatalogStore:
         """The shared catalog store holding the cluster's state."""
         return self._store
+
+    @property
+    def skew_watcher(self) -> Optional["LoadSkewWatcher"]:
+        """The automatic-rebalance trigger, or ``None`` when manual."""
+        return self._skew_watcher
 
     def node_view(self, node_id: str) -> FencedStoreView:
         """The fenced store view of one live node (tests, diagnostics)."""
@@ -679,38 +828,17 @@ class MultiNodeEngine:
     # -- routing ---------------------------------------------------------------
 
     def _route_categories(self, offers: Sequence[Offer]) -> List[Offer]:
-        """Assign categories for routing (mirrors the engine's stage).
-
-        The classifier is per-offer and deterministic, and node engines
-        keep the pre-assigned categories, so classification happens once
-        per offer no matter how many nodes the batch fans out to.
-        """
-        needs_classification = [offer for offer in offers if offer.category_id is None]
-        if not needs_classification:
-            return list(offers)
-        if self._classifier is None or not self._classifier.is_trained:
-            raise ValueError(
-                "offers without a category require a trained category classifier"
-            )
-        return self._classifier.assign_categories(list(offers))
+        """Assign categories for routing (mirrors the engine's stage)."""
+        return assign_routing_categories(offers, self._classifier)
 
     def _partition(self, categorised: Sequence[Offer]) -> Dict[str, List[Offer]]:
         """Group offers by owning node, preserving stream order per node."""
-        fallback: Optional[str] = None
-        routed: Dict[str, List[Offer]] = {}
-        for offer in categorised:
-            if offer.category_id is None:
-                # No category means no shard: global bookkeeping only
-                # (seen-set, reconciliation counters), which lands the
-                # same wherever it runs — pick a stable home.
-                if fallback is None:
-                    fallback = self.node_ids()[0]
-                node_id = fallback
-            else:
-                shard_index = shard_for_category(offer.category_id, self._num_shards)
-                node_id = self._coordinator.node_for_shard(shard_index)
-            routed.setdefault(node_id, []).append(offer)
-        return routed
+        return partition_offers_by_node(
+            categorised,
+            self._num_shards,
+            self._coordinator.node_for_shard,
+            fallback_node_id=self.node_ids()[0],
+        )
 
     # -- ingest ----------------------------------------------------------------
 
@@ -743,6 +871,7 @@ class MultiNodeEngine:
             return report
 
         categorised = self._route_categories(fresh)
+        busy_before = {node_id: node.busy_seconds for node_id, node in self._nodes.items()}
         attempts = 0
         while True:
             try:
@@ -789,7 +918,24 @@ class MultiNodeEngine:
             if self._store.supports_rollback and not self._store.closed:
                 self._store.rollback()
             raise
+        self._maybe_auto_rebalance(busy_before)
         return report
+
+    def _maybe_auto_rebalance(self, busy_before: Dict[str, float]) -> None:
+        """Feed the skew watcher one batch; rebalance when it fires.
+
+        Runs strictly *after* the commit barrier, so a triggered
+        rebalance behaves exactly like a manual between-batches
+        :meth:`rebalance` (re-fence moved shards, resync new owners).
+        """
+        if self._skew_watcher is None:
+            return
+        busy = {
+            node_id: node.busy_seconds - busy_before.get(node_id, 0.0)
+            for node_id, node in self._nodes.items()
+        }
+        if self._skew_watcher.observe(busy):
+            self.rebalance()
 
     def _ingest_on(self, node: _EngineNode, sub_batch: List[Offer]) -> IngestReport:
         started = time.perf_counter()
@@ -903,3 +1049,18 @@ class MultiNodeEngine:
 
     def __exit__(self, exc_type: object, exc: object, traceback: object) -> None:
         self.close()
+
+
+def __getattr__(name: str):
+    """Lazily re-export the multi-process members from their module.
+
+    ``ProcessNode`` / ``MultiProcessEngine`` live in
+    :mod:`repro.runtime.procnode` (which imports the fencing primitives
+    from here); resolving them on attribute access keeps
+    ``repro.runtime.cluster`` their import home without a cycle.
+    """
+    if name in ("ProcessNode", "MultiProcessEngine"):
+        from repro.runtime import procnode
+
+        return getattr(procnode, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

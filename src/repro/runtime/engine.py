@@ -592,7 +592,10 @@ class SynthesisEngine:
         Pools are re-created lazily, so the engine stays usable.  The
         cluster layer uses this to retire a node whose store view was
         fenced — committing through that view would (correctly) raise,
-        but its worker processes still have to go.
+        but its worker processes still have to go.  Cluster *node
+        processes* (:mod:`repro.runtime.procnode`) call it on shutdown
+        and on coordinator loss, so an engine hosted inside a node never
+        leaks a worker pool past its process's lifetime.
         """
         self._executor.close()
 

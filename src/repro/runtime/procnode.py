@@ -1,0 +1,996 @@
+"""True multi-process cluster nodes over the shared WAL store.
+
+:class:`~repro.runtime.cluster.MultiNodeEngine` scales by *threads*: its
+nodes share one in-process store mirror under a lock, so fusion work
+still funnels through one interpreter.  This module removes that wall.
+:class:`MultiProcessEngine` runs every node in its **own OS process**
+(:class:`ProcessNode` is the coordinator-side handle): each node opens
+its own :class:`~repro.runtime.store.sqlite.SqliteCatalogStore`
+connection and mirror over the shared WAL file, and nothing on the
+ingest critical path crosses a shared lock — real multi-core scaling,
+bounded only by the coordinator's routing work.
+
+The coordinator and its nodes speak a small message protocol over pipes
+(one duplex pipe per node, strictly request/reply per node, fanned out
+across nodes):
+
+``ingest``
+    One routed sub-batch of offers.  The node runs its engine over it
+    — all mutations land in the store's *journal*, nothing touches the
+    file — and answers with a ``vote``: its ingest report, busy time and
+    transport counters on success, the error otherwise.
+``commit`` / ``abort``
+    The cluster commit barrier.  When every involved node voted ready,
+    the coordinator tells them to flush their journals (each node's
+    flush is one SQLite transaction; WAL + busy timeouts serialise the
+    concurrent writers).  Any failed or dead node instead aborts the
+    others: they roll their journals away and rebuild their mirrors
+    from the last barrier, the coordinator fences the failure, and the
+    whole batch replays on the survivors.
+``lease``
+    Fence/handoff: the new epoch map of the node, plus the shards it
+    just gained and must reload from the file
+    (:meth:`~repro.runtime.store.sqlite.SqliteCatalogStore.refresh_shards`).
+``crash``
+    Test/drill hook: arm a fault that hard-kills the node process
+    (``os._exit``) at the Nth store operation — a genuine mid-batch
+    death, exercised by the crash suites and the ops example.
+``shutdown``
+    Graceful leave; the node releases its workers and closes its store.
+
+**Safety.**  The shared-row strategy keeps cross-process writes
+race-free: each offer is routed to exactly one node (seen-set rows are
+disjoint), each shard has exactly one owner (cluster rows are disjoint),
+and reconciliation totals live in per-node partition rows merged on
+read.  Fencing is the store-side epoch check inherited from the thread
+cluster — but a node process reads epochs *from the file*, so a zombie
+that the coordinator fenced from another process still bounces on its
+very next write.  Because a node journals everything until the barrier,
+a killed node leaves **zero** bytes of the in-flight batch behind; crash
+recovery is: abort survivors, fence, reassign, replay, byte-identical.
+
+Mid-stream, the coordinator's :class:`~repro.runtime.cluster.LoadSkewWatcher`
+(when armed) watches per-batch busy-time skew and triggers a load-aware
+:meth:`MultiProcessEngine.rebalance` automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.extraction.extractor import WebPageAttributeExtractor
+from repro.matching.correspondence import CorrespondenceSet
+from repro.model.catalog import Catalog
+from repro.model.offers import Offer
+from repro.model.products import Product
+from repro.runtime.cluster import (
+    FencedStoreView,
+    LoadSkewWatcher,
+    NodeStats,
+    ShardCoordinator,
+    ShardLease,
+    assign_routing_categories,
+    partition_offers_by_node,
+)
+from repro.runtime.delta import TransportStats
+from repro.runtime.engine import EngineSnapshot, IngestReport, SynthesisEngine
+from repro.runtime.executors import ShardExecutor
+from repro.runtime.store.sqlite import SqliteCatalogStore
+from repro.synthesis.category_classifier import TitleCategoryClassifier
+from repro.synthesis.clustering import KeyAttributeClusterer
+from repro.synthesis.fusion import CentroidValueFusion
+from repro.text.tfidf import IncrementalTfIdf
+
+__all__ = [
+    "NodeDeadError",
+    "NodeVote",
+    "ProcessNode",
+    "MultiProcessEngine",
+]
+
+
+class NodeDeadError(RuntimeError):
+    """A node process died (or stopped answering) mid-conversation."""
+
+    def __init__(self, node_id: str, reason: str) -> None:
+        """Record which node failed and how the failure was observed."""
+        super().__init__(f"node {node_id!r} is dead: {reason}")
+        self.node_id = node_id
+        self.reason = reason
+
+
+@dataclass
+class NodeVote:
+    """A node's answer to one ``ingest`` message (its barrier vote)."""
+
+    #: Whether the sub-batch was absorbed into the node's journal.
+    ready: bool
+    #: ``repr`` of the node-side exception when ``ready`` is false.
+    error: Optional[str] = None
+    #: The node engine's report for the sub-batch (when ready).
+    report: Optional[IngestReport] = None
+    #: Seconds the node spent in ``engine.ingest`` for this sub-batch.
+    busy_seconds: float = 0.0
+    #: The node engine's *cumulative* executor-payload accounting.
+    transport: TransportStats = field(default_factory=TransportStats)
+
+
+def _node_main(
+    channel: multiprocessing.connection.Connection,
+    store_path: str,
+    node_id: str,
+    num_shards: int,
+    epochs: Dict[int, int],
+    engine_kwargs: Dict[str, object],
+    inherited_channels: Sequence[multiprocessing.connection.Connection] = (),
+) -> None:
+    """Entry point of one node process: serve protocol messages forever.
+
+    The node owns a private store connection + mirror over the shared
+    WAL file, partitioned under its node id, and a private
+    :class:`~repro.runtime.engine.SynthesisEngine` writing through a
+    :class:`~repro.runtime.cluster.FencedStoreView` with deferred
+    commits — the flush happens only on an explicit ``commit`` message.
+    A vanished coordinator (``EOFError``) means exit *without* flushing:
+    whatever the journal holds was never barrier-committed.
+
+    ``inherited_channels`` are the coordinator-side pipe ends of the
+    *other* nodes that a fork-started child inherits: they are closed
+    immediately, because a sibling holding a duplicate write end would
+    keep every node's pipe open after a coordinator hard crash — no
+    node would ever see the EOF that tells it to exit.
+    """
+    for sibling_channel in inherited_channels:
+        try:
+            sibling_channel.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    store = SqliteCatalogStore(store_path, partition=node_id)
+    store.bind(num_shards)
+    lease = ShardLease(node_id=node_id, epochs=dict(epochs))
+    view = FencedStoreView(store, lease, deferred_commit=True)
+    engine = SynthesisEngine(num_shards=num_shards, store=view, **engine_kwargs)
+    try:
+        while True:
+            kind, payload = channel.recv()
+            if kind == "ingest":
+                started = time.perf_counter()
+                try:
+                    report = engine.ingest(payload)
+                except Exception as exc:  # noqa: BLE001 - shipped to coordinator
+                    channel.send(
+                        (
+                            "vote",
+                            NodeVote(
+                                ready=False,
+                                error=repr(exc),
+                                busy_seconds=time.perf_counter() - started,
+                                transport=engine.transport_stats(),
+                            ),
+                        )
+                    )
+                else:
+                    channel.send(
+                        (
+                            "vote",
+                            NodeVote(
+                                ready=True,
+                                report=report,
+                                busy_seconds=time.perf_counter() - started,
+                                transport=engine.transport_stats(),
+                            ),
+                        )
+                    )
+            elif kind == "commit":
+                try:
+                    view.validate_lease()
+                    store.commit()
+                except Exception as exc:  # noqa: BLE001 - shipped to coordinator
+                    channel.send(("commit-error", repr(exc)))
+                else:
+                    channel.send(("committed", None))
+            elif kind == "abort":
+                store.rollback()
+                channel.send(("aborted", None))
+            elif kind == "lease":
+                lease.epochs.clear()
+                lease.epochs.update(payload["epochs"])
+                store.refresh_shards(payload["refresh"])
+                channel.send(("lease-ok", None))
+            elif kind == "crash":
+                _arm_fault(
+                    store,
+                    payload["operation"],
+                    payload["countdown"],
+                    payload.get("hard", True),
+                )
+                channel.send(("crash-armed", None))
+            elif kind == "shutdown":
+                engine.release_workers()
+                store.close()
+                channel.send(("bye", None))
+                return
+            else:  # pragma: no cover - protocol misuse guard
+                channel.send(("error", f"unknown message kind {kind!r}"))
+    except (EOFError, OSError, KeyboardInterrupt):
+        # The coordinator went away: exit without flushing anything.
+        engine.release_workers()
+
+
+def _arm_fault(
+    store: SqliteCatalogStore, operation: str, countdown: int, hard: bool
+) -> None:
+    """Install a fault hook that fails this node at the Nth store op.
+
+    ``hard=True`` hard-kills the process with ``os._exit`` — no journal
+    flush, no reply, no cleanup — a genuine mid-batch death.
+    ``hard=False`` raises instead (one-shot): the process survives, its
+    engine fails mid-ingest, and the node votes not-ready — the
+    alive-but-failed path whose partial journal the coordinator must
+    abort.
+    """
+    remaining = {"count": countdown}
+
+    def hook(name: str) -> None:
+        if name != operation:
+            return
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            if hard:
+                os._exit(17)
+            store.set_fault_hook(None)
+            raise RuntimeError(f"injected node fault at {operation}")
+
+    store.set_fault_hook(hook)
+
+
+def _start_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing start method for node processes.
+
+    ``fork`` when the platform offers it: node processes inherit the
+    pipeline components (catalog, classifier, extractor) without
+    pickling them.  Elsewhere ``spawn`` is used and those components
+    must be picklable.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ProcessNode:
+    """Coordinator-side handle of one node process.
+
+    Owns the process object and the coordinator's end of the pipe, plus
+    the routing/timing accounting the facade reports.  All protocol I/O
+    funnels through :meth:`send` / :meth:`recv`, which translate a dead
+    or silent process into :class:`NodeDeadError`.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        lease: ShardLease,
+        store_path: str,
+        num_shards: int,
+        engine_kwargs: Dict[str, object],
+        context: multiprocessing.context.BaseContext,
+        timeout: float,
+        sibling_channels: Sequence[multiprocessing.connection.Connection] = (),
+    ) -> None:
+        """Spawn the node process with its initial lease epochs.
+
+        ``sibling_channels`` — the coordinator-side pipe ends of nodes
+        that already exist — travel to the child only so it can close
+        its inherited duplicates (see :func:`_node_main`).
+        """
+        self.node_id = node_id
+        self.lease = lease
+        self.offers_routed = 0
+        self.batches = 0
+        self.busy_seconds = 0.0
+        self.transport = TransportStats()
+        self._timeout = timeout
+        parent_end, child_end = context.Pipe(duplex=True)
+        self._channel = parent_end
+        # The child closes every coordinator-side duplicate it inherits:
+        # the siblings' parent ends AND its own (created before the
+        # fork) — any one left open would mask the EOF that tells nodes
+        # a crashed coordinator is gone.
+        self._process = context.Process(
+            target=_node_main,
+            args=(
+                child_end,
+                store_path,
+                node_id,
+                num_shards,
+                dict(lease.epochs),
+                engine_kwargs,
+                list(sibling_channels) + [parent_end],
+            ),
+            name=f"repro-{node_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child_end.close()
+
+    @property
+    def channel(self) -> multiprocessing.connection.Connection:
+        """The coordinator-side end of this node's pipe."""
+        return self._channel
+
+    def alive(self) -> bool:
+        """Whether the node process is currently running."""
+        return self._process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        """OS process id of the node (``None`` before start)."""
+        return self._process.pid
+
+    def send(self, kind: str, payload: object = None) -> None:
+        """Ship one protocol message; raises :class:`NodeDeadError`."""
+        try:
+            self._channel.send((kind, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise NodeDeadError(self.node_id, f"send failed: {exc!r}") from exc
+
+    def recv(self) -> Tuple[str, object]:
+        """Await one reply; raises :class:`NodeDeadError` on death/timeout."""
+        try:
+            if not self._channel.poll(self._timeout):
+                raise NodeDeadError(
+                    self.node_id, f"no reply within {self._timeout:.0f}s"
+                )
+            return self._channel.recv()
+        except (EOFError, ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise NodeDeadError(self.node_id, f"connection lost: {exc!r}") from exc
+
+    def request(self, kind: str, payload: object = None) -> object:
+        """Send one message and await its reply, checking the reply kind.
+
+        Error replies (``commit-error`` and friends) surface as
+        :class:`RuntimeError`; transport failures as
+        :class:`NodeDeadError`.
+        """
+        self.send(kind, payload)
+        reply_kind, reply = self.recv()
+        if reply_kind.endswith("-error") or reply_kind == "error":
+            raise RuntimeError(f"node {self.node_id!r} answered {reply_kind}: {reply}")
+        return reply
+
+    def kill(self) -> None:
+        """SIGKILL the node process (crash simulation; no bookkeeping)."""
+        self._process.kill()
+        self._process.join(timeout=10)
+
+    def destroy(self) -> None:
+        """Tear the handle down: close the pipe, terminate, reap."""
+        try:
+            self._channel.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=10)
+
+
+class MultiProcessEngine:
+    """N synthesis engines in N OS processes over one shared WAL store.
+
+    The multi-*process* sibling of
+    :class:`~repro.runtime.cluster.MultiNodeEngine`, with the same
+    ``ingest`` / ``products`` / ``snapshot`` facade and the same
+    byte-identity contract against a single engine.  Differences:
+
+    * a durable shared store is **required** (``store_path``): the WAL
+      file is the only state the processes share;
+    * each node runs a private engine + store connection in its own
+      process — no shared mirror, no cluster lock, true multi-core
+      ingest;
+    * the commit barrier is a vote/commit message round instead of one
+      in-process flush.  A node that dies before voting costs nothing
+      (its journal dies with it); recovery aborts the survivors, fences
+      the dead node and replays the batch.  A failure *during* the
+      commit round (after some nodes flushed) is surfaced as
+      :class:`RuntimeError` — re-open the store to resume from its
+      consistent last barrier.
+
+    Parameters mirror :class:`~repro.runtime.cluster.MultiNodeEngine`
+    where they overlap; the process-specific ones:
+
+    node_executor:
+        Executor of the engine *inside* each node process: ``"serial"``
+        (default — the node processes themselves are the parallelism)
+        or ``"thread"``.  ``"process"`` is rejected with
+        :class:`ValueError`: node processes are daemonic and cannot
+        spawn worker-pool children.
+    node_timeout:
+        Seconds to wait for a node's reply before declaring it dead.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        correspondences: CorrespondenceSet,
+        extractor: Optional[WebPageAttributeExtractor] = None,
+        category_classifier: Optional[TitleCategoryClassifier] = None,
+        clusterer: Optional[KeyAttributeClusterer] = None,
+        fusion: Optional[CentroidValueFusion] = None,
+        min_cluster_size: int = 1,
+        num_nodes: int = 2,
+        num_shards: int = 8,
+        node_executor: Union[str, ShardExecutor, None] = "serial",
+        max_workers: Optional[int] = None,
+        track_category_statistics: bool = True,
+        store_path: Optional[str] = None,
+        delta_refusion: Optional[bool] = None,
+        auto_recover: bool = True,
+        auto_rebalance_skew: Optional[float] = None,
+        auto_rebalance_patience: int = 2,
+        node_timeout: float = 300.0,
+    ) -> None:
+        """Open the shared store, compute the layout, spawn the nodes."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if store_path is None:
+            raise ValueError(
+                "MultiProcessEngine requires store_path: the shared WAL "
+                "file is the only state its node processes have in common"
+            )
+        if isinstance(node_executor, str) and node_executor not in ("serial", "thread"):
+            raise ValueError(
+                f"node_executor {node_executor!r} is not usable inside a node "
+                "process: nodes run as daemonic children, which cannot spawn "
+                "worker-pool processes of their own — use 'serial' or 'thread'"
+            )
+        if getattr(node_executor, "supports_pinning", False):
+            raise ValueError(
+                "a process-pool executor cannot run inside a node process "
+                "(daemonic children cannot spawn workers); use 'serial' or 'thread'"
+            )
+        self._classifier = category_classifier
+        self._num_shards = num_shards
+        self._engine_kwargs: Dict[str, object] = dict(
+            catalog=catalog,
+            correspondences=correspondences,
+            extractor=extractor,
+            category_classifier=category_classifier,
+            clusterer=clusterer,
+            fusion=fusion,
+            min_cluster_size=min_cluster_size,
+            executor=node_executor,
+            max_workers=max_workers,
+            track_category_statistics=track_category_statistics,
+            delta_refusion=delta_refusion,
+        )
+        self._context = _start_context()
+        self._timeout = node_timeout
+        self._auto_recover = auto_recover
+        self._skew_watcher: Optional[LoadSkewWatcher] = None
+        if auto_rebalance_skew is not None:
+            self._skew_watcher = LoadSkewWatcher(
+                threshold=auto_rebalance_skew, patience=auto_rebalance_patience
+            )
+        # The coordinator's own connection: epochs (authoritative writer),
+        # the initial restore, and the refresh-on-read view surface.
+        self._store = SqliteCatalogStore(store_path)
+        self._store_path = self._store.path
+        self._store.bind(num_shards)
+        self._coordinator = ShardCoordinator(self._store, num_shards)
+        self._nodes: Dict[str, ProcessNode] = {}
+        self._node_counter = itertools.count(1)
+        self._retired_transport = TransportStats()
+        self._retired_busy = 0.0
+        # Coordinator-side dedup: offers absorbed since the last mirror
+        # refresh.  Updated only after a barrier commits, so a recovered
+        # or replayed batch is never half-seen; the mirror's own seen
+        # set covers everything restored or refreshed from the file.
+        self._seen = set()
+        self._dirty = False
+        self._closed = False
+        # One layout pass for the whole initial membership, then spawn
+        # each node with its final epochs.
+        node_ids = [f"node-{next(self._node_counter)}" for _ in range(num_nodes)]
+        for node_id in node_ids:
+            self._coordinator.register_node(node_id, rebalance=False)
+        self._coordinator.apply_layout()
+        for node_id in node_ids:
+            self._spawn(node_id)
+
+    def _spawn(self, node_id: str) -> ProcessNode:
+        """Start the node process for an already-registered lease."""
+        node = ProcessNode(
+            node_id=node_id,
+            lease=self._coordinator.lease_for(node_id),
+            store_path=self._store_path,
+            num_shards=self._num_shards,
+            engine_kwargs=self._engine_kwargs,
+            context=self._context,
+            timeout=self._timeout,
+            sibling_channels=[peer.channel for peer in self._nodes.values()],
+        )
+        self._nodes[node_id] = node
+        return node
+
+    # -- membership ------------------------------------------------------------
+
+    def node_ids(self) -> List[str]:
+        """Ids of the live cluster members, ascending."""
+        return sorted(self._nodes)
+
+    @property
+    def coordinator(self) -> ShardCoordinator:
+        """The shard coordinator (assignment and fencing authority)."""
+        return self._coordinator
+
+    @property
+    def store(self) -> SqliteCatalogStore:
+        """The coordinator's connection to the shared WAL store."""
+        return self._store
+
+    @property
+    def skew_watcher(self) -> Optional[LoadSkewWatcher]:
+        """The automatic-rebalance trigger, or ``None`` when manual."""
+        return self._skew_watcher
+
+    def _push_leases(self, before: Dict[int, str], exclude: Optional[str] = None) -> List[str]:
+        """Push post-layout-change leases (and refresh lists) to nodes.
+
+        ``before`` is the shard assignment prior to the change; each
+        node learns its new epoch map plus which shards it *gained* —
+        those it must reload from the file, because their previous
+        owner's commits never touched this node's mirror.  ``exclude``
+        skips a node that is already current (a freshly spawned joiner
+        restored the whole file after the layout change).  Returns the
+        ids of nodes that could not be reached — the caller fences them
+        (:meth:`_fence_unreachable`) instead of aborting half-way
+        through a layout change.
+        """
+        after = self._coordinator.assignment()
+        dead: List[str] = []
+        for node_id, node in sorted(self._nodes.items()):
+            if node_id == exclude:
+                continue
+            gained = [
+                shard
+                for shard, owner in after.items()
+                if owner == node_id and before.get(shard) != node_id
+            ]
+            try:
+                node.request(
+                    "lease",
+                    {"epochs": dict(node.lease.epochs), "refresh": sorted(gained)},
+                )
+            except NodeDeadError:
+                dead.append(node_id)
+        return dead
+
+    def _fence_unreachable(self, pending: List[str]) -> None:
+        """Fence every listed node, cascading onto newly found corpses.
+
+        Each fence reassigns shards and pushes fresh leases; a lease
+        push can itself discover another dead node, which joins the
+        queue — so one call settles the membership no matter how many
+        nodes died together.  Raises ``RuntimeError`` if fencing would
+        remove the last member.
+        """
+        queue = list(pending)
+        while queue:
+            target = queue.pop(0)
+            if target not in self._nodes:
+                continue
+            node = self._retire(target)
+            before = self._coordinator.assignment()
+            self._coordinator.retire_node(target, fence=True)
+            node.destroy()
+            queue.extend(self._push_leases(before))
+
+    def add_node(self, node_id: Optional[str] = None) -> str:
+        """Join a node process: rebalance, re-fence, spawn, resync.
+
+        The fresh process restores the *entire* committed state from the
+        WAL file at startup, so the shards it gains need no transfer;
+        the surviving nodes just learn their shrunken leases.
+        """
+        self._ensure_open()
+        if node_id is None:
+            node_id = f"node-{next(self._node_counter)}"
+        before = self._coordinator.assignment()
+        self._coordinator.register_node(node_id)
+        self._spawn(node_id)
+        # The newcomer restored from the file *after* the epochs were
+        # bumped, so it is already current.  The survivors resync: the
+        # modulo layout can move shards *between* survivors on a join
+        # (shard i -> node i mod N reshuffles most owners), and a
+        # survivor's mirror has never seen what another node committed
+        # into a shard it just gained.
+        self._fence_unreachable(self._push_leases(before, exclude=node_id))
+        return node_id
+
+    def _retire(self, node_id: str) -> ProcessNode:
+        """Drop a member from the books (shared by leave/fence paths)."""
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id!r} is not a cluster member")
+        if len(self._nodes) == 1:
+            raise RuntimeError(
+                f"cannot retire {node_id!r}: it is the last node of the cluster"
+            )
+        node = self._nodes.pop(node_id)
+        self._retired_transport.merge(node.transport)
+        self._retired_busy += node.busy_seconds
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Gracefully leave: shut the process down, reassign, resync.
+
+        Between barriers the node's journal is empty and everything it
+        produced is committed in the shared file, so the handoff is pure
+        bookkeeping: fresh epochs for its shards and a ``lease`` message
+        telling each new owner which shards to reload.  A node that does
+        not acknowledge the shutdown is not trusted to be quiescent:
+        removal then degrades to the fence path (stale lease, store-side
+        write rejection), exactly as :meth:`fence_node`.
+        """
+        self._ensure_open()
+        node = self._retire(node_id)
+        graceful = True
+        try:
+            node.request("shutdown")
+        except (NodeDeadError, RuntimeError):
+            graceful = False
+        node.destroy()
+        before = self._coordinator.assignment()
+        self._coordinator.retire_node(node_id, fence=not graceful)
+        self._fence_unreachable(self._push_leases(before))
+
+    def fence_node(self, node_id: str) -> None:
+        """Forcibly fence a node: epochs first, then kill the process.
+
+        The epoch bumps are durable and immediate (coordinator store),
+        so even a zombie that somehow survives the terminate cannot
+        commit — its next write reads the advanced epoch from the file
+        and raises :class:`~repro.runtime.state.StaleEpochError`.
+        Cascades: another node found dead while the new leases are
+        pushed is fenced in the same call.
+        """
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id!r} is not a cluster member")
+        self._fence_unreachable([node_id])
+
+    def kill_node(self, node_id: str) -> None:
+        """SIGKILL a node process *without* any coordinator bookkeeping.
+
+        Crash simulation for tests and drills: the membership still
+        lists the node, and the next :meth:`ingest` discovers the death
+        and runs the real recovery path.
+        """
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id!r} is not a cluster member")
+        self._nodes[node_id].kill()
+
+    def inject_crash(
+        self, node_id: str, operation: str, countdown: int = 1, hard: bool = True
+    ) -> None:
+        """Arm a mid-batch node failure (tests/drills).
+
+        The node fails at the ``countdown``-th occurrence of the named
+        store operation (``"append_offers"``, ``"mark_seen"``,
+        ``"set_product"``, ``"commit"``) during a later ingest.
+        ``hard=True`` (default) hard-exits the process (``os._exit``) —
+        a genuine kill at a precise point in the write path;
+        ``hard=False`` raises inside the node instead, so it survives
+        and votes not-ready (the alive-but-failed recovery path).
+        """
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id!r} is not a cluster member")
+        self._nodes[node_id].request(
+            "crash", {"operation": operation, "countdown": countdown, "hard": hard}
+        )
+
+    def rebalance(self, loads: Optional[Dict[int, float]] = None) -> Dict[int, str]:
+        """Reassign shards by load between batches; returns the layout.
+
+        ``loads=None`` reads observed load (offers held per shard) from
+        the shared file — the coordinator refreshes its mirror first, so
+        the measurement includes everything the nodes committed.  Moved
+        shards are re-fenced and their new owners reload them from the
+        file, exactly like a membership handoff.
+        """
+        self._ensure_open()
+        if loads is None:
+            self._refresh_if_dirty()
+            loads = {}
+            for _, state in self._store.iter_clusters():
+                loads[state.shard_index] = loads.get(state.shard_index, 0.0) + state.size()
+        before = self._coordinator.assignment()
+        layout = self._coordinator.rebalance_by_load(loads)
+        self._fence_unreachable(self._push_leases(before))
+        return layout
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route_categories(self, offers: Sequence[Offer]) -> List[Offer]:
+        """Assign categories for routing (one classification per offer)."""
+        return assign_routing_categories(offers, self._classifier)
+
+    def _partition(self, categorised: Sequence[Offer]) -> Dict[str, List[Offer]]:
+        """Group offers by owning node, preserving stream order per node."""
+        return partition_offers_by_node(
+            categorised,
+            self._num_shards,
+            self._coordinator.node_for_shard,
+            fallback_node_id=self.node_ids()[0],
+        )
+
+    # -- ingest ----------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        """Refuse API calls after :meth:`close` or a closed store."""
+        if self._closed or self._store.closed:
+            raise RuntimeError(
+                "cannot use this multi-process cluster: it is closed "
+                "(reopen the store path with a new cluster to resume)"
+            )
+
+    def ingest(self, offers: Sequence[Offer]) -> IngestReport:
+        """Absorb one micro-batch across the node processes.
+
+        Same contract as the single engine's ``ingest``: idempotent per
+        offer id, one commit barrier at the end.  A node that dies
+        before voting (killed, crashed, engine error) triggers recovery
+        when ``auto_recover`` holds: survivors abort (journals dropped,
+        mirrors rebuilt from the last barrier), the dead node is fenced,
+        and the batch replays on the new layout — products stay
+        byte-identical to an uninterrupted run.  Raises the node-side
+        error when recovery is disabled or impossible, and
+        :class:`RuntimeError` if the commit round itself fails partway.
+        """
+        self._ensure_open()
+        report = IngestReport(offers_in_batch=len(offers))
+        fresh: List[Offer] = []
+        batch_ids = set()
+        for offer in offers:
+            if (
+                offer.offer_id in self._seen
+                or offer.offer_id in batch_ids
+                or self._store.is_seen(offer.offer_id)
+            ):
+                continue
+            batch_ids.add(offer.offer_id)
+            fresh.append(offer)
+        report.offers_duplicate = report.offers_in_batch - len(fresh)
+        if not fresh:
+            return report
+
+        categorised = self._route_categories(fresh)
+        attempts = 0
+        max_attempts = len(self._nodes) + 1
+        while True:
+            try:
+                votes = self._dispatch_batch(categorised)
+                break
+            except _BatchFailure as failure:
+                attempts += 1
+                if (
+                    not self._auto_recover
+                    or len(self._nodes) <= 1
+                    or attempts >= max_attempts
+                ):
+                    raise failure.cause
+                self.fence_node(failure.node_id)
+
+        aggregate = IngestReport()
+        for _, vote in sorted(votes.items()):
+            aggregate.merge(vote.report)
+        report.offers_new = aggregate.offers_new
+        report.offers_duplicate += aggregate.offers_duplicate
+        report.offers_clustered = aggregate.offers_clustered
+        report.offers_without_key = aggregate.offers_without_key
+        report.offers_uncategorised = aggregate.offers_uncategorised
+        report.clusters_touched = aggregate.clusters_touched
+        report.products_refreshed = aggregate.products_refreshed
+        self._seen.update(offer.offer_id for offer in fresh)
+        self._dirty = True
+        if self._skew_watcher is not None:
+            busy = {node_id: 0.0 for node_id in self._nodes}
+            busy.update({node_id: vote.busy_seconds for node_id, vote in votes.items()})
+            if self._skew_watcher.observe(busy):
+                self.rebalance()
+        return report
+
+    def _dispatch_batch(self, categorised: Sequence[Offer]) -> Dict[str, NodeVote]:
+        """One dispatch wave: fan out, collect votes, commit or abort.
+
+        Returns the ready votes by node id on success.  On any node
+        failure the survivors' journals are aborted and
+        :class:`_BatchFailure` carries the first failed node (id order)
+        for the recovery loop.  All sends go out before any receive, so
+        the node processes genuinely overlap.
+        """
+        routed = self._partition(categorised)
+        ordered = [(node_id, routed[node_id]) for node_id in sorted(routed)]
+        failures: Dict[str, BaseException] = {}
+        dispatched: List[str] = []
+        for node_id, sub_batch in ordered:
+            try:
+                self._nodes[node_id].send("ingest", sub_batch)
+                dispatched.append(node_id)
+            except NodeDeadError as exc:
+                failures[node_id] = exc
+        votes: Dict[str, NodeVote] = {}
+        answered: List[str] = []
+        for node_id in dispatched:
+            node = self._nodes[node_id]
+            try:
+                kind, vote = node.recv()
+            except NodeDeadError as exc:
+                failures[node_id] = exc
+                continue
+            answered.append(node_id)
+            if kind != "vote":  # pragma: no cover - protocol guard
+                failures[node_id] = RuntimeError(
+                    f"node {node_id!r} answered {kind!r} to an ingest"
+                )
+                continue
+            node.busy_seconds += vote.busy_seconds
+            node.transport = vote.transport
+            if vote.ready:
+                votes[node_id] = vote
+            else:
+                failures[node_id] = RuntimeError(
+                    f"node {node_id!r} failed mid-batch: {vote.error}"
+                )
+        if failures:
+            # Roll EVERY answering journal back to the barrier — ready
+            # voters and failed-but-alive nodes alike.  A node whose
+            # engine raised mid-ingest holds a *partial* journal; left
+            # in place it would flush half-processed offers at the next
+            # barrier (or survive a caller retry with auto_recover off).
+            for node_id in answered:
+                try:
+                    self._nodes[node_id].request("abort")
+                except NodeDeadError as exc:
+                    failures.setdefault(node_id, exc)
+            first = sorted(failures)[0]
+            raise _BatchFailure(first, failures[first])
+        self._commit_barrier(list(votes))
+        for node_id, sub_batch in ordered:
+            node = self._nodes[node_id]
+            node.offers_routed += len(sub_batch)
+            node.batches += 1
+        return votes
+
+    def _commit_barrier(self, node_ids: List[str]) -> None:
+        """Phase two: tell every ready node to flush, await every ack.
+
+        A failure here is *not* recoverable by replay — some nodes may
+        already have flushed — so it surfaces as :class:`RuntimeError`.
+        The WAL file itself stays consistent (each node's flush is one
+        transaction); re-opening the store resumes from what landed.
+        """
+        for node_id in sorted(node_ids):
+            self._nodes[node_id].send("commit")
+        errors: List[str] = []
+        for node_id in sorted(node_ids):
+            try:
+                kind, payload = self._nodes[node_id].recv()
+            except NodeDeadError as exc:
+                errors.append(str(exc))
+                continue
+            if kind != "committed":
+                errors.append(f"node {node_id!r}: {payload}")
+        if errors:
+            raise RuntimeError(
+                "cluster commit barrier failed partway — the shared store "
+                "holds the last fully-voted state of the nodes that "
+                "flushed; reopen it to resume: " + "; ".join(errors)
+            )
+
+    # -- views ----------------------------------------------------------------
+
+    def _refresh_if_dirty(self) -> None:
+        """Fold the nodes' barrier commits into the coordinator mirror.
+
+        Once refreshed, the mirror's own seen set covers everything the
+        side set accumulated since the last refresh, so the side set is
+        dropped — the coordinator never holds the stream's offer ids
+        twice for long streams.
+        """
+        if self._dirty and not self._store.closed:
+            self._store.refresh()
+            self._dirty = False
+            self._seen.clear()
+
+    def products(self) -> List[Product]:
+        """All current synthesized products (same order as a single engine)."""
+        self._ensure_open()
+        self._refresh_if_dirty()
+        return self._store.sorted_products()
+
+    def num_clusters(self) -> int:
+        """Number of clusters tracked so far (including sub-threshold ones)."""
+        self._ensure_open()
+        self._refresh_if_dirty()
+        return self._store.num_clusters()
+
+    def category_statistics(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        """The incremental TF-IDF statistics of one category (or ``None``)."""
+        self._ensure_open()
+        self._refresh_if_dirty()
+        return self._store.category_stats(category_id)
+
+    def snapshot(self) -> EngineSnapshot:
+        """A consistent summary of everything ingested so far."""
+        self._ensure_open()
+        self._refresh_if_dirty()
+        return EngineSnapshot(
+            products=self._store.sorted_products(),
+            num_clusters=self._store.num_clusters(),
+            offers_ingested=self._store.num_seen(),
+            reconciliation_stats=self._store.reconciliation_stats(),
+            assigned_categories=self._store.assigned_categories(),
+            category_vocabulary=self._store.category_vocabulary(),
+        )
+
+    def transport_stats(self) -> TransportStats:
+        """Cluster-wide executor-payload accounting (all nodes, ever)."""
+        merged = TransportStats()
+        merged.merge(self._retired_transport)
+        for node in self._nodes.values():
+            merged.merge(node.transport)
+        return merged
+
+    def node_stats(self) -> List[NodeStats]:
+        """Per-node routing/timing accounting, in node-id order."""
+        return [
+            NodeStats(
+                node_id=node.node_id,
+                shards=node.lease.shards(),
+                offers_routed=node.offers_routed,
+                batches=node.batches,
+                busy_seconds=node.busy_seconds,
+            )
+            for _, node in sorted(self._nodes.items())
+        ]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every node process down and close the coordinator store."""
+        if self._closed:
+            return
+        self._closed = True
+        for _, node in sorted(self._nodes.items()):
+            try:
+                node.request("shutdown")
+            except (NodeDeadError, RuntimeError):
+                pass
+            node.destroy()
+        self._nodes = {}
+        if not self._store.closed:
+            self._store.close()
+
+    def __enter__(self) -> "MultiProcessEngine":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, traceback: object) -> None:
+        """Context-manager exit: tear the cluster down."""
+        self.close()
+
+
+class _BatchFailure(Exception):
+    """Internal: one dispatch wave failed; carries the node to fence."""
+
+    def __init__(self, node_id: str, cause: BaseException) -> None:
+        """Record the first failed node (id order) and its cause."""
+        super().__init__(f"batch failed on node {node_id!r}: {cause}")
+        self.node_id = node_id
+        self.cause = cause

@@ -135,6 +135,18 @@ class CatalogStore(abc.ABC):
         """
         return False
 
+    def refresh(self) -> None:
+        """Fold in state committed by *other* writers of the same backing.
+
+        A multi-process cluster has several store instances (one per node
+        process plus the coordinator's) over one durable file; a reader
+        calls ``refresh`` after a commit barrier to see what the other
+        connections flushed.  The default is a no-op: a single-writer
+        in-memory store is always current.  Durable backends raise
+        :class:`RuntimeError` when uncommitted local mutations would be
+        lost by the re-read.
+        """
+
     def rollback(self) -> None:
         """Discard every mutation since the last :meth:`commit`.
 

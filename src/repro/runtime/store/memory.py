@@ -42,9 +42,11 @@ class MemoryCatalogStore(CatalogStore):
     # -- seen offers -----------------------------------------------------------
 
     def is_seen(self, offer_id: str) -> bool:
+        """Whether an offer id was already absorbed."""
         return offer_id in self._state.seen_offer_ids
 
     def mark_seen(self, offer_id: str) -> bool:
+        """Record an offer id; ``False`` when it was already recorded."""
         self._fault_point("mark_seen")
         seen = self._state.seen_offer_ids
         if offer_id in seen:
@@ -53,22 +55,27 @@ class MemoryCatalogStore(CatalogStore):
         return True
 
     def num_seen(self) -> int:
+        """Distinct offer ids absorbed so far."""
         return len(self._state.seen_offer_ids)
 
     # -- assigned categories ---------------------------------------------------
 
     def record_category(self, offer_id: str, category_id: str) -> None:
+        """Remember which catalog category an offer was assigned to."""
         self._state.assigned_categories[offer_id] = category_id
 
     def assigned_categories(self) -> Dict[str, str]:
+        """A copy of the offer-id -> category-id assignment map."""
         return dict(self._state.assigned_categories)
 
     # -- clusters --------------------------------------------------------------
 
     def get_cluster(self, cluster_id: ClusterId) -> Optional[ClusterState]:
+        """The state of one cluster, or ``None`` when it does not exist."""
         return self._state.clusters.get(cluster_id)
 
     def create_cluster(self, shard_index: int, cluster_id: ClusterId) -> ClusterState:
+        """Create (and return) an empty cluster in the given shard."""
         category_id, key = cluster_id
         state = ClusterState(
             shard_index=shard_index,
@@ -79,25 +86,31 @@ class MemoryCatalogStore(CatalogStore):
         return state
 
     def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
+        """Append reconciled offers to an existing cluster, in place."""
         self._fault_point("append_offers")
         self._state.clusters[cluster_id].cluster.offers.extend(offers)
 
     def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
+        """Record the (re-)fused product of a cluster."""
         self._fault_point("set_product")
         self._state.clusters[cluster_id].product = product
 
     def iter_clusters(self) -> Iterator[Tuple[ClusterId, ClusterState]]:
+        """Iterate over every tracked cluster (live references)."""
         return iter(self._state.clusters.items())
 
     def shard_cluster_ids(self, shard_index: int) -> List[ClusterId]:
+        """Ids of every cluster living in one shard."""
         return list(self._state.shard_index.get(shard_index, ()))
 
     def num_clusters(self) -> int:
+        """Number of clusters tracked so far."""
         return len(self._state.clusters)
 
     # -- per-category statistics -----------------------------------------------
 
     def category_stats_for_update(self, category_id: str) -> IncrementalTfIdf:
+        """Get-or-create the mutable TF-IDF statistics of one category."""
         stats = self._state.category_stats.get(category_id)
         if stats is None:
             stats = IncrementalTfIdf()
@@ -105,9 +118,11 @@ class MemoryCatalogStore(CatalogStore):
         return stats
 
     def category_stats(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        """The TF-IDF statistics of one category, or ``None``."""
         return self._state.category_stats.get(category_id)
 
     def category_vocabulary(self) -> Dict[str, int]:
+        """category_id -> distinct value-token vocabulary size, by id."""
         return {
             category_id: stats.vocabulary_size
             for category_id, stats in sorted(self._state.category_stats.items())
@@ -116,6 +131,7 @@ class MemoryCatalogStore(CatalogStore):
     # -- reconciliation stats --------------------------------------------------
 
     def merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
+        """Fold one batch's counters into the running totals."""
         total = self._state.reconciliation_stats
         total.offers_processed += stats.offers_processed
         total.pairs_seen += stats.pairs_seen
@@ -123,14 +139,17 @@ class MemoryCatalogStore(CatalogStore):
         total.pairs_discarded += stats.pairs_discarded
 
     def reconciliation_stats(self) -> ReconciliationStats:
+        """A copy of the accumulated reconciliation counters."""
         return replace(self._state.reconciliation_stats)
 
     # -- shard versions --------------------------------------------------------
 
     def shard_version(self, shard_index: int) -> int:
+        """The delta-protocol version counter of one shard."""
         return self._state.shard_versions.get(shard_index, 0)
 
     def advance_shard_version(self, shard_index: int) -> Tuple[int, int]:
+        """Bump a shard's version; returns ``(base, new)``."""
         base = self._state.shard_versions.get(shard_index, 0)
         self._state.shard_versions[shard_index] = base + 1
         return base, base + 1
@@ -138,9 +157,11 @@ class MemoryCatalogStore(CatalogStore):
     # -- shard epochs ----------------------------------------------------------
 
     def shard_epoch(self, shard_index: int) -> int:
+        """The fencing epoch of one shard (0 = never owned)."""
         return self._state.shard_epochs.get(shard_index, 0)
 
     def advance_shard_epoch(self, shard_index: int) -> int:
+        """Bump a shard's fencing epoch; returns the new epoch."""
         epoch = self._state.shard_epochs.get(shard_index, 0) + 1
         self._state.shard_epochs[shard_index] = epoch
         return epoch

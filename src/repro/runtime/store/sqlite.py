@@ -25,6 +25,28 @@ Because the file is a consistent snapshot after every commit, process
 workers of the delta re-fusion protocol can resync a shard straight from
 it (:meth:`worker_resync_path`) instead of having cluster contents
 re-shipped through the task queue.
+
+**Multi-process sharing.**  A multi-process cluster
+(:class:`~repro.runtime.procnode.MultiProcessEngine`) opens one store
+instance *per node process* over the same WAL file, plus the
+coordinator's.  Three mechanisms make that safe:
+
+* every connection sets a busy timeout, so the per-node commit
+  transactions at the cluster barrier serialise instead of failing;
+* a store opened with ``partition=<node id>`` journals its
+  reconciliation counters into a per-node row of
+  ``node_reconciliation_stats`` (the shared-row strategy: no two
+  processes ever update the same row), and reads fencing epochs straight
+  from the file — the coordinator advances them from another process, so
+  the mirror cannot be trusted for fencing decisions;
+* :meth:`refresh` / :meth:`refresh_shards` rebuild (all of, or selected
+  shards of) the mirror from the last committed snapshot, which is how
+  the coordinator observes the nodes' barrier commits and how a shard's
+  new owner picks up state the previous owner wrote.
+
+The seen-offer and cluster tables need no partitioning: routing sends
+each offer to exactly one node and each shard has exactly one owner, so
+cross-process writers never touch the same rows.
 """
 
 from __future__ import annotations
@@ -97,6 +119,13 @@ CREATE TABLE IF NOT EXISTS reconciliation_stats (
     pairs_mapped INTEGER NOT NULL,
     pairs_discarded INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS node_reconciliation_stats (
+    node_id TEXT PRIMARY KEY,
+    offers_processed INTEGER NOT NULL,
+    pairs_seen INTEGER NOT NULL,
+    pairs_mapped INTEGER NOT NULL,
+    pairs_discarded INTEGER NOT NULL
+) WITHOUT ROWID;
 """
 
 
@@ -131,19 +160,39 @@ def load_shard_clusters(
 
 
 class SqliteCatalogStore(CatalogStore):
-    """Durable catalog store over a single SQLite file (WAL mode)."""
+    """Durable catalog store over a single SQLite file (WAL mode).
+
+    ``partition`` opts a store instance into the multi-process sharing
+    contract: reconciliation counters go to the named per-node row,
+    fencing epochs are read authoritatively from the file instead of the
+    mirror, and :meth:`advance_shard_epoch` is refused (only the
+    coordinator — the unpartitioned instance — advances epochs).
+    ``busy_timeout_ms`` bounds how long a write waits for another
+    process's transaction before failing.
+    """
 
     name = "sqlite"
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        partition: Optional[str] = None,
+        busy_timeout_ms: int = 30_000,
+    ) -> None:
         super().__init__()
         self._path = os.path.abspath(path)
+        self._partition = partition
+        self._partition_totals = ReconciliationStats()
         # check_same_thread=False: a multi-node engine dispatches node
         # sub-batches on worker threads; every store call is serialised
         # by the cluster layer's lock, so cross-thread use is safe.
         self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
             self._path, check_same_thread=False
         )
+        # Before any write (including the schema script): multi-process
+        # clusters open several connections over one file, and their
+        # commits at the barrier must queue, not fail.
+        self._connection.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
         # Validate the format marker *before* touching the file: running
         # the schema script against a future-format store would write v1
         # tables into it, and restoring would crash with an opaque
@@ -245,8 +294,23 @@ class SqliteCatalogStore(CatalogStore):
         ).fetchone()
         if row is not None:
             state.reconciliation_stats = ReconciliationStats(*row)
+        # Global totals are the single-writer row plus every node
+        # partition; a partitioned store also reloads its own slice so a
+        # restarted node keeps accumulating where it left off.
+        for node_id, *counts in self._connection.execute(
+            "SELECT node_id, offers_processed, pairs_seen, pairs_mapped, pairs_discarded"
+            " FROM node_reconciliation_stats"
+        ):
+            partial = ReconciliationStats(*counts)
+            state.reconciliation_stats.offers_processed += partial.offers_processed
+            state.reconciliation_stats.pairs_seen += partial.pairs_seen
+            state.reconciliation_stats.pairs_mapped += partial.pairs_mapped
+            state.reconciliation_stats.pairs_discarded += partial.pairs_discarded
+            if node_id == self._partition:
+                self._partition_totals = partial
 
     def bind(self, num_shards: int) -> None:
+        """Bind to a shard count; a mismatch with the stored one resets epochs/versions."""
         super().bind(num_shards)
         stored = self._meta("num_shards")
         if stored is not None and int(stored) != num_shards:
@@ -348,18 +412,42 @@ class SqliteCatalogStore(CatalogStore):
                 ],
             )
         if self._stats_dirty:
-            totals = self._state.reconciliation_stats
-            connection.execute(
-                "INSERT OR REPLACE INTO reconciliation_stats"
-                " (id, offers_processed, pairs_seen, pairs_mapped, pairs_discarded)"
-                " VALUES (1, ?, ?, ?, ?)",
-                (
-                    totals.offers_processed,
-                    totals.pairs_seen,
-                    totals.pairs_mapped,
-                    totals.pairs_discarded,
-                ),
-            )
+            if self._partition is None:
+                totals = self._state.reconciliation_stats
+                connection.execute(
+                    "INSERT OR REPLACE INTO reconciliation_stats"
+                    " (id, offers_processed, pairs_seen, pairs_mapped, pairs_discarded)"
+                    " VALUES (1, ?, ?, ?, ?)",
+                    (
+                        totals.offers_processed,
+                        totals.pairs_seen,
+                        totals.pairs_mapped,
+                        totals.pairs_discarded,
+                    ),
+                )
+                # The mirror total already folded every node partition in
+                # at restore time; leaving those rows behind would count
+                # them twice on the next restore.  An unpartitioned
+                # writer (single engine resumed over a cluster's file)
+                # therefore absorbs the partitions into the global row.
+                connection.execute("DELETE FROM node_reconciliation_stats")
+            else:
+                # Shared-row strategy: a node flushes only its own
+                # partition row, so concurrent barrier commits from
+                # other node processes never collide on a shared total.
+                own = self._partition_totals
+                connection.execute(
+                    "INSERT OR REPLACE INTO node_reconciliation_stats"
+                    " (node_id, offers_processed, pairs_seen, pairs_mapped, pairs_discarded)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (
+                        self._partition,
+                        own.offers_processed,
+                        own.pairs_seen,
+                        own.pairs_mapped,
+                        own.pairs_discarded,
+                    ),
+                )
         connection.commit()
         self._new_seen = []
         self._new_categories = []
@@ -380,7 +468,40 @@ class SqliteCatalogStore(CatalogStore):
 
     @property
     def supports_rollback(self) -> bool:
+        """True: the last on-disk commit is a restorable snapshot."""
         return True
+
+    def _clear_journal(self) -> None:
+        """Drop every journalled (not yet flushed) mutation."""
+        self._new_seen = []
+        self._new_categories = []
+        self._new_clusters = []
+        self._new_offers = []
+        self._dirty_products = {}
+        self._dirty_stats = set()
+        self._dirty_versions = set()
+        self._stats_dirty = False
+
+    def _has_pending_mutations(self) -> bool:
+        """Whether the journal holds mutations a mirror rebuild would lose."""
+        return bool(
+            self._new_seen
+            or self._new_categories
+            or self._new_clusters
+            or self._new_offers
+            or self._dirty_products
+            or self._dirty_stats
+            or self._dirty_versions
+            or self._stats_dirty
+        )
+
+    def _rebuild_mirror(self) -> None:
+        """Re-read the full persisted snapshot into a fresh mirror."""
+        self._state = _InMemoryState()
+        self._partition_totals = ReconciliationStats()
+        self._restore()
+        if self._num_shards:
+            self._reindex_shards(self._num_shards)
 
     def rollback(self) -> None:
         """Discard everything since the last commit; reload from disk.
@@ -394,21 +515,87 @@ class SqliteCatalogStore(CatalogStore):
         """
         connection = self._require_open()
         connection.rollback()
-        self._new_seen = []
-        self._new_categories = []
-        self._new_clusters = []
-        self._new_offers = []
-        self._dirty_products = {}
-        self._dirty_stats = set()
-        self._dirty_versions = set()
-        self._stats_dirty = False
-        self._state = _InMemoryState()
-        self._restore()
-        if self._num_shards:
-            self._reindex_shards(self._num_shards)
+        self._clear_journal()
+        self._rebuild_mirror()
+
+    def refresh(self) -> None:
+        """Rebuild the mirror from the last *committed* snapshot.
+
+        The multi-process read path: after a cluster commit barrier the
+        coordinator refreshes to observe what the node processes flushed
+        through their own connections.  Refusing to refresh over pending
+        local mutations (:class:`RuntimeError`) keeps the call safe —
+        refresh between barriers, never mid-batch.
+        """
+        self._require_open()
+        if self._has_pending_mutations():
+            raise RuntimeError(
+                "cannot refresh the catalog store mirror: uncommitted local "
+                "mutations would be lost (commit or roll back first)"
+            )
+        self._rebuild_mirror()
+
+    def refresh_shards(self, shard_indices: List[int]) -> None:
+        """Reload selected shards' committed state into the mirror.
+
+        Used on shard handoff: the new owner's mirror predates whatever
+        the previous owner committed, so its clusters, products,
+        category statistics and delta-protocol version counters for the
+        moved shards are re-read from the file.  The caller must
+        guarantee the previous owner has committed (membership changes
+        happen between batch barriers, so it has).
+        """
+        connection = self._require_open()
+        targets = {shard for shard in shard_indices if shard >= 0}
+        if not targets or self._num_shards == 0:
+            return
+        for shard in targets:
+            for cluster_id in self._state.shard_index.get(shard, ()):
+                self._state.clusters.pop(cluster_id, None)
+            self._state.shard_index[shard] = []
+        reloaded: List[ClusterId] = []
+        for category_id, cluster_key, product_json in connection.execute(
+            "SELECT category_id, cluster_key, product FROM clusters"
+        ).fetchall():
+            shard = shard_for_category(category_id, self._num_shards)
+            if shard not in targets:
+                continue
+            product = None
+            if product_json is not None:
+                product = product_from_dict(json.loads(product_json))
+            cluster_id = (category_id, cluster_key)
+            self._state.clusters[cluster_id] = ClusterState(
+                shard_index=shard,
+                cluster=OfferCluster(category_id=category_id, key=cluster_key),
+                product=product,
+            )
+            self._state.shard_index[shard].append(cluster_id)
+            reloaded.append(cluster_id)
+        for category_id, cluster_key in reloaded:
+            rows = connection.execute(
+                "SELECT offer FROM cluster_offers"
+                " WHERE category_id = ? AND cluster_key = ? ORDER BY position",
+                (category_id, cluster_key),
+            ).fetchall()
+            self._state.clusters[(category_id, cluster_key)].cluster.offers.extend(
+                offer_from_dict(json.loads(row[0])) for row in rows
+            )
+        for category_id, stats_json in connection.execute(
+            "SELECT category_id, stats FROM category_stats"
+        ).fetchall():
+            if shard_for_category(category_id, self._num_shards) in targets:
+                self._state.category_stats[category_id] = IncrementalTfIdf.from_state_dict(
+                    json.loads(stats_json)
+                )
+        for shard, version in connection.execute(
+            "SELECT shard, version FROM shard_versions"
+        ).fetchall():
+            if shard in targets:
+                self._state.shard_versions[shard] = version
 
     @property
     def closed(self) -> bool:
+        """Whether the connection was released (writes are then refused)."""
         return self._connection is None
 
     @property
@@ -416,15 +603,27 @@ class SqliteCatalogStore(CatalogStore):
         """Absolute path of the backing SQLite file."""
         return self._path
 
+    @property
+    def partition(self) -> Optional[str]:
+        """Node id this instance journals its global counters under.
+
+        ``None`` for a single-writer (or coordinator) store; a node id
+        for the per-process instances of a multi-process cluster.
+        """
+        return self._partition
+
     def worker_resync_path(self) -> Optional[str]:
+        """The SQLite file itself: workers resync straight from it."""
         return self._path
 
     # -- seen offers -----------------------------------------------------------
 
     def is_seen(self, offer_id: str) -> bool:
+        """Whether an offer id was absorbed (mirror read, no disk I/O)."""
         return offer_id in self._state.seen_offer_ids
 
     def mark_seen(self, offer_id: str) -> bool:
+        """Record an offer id in mirror + journal; ``False`` when known."""
         self._require_open()
         self._fault_point("mark_seen")
         seen = self._state.seen_offer_ids
@@ -435,24 +634,29 @@ class SqliteCatalogStore(CatalogStore):
         return True
 
     def num_seen(self) -> int:
+        """Distinct offer ids absorbed so far (mirror read)."""
         return len(self._state.seen_offer_ids)
 
     # -- assigned categories ---------------------------------------------------
 
     def record_category(self, offer_id: str, category_id: str) -> None:
+        """Remember an offer's category (journalled, flushed at commit)."""
         self._require_open()
         self._state.assigned_categories[offer_id] = category_id
         self._new_categories.append((offer_id, category_id))
 
     def assigned_categories(self) -> Dict[str, str]:
+        """A copy of the mirrored offer-id -> category-id map."""
         return dict(self._state.assigned_categories)
 
     # -- clusters --------------------------------------------------------------
 
     def get_cluster(self, cluster_id: ClusterId) -> Optional[ClusterState]:
+        """The mirrored state of one cluster, or ``None``."""
         return self._state.clusters.get(cluster_id)
 
     def create_cluster(self, shard_index: int, cluster_id: ClusterId) -> ClusterState:
+        """Create an empty cluster (journalled, flushed at commit)."""
         self._require_open()
         category_id, key = cluster_id
         state = ClusterState(
@@ -465,6 +669,7 @@ class SqliteCatalogStore(CatalogStore):
         return state
 
     def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
+        """Append offers to a cluster (mirror now, disk at commit)."""
         self._require_open()
         self._fault_point("append_offers")
         cluster = self._state.clusters[cluster_id].cluster
@@ -477,23 +682,28 @@ class SqliteCatalogStore(CatalogStore):
         cluster.offers.extend(offers)
 
     def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
+        """Record a cluster's fused product (journalled)."""
         self._require_open()
         self._fault_point("set_product")
         self._state.clusters[cluster_id].product = product
         self._dirty_products[cluster_id] = product
 
     def iter_clusters(self) -> Iterator[Tuple[ClusterId, ClusterState]]:
+        """Iterate over every mirrored cluster."""
         return iter(self._state.clusters.items())
 
     def shard_cluster_ids(self, shard_index: int) -> List[ClusterId]:
+        """Ids of every mirrored cluster living in one shard."""
         return list(self._state.shard_index.get(shard_index, ()))
 
     def num_clusters(self) -> int:
+        """Number of clusters tracked so far."""
         return len(self._state.clusters)
 
     # -- per-category statistics -----------------------------------------------
 
     def category_stats_for_update(self, category_id: str) -> IncrementalTfIdf:
+        """Get-or-create mutable TF-IDF stats (persisted at commit)."""
         self._require_open()
         stats = self._state.category_stats.get(category_id)
         if stats is None:
@@ -503,9 +713,11 @@ class SqliteCatalogStore(CatalogStore):
         return stats
 
     def category_stats(self, category_id: str) -> Optional[IncrementalTfIdf]:
+        """The mirrored TF-IDF statistics of one category, or ``None``."""
         return self._state.category_stats.get(category_id)
 
     def category_vocabulary(self) -> Dict[str, int]:
+        """category_id -> distinct value-token vocabulary size, by id."""
         return {
             category_id: stats.vocabulary_size
             for category_id, stats in sorted(self._state.category_stats.items())
@@ -514,15 +726,30 @@ class SqliteCatalogStore(CatalogStore):
     # -- reconciliation stats --------------------------------------------------
 
     def merge_reconciliation_stats(self, stats: ReconciliationStats) -> None:
+        """Fold one batch's counters into the running totals.
+
+        A partitioned store additionally accumulates its own slice,
+        which is what :meth:`commit` flushes to the per-node row.
+        """
         self._require_open()
         total = self._state.reconciliation_stats
         total.offers_processed += stats.offers_processed
         total.pairs_seen += stats.pairs_seen
         total.pairs_mapped += stats.pairs_mapped
         total.pairs_discarded += stats.pairs_discarded
+        if self._partition is not None:
+            own = self._partition_totals
+            own.offers_processed += stats.offers_processed
+            own.pairs_seen += stats.pairs_seen
+            own.pairs_mapped += stats.pairs_mapped
+            own.pairs_discarded += stats.pairs_discarded
         self._stats_dirty = True
 
     def reconciliation_stats(self) -> ReconciliationStats:
+        """A copy of the accumulated totals (all partitions merged).
+
+        May lag other processes' partitions until :meth:`refresh`.
+        """
         totals = self._state.reconciliation_stats
         return ReconciliationStats(
             offers_processed=totals.offers_processed,
@@ -534,9 +761,11 @@ class SqliteCatalogStore(CatalogStore):
     # -- shard versions --------------------------------------------------------
 
     def shard_version(self, shard_index: int) -> int:
+        """The delta-protocol version counter of one shard (mirror)."""
         return self._state.shard_versions.get(shard_index, 0)
 
     def advance_shard_version(self, shard_index: int) -> Tuple[int, int]:
+        """Bump a shard's version (journalled); returns ``(base, new)``."""
         self._require_open()
         base = self._state.shard_versions.get(shard_index, 0)
         self._state.shard_versions[shard_index] = base + 1
@@ -546,6 +775,22 @@ class SqliteCatalogStore(CatalogStore):
     # -- shard epochs ----------------------------------------------------------
 
     def shard_epoch(self, shard_index: int) -> int:
+        """The authoritative fencing epoch of one shard.
+
+        A partitioned (node-process) store reads the epoch straight from
+        the file on every call: the coordinator advances epochs from
+        *another process*, so the local mirror cannot be trusted for
+        fencing decisions — a fenced-out zombie consulting its mirror
+        would happily keep writing.  The unpartitioned instance is the
+        only epoch writer and serves the mirror.
+        """
+        if self._partition is not None and self._connection is not None:
+            row = self._connection.execute(
+                "SELECT epoch FROM shard_epochs WHERE shard = ?", (shard_index,)
+            ).fetchone()
+            epoch = 0 if row is None else int(row[0])
+            self._state.shard_epochs[shard_index] = epoch
+            return epoch
         return self._state.shard_epochs.get(shard_index, 0)
 
     def advance_shard_epoch(self, shard_index: int) -> int:
@@ -557,6 +802,11 @@ class SqliteCatalogStore(CatalogStore):
         (The connection carries no other pending statements — everything
         else is journalled Python-side — so this commit is precise.)
         """
+        if self._partition is not None:
+            raise RuntimeError(
+                "a partitioned node store cannot advance fencing epochs; "
+                "only the coordinator's store instance fences shards"
+            )
         connection = self._require_open()
         epoch = self._state.shard_epochs.get(shard_index, 0) + 1
         self._state.shard_epochs[shard_index] = epoch

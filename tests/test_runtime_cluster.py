@@ -12,6 +12,7 @@ import pytest
 
 from repro.model.products import product_fingerprint as fingerprint
 from repro.runtime import (
+    LoadSkewWatcher,
     MemoryCatalogStore,
     MultiNodeEngine,
     ShardCoordinator,
@@ -117,6 +118,119 @@ class TestShardCoordinator:
         coordinator.register_node("node-3")
         coordinator.retire_node("node-2", fence=False)
         assert lease_2.epochs == {}
+
+
+class TestRebalanceByLoadEdgeCases:
+    """ISSUE 4 satellite: degenerate inputs of the greedy layout."""
+
+    def test_single_node_keeps_everything(self):
+        store = MemoryCatalogStore()
+        coordinator = ShardCoordinator(store, num_shards=4)
+        coordinator.register_node("node-1")
+        epochs_before = {shard: store.shard_epoch(shard) for shard in range(4)}
+        layout = coordinator.rebalance_by_load({0: 9.0, 1: 1.0})
+        assert layout == {shard: "node-1" for shard in range(4)}
+        # Nothing moved, so nothing was re-fenced.
+        assert {shard: store.shard_epoch(shard) for shard in range(4)} == epochs_before
+
+    def test_all_zero_load_still_spreads_shards(self):
+        coordinator = ShardCoordinator(MemoryCatalogStore(), num_shards=8)
+        coordinator.register_node("node-1")
+        coordinator.register_node("node-2")
+        layout = coordinator.rebalance_by_load({shard: 0.0 for shard in range(8)})
+        per_node = {}
+        for node_id in layout.values():
+            per_node[node_id] = per_node.get(node_id, 0) + 1
+        # Zero/unknown loads weigh 1, so the split stays even.
+        assert per_node == {"node-1": 4, "node-2": 4}
+
+    def test_fewer_shards_than_nodes_leaves_some_nodes_empty(self):
+        coordinator = ShardCoordinator(MemoryCatalogStore(), num_shards=2)
+        for node_id in ("node-1", "node-2", "node-3"):
+            coordinator.register_node(node_id)
+        layout = coordinator.rebalance_by_load({0: 5.0, 1: 3.0})
+        assert len(layout) == 2
+        assert len(set(layout.values())) == 2  # two distinct owners
+        # Every shard has exactly one owner; the third node holds nothing.
+        owned = {shard for node in coordinator.nodes() for shard in
+                 coordinator.lease_for(node).shards()}
+        assert owned == {0, 1}
+
+    def test_empty_loads_dict(self):
+        coordinator = ShardCoordinator(MemoryCatalogStore(), num_shards=4)
+        coordinator.register_node("node-1")
+        coordinator.register_node("node-2")
+        layout = coordinator.rebalance_by_load({})
+        per_node = {}
+        for node_id in layout.values():
+            per_node[node_id] = per_node.get(node_id, 0) + 1
+        assert per_node == {"node-1": 2, "node-2": 2}
+
+
+class TestLoadSkewWatcher:
+    """ISSUE 4 satellite: hysteresis of the auto-rebalance trigger."""
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="threshold"):
+            LoadSkewWatcher(threshold=0.5)
+        with pytest.raises(ValueError, match="patience"):
+            LoadSkewWatcher(patience=0)
+
+    def test_balanced_batches_never_fire(self):
+        watcher = LoadSkewWatcher(threshold=1.5, patience=1)
+        for _ in range(10):
+            assert not watcher.observe({"a": 1.0, "b": 1.0})
+        assert watcher.streak == 0
+
+    def test_fires_only_after_patience_consecutive_skewed_batches(self):
+        watcher = LoadSkewWatcher(threshold=1.5, patience=2)
+        skewed = {"a": 3.0, "b": 0.5}
+        assert not watcher.observe(skewed)  # streak 1 of 2
+        assert watcher.streak == 1
+        assert watcher.observe(skewed)  # streak 2 -> fire
+        assert watcher.streak == 0  # reset after firing
+
+    def test_balanced_batch_resets_the_streak(self):
+        watcher = LoadSkewWatcher(threshold=1.5, patience=2)
+        skewed = {"a": 3.0, "b": 0.5}
+        assert not watcher.observe(skewed)
+        assert not watcher.observe({"a": 1.0, "b": 1.0})  # reset
+        assert not watcher.observe(skewed)  # streak restarts at 1
+        assert watcher.observe(skewed)
+
+    def test_single_node_and_idle_batches_never_fire(self):
+        watcher = LoadSkewWatcher(threshold=1.0, patience=1)
+        assert not watcher.observe({"a": 10.0})  # nothing to balance
+        assert not watcher.observe({"a": 0.0, "b": 0.0})  # no work observed
+        assert watcher.streak == 0
+
+    def test_threshold_boundary_is_inclusive(self):
+        watcher = LoadSkewWatcher(threshold=2.0, patience=1)
+        # max=2, mean=1 -> skew exactly 2.0 counts as skewed.
+        assert watcher.observe({"a": 2.0, "b": 0.0})
+
+
+class TestAutoRebalanceIntegration:
+    def test_auto_rebalance_preserves_byte_identity(self, tiny_harness, feed_expected):
+        """threshold=1.0 / patience=1 rebalances after (almost) every
+        batch; the layout churn never changes the products."""
+        cluster = make_cluster(
+            tiny_harness,
+            num_nodes=2,
+            num_shards=8,
+            auto_rebalance_skew=1.0,
+            auto_rebalance_patience=1,
+        )
+        assert cluster.skew_watcher is not None
+        for batch in feed_stream(tiny_harness):
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_manual_mode_has_no_watcher(self, tiny_harness):
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=8)
+        assert cluster.skew_watcher is None
+        cluster.close()
 
 
 class TestVersionFencing:

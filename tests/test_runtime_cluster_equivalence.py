@@ -17,7 +17,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.model.products import product_fingerprint as fingerprint
-from repro.runtime import MultiNodeEngine, StaleEpochError, SynthesisEngine
+from repro.runtime import (
+    MultiNodeEngine,
+    MultiProcessEngine,
+    StaleEpochError,
+    SynthesisEngine,
+)
 
 #: Unique sqlite filenames across hypothesis examples (which all share
 #: one tmp directory because fixtures are resolved once per test).
@@ -111,6 +116,74 @@ class TestMultiNodeEquivalence:
                     cluster.remove_node(cluster.node_ids()[0])
                 cluster.ingest(batch)
             assert sorted(fingerprint(cluster.products())) == expected
+        finally:
+            cluster.close()
+
+
+class TestMultiProcessEquivalence:
+    """ISSUE 4 acceptance: 2- and 4-process clusters are byte-identical
+    to a single engine for random streams and splits, including one
+    mid-stream node kill absorbed by crash recovery."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(data=st.data())
+    def test_process_cluster_byte_identical(self, tiny_harness, tmp_path_factory, data):
+        offers = tiny_harness.unmatched_offers
+        indices, cut_points = data.draw(stream_and_cuts(len(offers)))
+        stream = [offers[index] for index in indices]
+        batches = split_batches(stream, cut_points)
+        num_nodes = data.draw(st.sampled_from([2, 4]))
+
+        expected = reference_fingerprint(tiny_harness, batches)
+
+        store_dir = tmp_path_factory.mktemp("proc-equivalence")
+        store_path = str(store_dir / f"cluster-{next(_STORE_COUNTER)}.sqlite3")
+        cluster = MultiProcessEngine(
+            num_nodes=num_nodes,
+            num_shards=8,
+            store_path=store_path,
+            **engine_kwargs(tiny_harness),
+        )
+        try:
+            for batch in batches:
+                cluster.ingest(batch)
+            assert sorted(fingerprint(cluster.products())) == expected
+            assert cluster.snapshot().offers_ingested == len({o.offer_id for o in stream})
+        finally:
+            cluster.close()
+
+    @settings(max_examples=4, deadline=None)
+    @given(data=st.data())
+    def test_mid_stream_node_kill_preserves_equivalence(
+        self, tiny_harness, tmp_path_factory, data
+    ):
+        """SIGKILL one node process before a random batch: recovery
+        (abort survivors, fence, replay) keeps the products identical."""
+        offers = tiny_harness.unmatched_offers
+        indices, cut_points = data.draw(stream_and_cuts(len(offers)))
+        stream = [offers[index] for index in indices]
+        batches = split_batches(stream, cut_points)
+        kill_before = data.draw(st.integers(0, len(batches) - 1))
+
+        expected = reference_fingerprint(tiny_harness, batches)
+
+        store_dir = tmp_path_factory.mktemp("proc-kill")
+        store_path = str(store_dir / f"cluster-{next(_STORE_COUNTER)}.sqlite3")
+        cluster = MultiProcessEngine(
+            num_nodes=2,
+            num_shards=8,
+            store_path=store_path,
+            **engine_kwargs(tiny_harness),
+        )
+        try:
+            killed = False
+            for position, batch in enumerate(batches):
+                if position == kill_before and not killed:
+                    cluster.kill_node(cluster.node_ids()[-1])
+                    killed = True
+                cluster.ingest(batch)
+            assert sorted(fingerprint(cluster.products())) == expected
+            assert cluster.snapshot().offers_ingested == len({o.offer_id for o in stream})
         finally:
             cluster.close()
 

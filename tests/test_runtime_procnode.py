@@ -1,0 +1,384 @@
+"""Tests for the true multi-process cluster (`repro.runtime.procnode`).
+
+Covers the whole tentpole surface: byte-identity of 2- and 4-process
+clusters against a single engine, the vote/commit barrier protocol,
+membership churn (join / graceful leave / fence) with shard-handoff
+refresh, crash recovery after both a SIGKILL between batches and a
+hard ``os._exit`` mid-ingest (injected inside the node process), the
+shared-row partition strategy for the global tables, the coordinator's
+automatic load-skew rebalance, and kill-and-resume of the whole cluster
+against the shared WAL file.
+"""
+
+import pytest
+
+from conftest import product_fingerprint as fingerprint
+from repro.runtime import MultiProcessEngine, StaleEpochError, SynthesisEngine
+from repro.runtime.cluster import MultiProcessEngine as ReexportedEngine
+
+
+def make_single(harness, **kwargs):
+    return SynthesisEngine(
+        catalog=harness.corpus.catalog,
+        correspondences=harness.offline_result.correspondences,
+        extractor=harness.extractor,
+        category_classifier=harness.category_classifier,
+        **kwargs,
+    )
+
+
+def make_cluster(harness, tmp_path, name="cluster.sqlite3", **kwargs):
+    return MultiProcessEngine(
+        catalog=harness.corpus.catalog,
+        correspondences=harness.offline_result.correspondences,
+        extractor=harness.extractor,
+        category_classifier=harness.category_classifier,
+        store_path=str(tmp_path / name),
+        **kwargs,
+    )
+
+
+def feed_stream(harness, num_batches=4):
+    """The tiny stream in merchant-feed order, split into micro-batches."""
+    offers = sorted(harness.unmatched_offers, key=lambda offer: offer.merchant_id)
+    size = max(1, (len(offers) + num_batches - 1) // num_batches)
+    return [offers[start : start + size] for start in range(0, len(offers), size)]
+
+
+@pytest.fixture(scope="module")
+def feed_expected(tiny_harness):
+    """Products of an uninterrupted single-engine run over the feed stream."""
+    engine = make_single(tiny_harness, num_shards=8)
+    for batch in feed_stream(tiny_harness):
+        engine.ingest(batch)
+    result = sorted(fingerprint(engine.products()))
+    engine.close()
+    return result
+
+
+class TestMultiProcessBasics:
+    def test_requires_store_path(self, tiny_harness):
+        with pytest.raises(ValueError, match="store_path"):
+            MultiProcessEngine(
+                catalog=tiny_harness.corpus.catalog,
+                correspondences=tiny_harness.offline_result.correspondences,
+            )
+
+    def test_reexported_from_cluster_module(self):
+        assert ReexportedEngine is MultiProcessEngine
+
+    def test_rejects_process_node_executor(self, tmp_path, tiny_harness):
+        """Daemonic node processes cannot spawn worker pools; the
+        constructor must say so instead of failing opaquely mid-ingest."""
+        with pytest.raises(ValueError, match="daemonic"):
+            make_cluster(tiny_harness, tmp_path, num_nodes=2, node_executor="process")
+
+    def test_node_processes_exit_when_coordinator_vanishes(self, tmp_path, tiny_harness):
+        """Closing the coordinator-side pipe ends (what a coordinator
+        hard crash does) must EOF every node, including earlier-spawned
+        ones whose pipe a forked sibling inherited a duplicate of."""
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=3, num_shards=8)
+        cluster.ingest(feed_stream(tiny_harness)[0])
+        nodes = [cluster._nodes[node_id] for node_id in cluster.node_ids()]
+        for node in nodes:
+            node.channel.close()
+        for node in nodes:
+            node._process.join(timeout=30)
+            assert not node.alive(), f"{node.node_id} orphaned after coordinator loss"
+
+    @pytest.mark.parametrize("num_nodes", [2, 4])
+    def test_process_cluster_byte_identical(
+        self, tmp_path, tiny_harness, feed_expected, num_nodes
+    ):
+        cluster = make_cluster(
+            tiny_harness, tmp_path, num_nodes=num_nodes, num_shards=8
+        )
+        batches = feed_stream(tiny_harness)
+        for batch in batches:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        expected_total = len({o.offer_id for b in batches for o in b})
+        assert cluster.snapshot().offers_ingested == expected_total
+        # Replaying the whole stream is a cluster-wide no-op.
+        replay = cluster.ingest([offer for batch in batches for offer in batch])
+        assert replay.offers_new == 0
+        assert replay.offers_duplicate == replay.offers_in_batch
+        cluster.close()
+
+    def test_reports_and_snapshot_match_single_engine(self, tmp_path, tiny_harness):
+        single = make_single(tiny_harness, num_shards=8)
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=3, num_shards=8)
+        for batch in feed_stream(tiny_harness):
+            single_report = single.ingest(batch)
+            cluster_report = cluster.ingest(batch)
+            assert cluster_report.offers_in_batch == single_report.offers_in_batch
+            assert cluster_report.offers_new == single_report.offers_new
+            assert cluster_report.offers_duplicate == single_report.offers_duplicate
+            assert cluster_report.offers_clustered == single_report.offers_clustered
+            assert cluster_report.clusters_touched == single_report.clusters_touched
+        single_snapshot = single.snapshot()
+        cluster_snapshot = cluster.snapshot()
+        assert fingerprint(cluster_snapshot.products) == fingerprint(single_snapshot.products)
+        assert cluster_snapshot.num_clusters == single_snapshot.num_clusters
+        assert cluster_snapshot.offers_ingested == single_snapshot.offers_ingested
+        assert cluster_snapshot.assigned_categories == single_snapshot.assigned_categories
+        assert cluster_snapshot.category_vocabulary == single_snapshot.category_vocabulary
+        assert cluster_snapshot.reconciliation_stats == single_snapshot.reconciliation_stats
+        single.close()
+        cluster.close()
+
+    def test_node_stats_account_for_every_routed_offer(self, tmp_path, tiny_harness):
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        for batch in batches:
+            cluster.ingest(batch)
+        stats = cluster.node_stats()
+        assert [s.node_id for s in stats] == cluster.node_ids()
+        assert sum(s.offers_routed for s in stats) == sum(len(b) for b in batches)
+        assert {shard for s in stats for shard in s.shards} == set(range(8))
+        assert sum(s.busy_seconds for s in stats) > 0.0
+        cluster.close()
+
+    def test_ingest_after_close_fails_fast(self, tmp_path, tiny_harness):
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=2, num_shards=4)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        cluster.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.ingest(batches[1])
+
+
+class TestMembership:
+    def test_join_leave_and_rebalance_mid_stream(self, tmp_path, tiny_harness, feed_expected):
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        joined = cluster.add_node()
+        assert joined in cluster.node_ids()
+        cluster.ingest(batches[1])
+        cluster.rebalance()
+        cluster.remove_node(cluster.node_ids()[0])
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_cannot_remove_last_node(self, tmp_path, tiny_harness):
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=1, num_shards=4)
+        with pytest.raises(RuntimeError, match="last node"):
+            cluster.remove_node(cluster.node_ids()[0])
+        with pytest.raises(ValueError, match="not a cluster member"):
+            cluster.remove_node("node-99")
+        cluster.close()
+
+    def test_fence_node_durably_advances_epochs(self, tmp_path, tiny_harness):
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=2, num_shards=8)
+        cluster.ingest(feed_stream(tiny_harness)[0])
+        victim = cluster.node_ids()[0]
+        held = dict(cluster.coordinator.lease_for(victim).epochs)
+        cluster.fence_node(victim)
+        assert victim not in cluster.node_ids()
+        # Every shard the victim held was re-fenced in the shared store:
+        # a zombie presenting the old epoch is rejected store-side.
+        for shard, epoch in held.items():
+            with pytest.raises(StaleEpochError):
+                cluster.store.check_shard_epoch(shard, epoch)
+        cluster.close()
+
+
+class TestCrashRecovery:
+    def test_sigkill_between_batches_recovers_byte_identical(
+        self, tmp_path, tiny_harness, feed_expected
+    ):
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        cluster.kill_node(cluster.node_ids()[0])
+        report = cluster.ingest(batches[1])  # detects the death, recovers
+        assert report.offers_new > 0
+        assert len(cluster.node_ids()) == 1
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        expected_total = len({o.offer_id for b in batches for o in b})
+        assert cluster.snapshot().offers_ingested == expected_total
+        cluster.close()
+
+    @pytest.mark.parametrize(
+        "operation,countdown",
+        [
+            ("append_offers", 2),
+            ("mark_seen", 5),
+            ("set_product", 1),
+        ],
+    )
+    def test_hard_exit_mid_ingest_recovers_byte_identical(
+        self, tmp_path, tiny_harness, feed_expected, operation, countdown
+    ):
+        """A node process hard-exits (os._exit) at a precise write: the
+        survivors abort to the barrier, the dead node is fenced, and the
+        replayed batch carries the catalog to the identical products."""
+        cluster = make_cluster(
+            tiny_harness,
+            tmp_path,
+            name=f"crash-{operation}.sqlite3",
+            num_nodes=2,
+            num_shards=8,
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        victim = cluster.node_ids()[1]
+        cluster.inject_crash(victim, operation, countdown)
+        report = cluster.ingest(batches[1])
+        assert report.offers_new > 0
+        assert cluster.node_ids() == [n for n in ("node-1", "node-2") if n != victim]
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        expected_total = len({o.offer_id for b in batches for o in b})
+        assert cluster.snapshot().offers_ingested == expected_total
+        cluster.close()
+
+    def test_soft_failure_aborts_partial_journal_and_is_retryable(
+        self, tmp_path, tiny_harness, feed_expected
+    ):
+        """A node whose *engine* raises mid-ingest stays alive with a
+        partial journal; the coordinator must abort it even with
+        auto-recovery off, so a caller retry is clean (no half-processed
+        offers flushed at a later barrier)."""
+        cluster = make_cluster(
+            tiny_harness, tmp_path, num_nodes=2, num_shards=8, auto_recover=False
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        victim = cluster.node_ids()[1]
+        cluster.inject_crash(victim, "append_offers", countdown=1, hard=False)
+        with pytest.raises(RuntimeError, match="injected node fault"):
+            cluster.ingest(batches[1])
+        # Both nodes survived; the failed batch can simply be retried.
+        assert cluster.node_ids() == ["node-1", "node-2"]
+        replay = cluster.ingest(batches[1])
+        assert replay.offers_new > 0
+        assert replay.offers_duplicate == 0
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        expected_total = len({o.offer_id for b in batches for o in b})
+        assert cluster.snapshot().offers_ingested == expected_total
+        cluster.close()
+
+    def test_two_nodes_failing_in_one_wave_recover(
+        self, tmp_path, tiny_harness, feed_expected
+    ):
+        """Both nodes fail in the same wave: every answering journal is
+        aborted, one node is fenced, and the replay (on nodes whose
+        one-shot faults are spent) carries the stream to byte-identity."""
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        for node_id in cluster.node_ids():
+            cluster.inject_crash(node_id, "append_offers", countdown=1, hard=False)
+        report = cluster.ingest(batches[1])
+        assert report.offers_new > 0
+        assert len(cluster.node_ids()) == 1
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        expected_total = len({o.offer_id for b in batches for o in b})
+        assert cluster.snapshot().offers_ingested == expected_total
+        cluster.close()
+
+    def test_remove_node_of_dead_process_degrades_to_fence(
+        self, tmp_path, tiny_harness, feed_expected
+    ):
+        """Gracefully removing a node that cannot acknowledge shutdown
+        must fence it: its shards get fresh epochs, so a hypothetical
+        zombie write is rejected store-side."""
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=2, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        victim = cluster.node_ids()[0]
+        held = dict(cluster.coordinator.lease_for(victim).epochs)
+        cluster.kill_node(victim)
+        cluster.remove_node(victim)
+        assert victim not in cluster.node_ids()
+        for shard, epoch in held.items():
+            with pytest.raises(StaleEpochError):
+                cluster.store.check_shard_epoch(shard, epoch)
+        for batch in batches[1:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_two_dead_processes_cascade_fence_and_recover(
+        self, tmp_path, tiny_harness, feed_expected
+    ):
+        """Two of three node processes SIGKILLed together: fencing the
+        first discovers the second corpse while pushing leases and
+        fences it too, then the batch replays on the survivor."""
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=3, num_shards=8)
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        cluster.kill_node("node-1")
+        cluster.kill_node("node-2")
+        report = cluster.ingest(batches[1])
+        assert report.offers_new > 0
+        assert cluster.node_ids() == ["node-3"]
+        for batch in batches[2:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        expected_total = len({o.offer_id for b in batches for o in b})
+        assert cluster.snapshot().offers_ingested == expected_total
+        cluster.close()
+
+    def test_crash_without_auto_recover_propagates(self, tmp_path, tiny_harness):
+        cluster = make_cluster(
+            tiny_harness, tmp_path, num_nodes=2, num_shards=8, auto_recover=False
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        seen_at_barrier = cluster.snapshot().offers_ingested
+        cluster.kill_node(cluster.node_ids()[0])
+        with pytest.raises(RuntimeError, match="dead"):
+            cluster.ingest(batches[1])
+        # Nothing of the failed batch reached the shared store.
+        assert cluster.snapshot().offers_ingested == seen_at_barrier
+        cluster.close()
+
+    def test_cluster_resume_after_full_shutdown(self, tmp_path, tiny_harness, feed_expected):
+        """Kill the whole cluster mid-stream; a new cluster over the same
+        WAL file resumes exactly where the barrier left it."""
+        path_name = "resume.sqlite3"
+        batches = feed_stream(tiny_harness)
+        first = make_cluster(tiny_harness, tmp_path, name=path_name, num_nodes=2, num_shards=8)
+        first.ingest(batches[0])
+        first.ingest(batches[1])
+        first.close()
+
+        second = make_cluster(tiny_harness, tmp_path, name=path_name, num_nodes=4, num_shards=8)
+        # Replaying from the start is safe: committed offers deduplicate.
+        for batch in batches:
+            second.ingest(batch)
+        assert sorted(fingerprint(second.products())) == feed_expected
+        expected_total = len({o.offer_id for b in batches for o in b})
+        assert second.snapshot().offers_ingested == expected_total
+        second.close()
+
+
+class TestAutoRebalance:
+    def test_skew_watcher_triggers_rebalance(self, tmp_path, tiny_harness, feed_expected):
+        """threshold=1.0 / patience=1 fires on any imbalance: the layout
+        is load-rebalanced mid-stream and products stay identical."""
+        cluster = make_cluster(
+            tiny_harness,
+            tmp_path,
+            num_nodes=2,
+            num_shards=8,
+            auto_rebalance_skew=1.0,
+            auto_rebalance_patience=1,
+        )
+        for batch in feed_stream(tiny_harness):
+            cluster.ingest(batch)
+        assert cluster.skew_watcher is not None
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()

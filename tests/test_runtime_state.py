@@ -405,3 +405,165 @@ class TestDeltaProtocol:
         # missing clusters in full instead.
         assert engine.transport_stats().full_retries > 0
         engine.close()
+
+
+class TestPartitionedSharedStore:
+    """ISSUE 4: the shared-row / multi-process contract of the SQLite store."""
+
+    def test_partition_rows_merge_without_races(self, tmp_path):
+        """Two partitioned instances over one file each flush their own
+        reconciliation row; a reader sums the partitions."""
+        path = str(tmp_path / "shared.sqlite3")
+        node_a = SqliteCatalogStore(path, partition="node-a")
+        node_a.bind(4)
+        node_b = SqliteCatalogStore(path, partition="node-b")
+        node_b.bind(4)
+        node_a.merge_reconciliation_stats(ReconciliationStats(10, 5, 3, 2))
+        node_b.merge_reconciliation_stats(ReconciliationStats(1, 1, 1, 1))
+        node_a.commit()
+        node_b.commit()
+        node_a.close()
+        node_b.close()
+
+        reader = SqliteCatalogStore(path)
+        reader.bind(4)
+        totals = reader.reconciliation_stats()
+        assert totals == ReconciliationStats(11, 6, 4, 3)
+        reader.close()
+
+    def test_partitioned_store_reads_epochs_from_disk(self, tmp_path):
+        """The coordinator bumps an epoch in its own connection; the node
+        instance must see it immediately — mirror staleness would let a
+        fenced zombie keep writing."""
+        path = str(tmp_path / "epochs.sqlite3")
+        coordinator = SqliteCatalogStore(path)
+        coordinator.bind(4)
+        node = SqliteCatalogStore(path, partition="node-1")
+        node.bind(4)
+        assert node.shard_epoch(2) == 0
+        coordinator.advance_shard_epoch(2)
+        assert node.shard_epoch(2) == 1
+        from repro.runtime import StaleEpochError
+
+        with pytest.raises(StaleEpochError):
+            node.check_shard_epoch(2, 0)
+        with pytest.raises(RuntimeError, match="coordinator"):
+            node.advance_shard_epoch(2)
+        node.close()
+        coordinator.close()
+
+    def test_unpartitioned_writer_absorbs_partition_rows(self, tmp_path):
+        """A single engine resumed over a cluster's file folds the node
+        partition rows into the global total exactly once — reopening
+        again must not double-count them."""
+        path = str(tmp_path / "absorb.sqlite3")
+        node = SqliteCatalogStore(path, partition="node-1")
+        node.bind(4)
+        node.merge_reconciliation_stats(ReconciliationStats(10, 5, 3, 2))
+        node.commit()
+        node.close()
+
+        resumed = SqliteCatalogStore(path)
+        resumed.bind(4)
+        assert resumed.reconciliation_stats() == ReconciliationStats(10, 5, 3, 2)
+        resumed.merge_reconciliation_stats(ReconciliationStats(1, 1, 1, 1))
+        resumed.commit()
+        resumed.close()
+
+        for _ in range(2):  # stable across repeated reopens
+            reopened = SqliteCatalogStore(path)
+            reopened.bind(4)
+            assert reopened.reconciliation_stats() == ReconciliationStats(11, 6, 4, 3)
+            reopened.close()
+
+    def test_refresh_sees_other_connections_commits(self, tmp_path):
+        path = str(tmp_path / "refresh.sqlite3")
+        writer = SqliteCatalogStore(path, partition="node-1")
+        writer.bind(2)
+        reader = SqliteCatalogStore(path)
+        reader.bind(2)
+        assert writer.mark_seen("offer-1")
+        writer.record_category("offer-1", "cat")
+        writer.commit()
+        assert not reader.is_seen("offer-1")  # stale mirror, by design
+        reader.refresh()
+        assert reader.is_seen("offer-1")
+        assert reader.assigned_categories() == {"offer-1": "cat"}
+        writer.close()
+        reader.close()
+
+    def test_refresh_refuses_to_drop_pending_mutations(self, tmp_path):
+        store = SqliteCatalogStore(str(tmp_path / "pending.sqlite3"))
+        store.bind(2)
+        store.mark_seen("offer-1")
+        with pytest.raises(RuntimeError, match="uncommitted"):
+            store.refresh()
+        store.commit()
+        store.refresh()  # journal flushed: refresh is safe again
+        assert store.is_seen("offer-1")
+        store.close()
+
+    def test_refresh_shards_is_idempotent_over_engine_state(self, tmp_path, tiny_harness):
+        """Refreshing a shard that is already current must be a no-op:
+        clusters, offer order and products survive the reload exactly."""
+        path = str(tmp_path / "handoff.sqlite3")
+        engine = make_engine(tiny_harness, num_shards=4, store="sqlite", store_path=path)
+        for batch in stream(tiny_harness.unmatched_offers, 2):
+            engine.ingest(batch)
+        engine.close()
+
+        node = SqliteCatalogStore(path, partition="node-1")
+        node.bind(4)
+        before = {
+            cluster_id: (state.size(), state.product)
+            for cluster_id, state in node.iter_clusters()
+        }
+        populated = {shard for shard in range(4) if node.shard_cluster_ids(shard)}
+        assert populated
+        node.refresh_shards(sorted(populated))
+        after = {
+            cluster_id: (state.size(), state.product)
+            for cluster_id, state in node.iter_clusters()
+        }
+        assert after == before
+        node.close()
+
+    def test_refresh_shards_picks_up_new_owner_state(self, tmp_path):
+        """Writer appends to a cluster and commits; a second connection's
+        mirror lags until refresh_shards reloads that shard."""
+        from repro.runtime.sharding import shard_for_category
+
+        path = str(tmp_path / "gain.sqlite3")
+        num_shards = 4
+        writer = SqliteCatalogStore(path, partition="node-1")
+        writer.bind(num_shards)
+        reader = SqliteCatalogStore(path, partition="node-2")
+        reader.bind(num_shards)
+
+        category = "computing.hdd"
+        shard = shard_for_category(category, num_shards)
+        cluster_id = (category, "key-1")
+        writer.create_cluster(shard, cluster_id)
+        writer.append_offers(
+            cluster_id,
+            [
+                Offer(
+                    offer_id="o-1",
+                    merchant_id="m-1",
+                    title="a drive",
+                    price=10.0,
+                    url="http://example.com/o-1",
+                )
+            ],
+        )
+        writer.commit()
+
+        assert reader.get_cluster(cluster_id) is None  # stale, by design
+        reader.refresh_shards([shard])
+        state = reader.get_cluster(cluster_id)
+        assert state is not None
+        assert state.size() == 1
+        assert state.cluster.offers[0].offer_id == "o-1"
+        assert cluster_id in reader.shard_cluster_ids(shard)
+        writer.close()
+        reader.close()
