@@ -35,11 +35,23 @@ shared WAL file, see :mod:`repro.runtime.procnode`)::
 
     repro-synthesize runtime-bench --processes 4 \
         --store-path catalog.sqlite3 --json BENCH_runtime_cluster.json
+
+Benchmark the serving layer (top-k search throughput and the mixed
+ingest+query snapshot-isolation proof, see
+:mod:`repro.experiments.serving_bench`)::
+
+    repro-synthesize serving-bench --offers 10000 --json BENCH_serving.json
+
+Serve a catalog store over HTTP (read-only; queries run concurrently
+with whatever engine or cluster is writing the file)::
+
+    repro-synthesize runtime-serve --store-path catalog.sqlite3 --port 8080
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional, Sequence
@@ -51,6 +63,7 @@ from repro.experiments import (
     figure8,
     figure9,
     runtime_bench,
+    serving_bench,
     table2,
     table3,
     table4,
@@ -76,8 +89,9 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
         prog="repro-synthesize",
         description="Reproduce the evaluation of 'Synthesizing Products for Online Catalogs'",
         epilog=(
-            "additional command: 'repro-synthesize runtime-bench --help' "
-            "(streaming-engine throughput benchmark)"
+            "additional commands: 'repro-synthesize runtime-bench --help' "
+            "(streaming-engine throughput benchmark), 'serving-bench --help' "
+            "(query-side benchmark), 'runtime-serve --help' (HTTP serving)"
         ),
     )
     parser.add_argument(
@@ -95,6 +109,29 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
         help="experiments to run (default: all)",
     )
     return parser.parse_args(argv)
+
+
+def _validate_store_path(
+    parser: argparse.ArgumentParser,
+    path: str,
+    must_exist: bool = False,
+) -> str:
+    """A clear argparse error for unusable store paths.
+
+    SQLite reports a bad path only when the first statement runs, as an
+    opaque ``OperationalError`` deep inside the store layer; checking
+    up front turns a typo'd directory or a path pointing at a directory
+    into a one-line CLI error instead of a traceback.
+    """
+    resolved = os.path.abspath(path)
+    if os.path.isdir(resolved):
+        parser.error(f"store path {path!r} is a directory, expected a file path")
+    parent = os.path.dirname(resolved)
+    if not os.path.isdir(parent):
+        parser.error(f"store path {path!r} is in a directory that does not exist")
+    if must_exist and not os.path.exists(resolved):
+        parser.error(f"store file {path!r} does not exist")
+    return path
 
 
 def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
@@ -141,8 +178,9 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
     parser.add_argument(
         "--store",
         choices=["memory", "sqlite"],
-        default="memory",
-        help="engine catalog store backend (default: memory)",
+        default=None,
+        help="engine catalog store backend (default: memory; --processes "
+        "implies sqlite and rejects an explicit --store memory)",
     )
     parser.add_argument(
         "--store-path",
@@ -163,8 +201,6 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
         help="also write the result as JSON (e.g. BENCH_runtime.json)",
     )
     args = parser.parse_args(argv)
-    if args.resume and args.store != "sqlite":
-        parser.error("--resume requires --store sqlite")
     if args.nodes < 1:
         parser.error("--nodes must be >= 1")
     if args.processes < 1:
@@ -174,6 +210,11 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
     if args.resume and (args.nodes > 1 or args.processes > 1):
         parser.error("--resume is a single-engine path; drop --nodes/--processes")
     if args.processes > 1:
+        if args.store == "memory":
+            parser.error(
+                "--processes shares state through the SQLite WAL file; "
+                "--store memory cannot back a multi-process cluster"
+            )
         if args.executor == "process":
             parser.error(
                 "--executor process cannot run inside node processes "
@@ -182,10 +223,18 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
             )
         # Process nodes share state through the WAL file only.
         args.store = "sqlite"
+    if args.store is None:
+        args.store = "memory"
+    if args.resume and args.store != "sqlite":
+        parser.error("--resume requires --store sqlite")
+    if args.store_path is not None and args.store != "sqlite":
+        parser.error("--store-path requires --store sqlite (or --processes)")
     if args.executor is None:
         args.executor = "serial" if args.processes > 1 else "process"
     if args.store == "sqlite" and args.store_path is None:
         args.store_path = "BENCH_catalog.sqlite3"
+    if args.store_path is not None:
+        _validate_store_path(parser, args.store_path, must_exist=args.resume)
     return args
 
 
@@ -238,12 +287,143 @@ def _run_runtime_bench(argv: Sequence[str]) -> int:
     return 0 if result.products_identical else 1
 
 
+def _parse_serving_bench_args(argv: Sequence[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-synthesize serving-bench",
+        description="Serving-layer benchmark: top-k search throughput, latency "
+        "percentiles, and the mixed ingest+query snapshot-isolation proof",
+    )
+    parser.add_argument(
+        "--offers", type=int, default=10_000, help="stream length (default: 10000)"
+    )
+    parser.add_argument(
+        "--batches", type=int, default=10, help="micro-batches (default: 10)"
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=5_000,
+        help="searches in the throughput phase (default: 5000)",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=10, help="results per search (default: 10)"
+    )
+    parser.add_argument("--seed", type=int, default=2011, help="corpus RNG seed")
+    parser.add_argument(
+        "--store",
+        choices=["memory", "sqlite"],
+        default="sqlite",
+        help="store backend of the throughput phase (default: sqlite; the "
+        "mixed phase always runs both backends)",
+    )
+    parser.add_argument(
+        "--store-path",
+        metavar="PATH",
+        default=None,
+        help="SQLite store file (default: BENCH_serving_catalog.sqlite3)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the result as JSON (e.g. BENCH_serving.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.offers < 1:
+        parser.error("--offers must be >= 1")
+    if args.queries < 1:
+        parser.error("--queries must be >= 1")
+    if args.top_k < 1:
+        parser.error("--top-k must be >= 1")
+    if args.store_path is not None and args.store != "sqlite":
+        parser.error("--store-path requires --store sqlite")
+    if args.store == "sqlite" and args.store_path is None:
+        args.store_path = "BENCH_serving_catalog.sqlite3"
+    if args.store_path is not None:
+        _validate_store_path(parser, args.store_path)
+    return args
+
+
+def _run_serving_bench(argv: Sequence[str]) -> int:
+    """Dispatch the ``serving-bench`` subcommand."""
+    args = _parse_serving_bench_args(argv)
+    result = serving_bench.run(
+        num_offers=args.offers,
+        num_batches=args.batches,
+        num_queries=args.queries,
+        top_k=args.top_k,
+        seed=args.seed,
+        store=args.store,
+        store_path=args.store_path,
+    )
+    print(result.to_text())
+    if args.json:
+        result.write_json(args.json)
+        print(f"[wrote {args.json}]")
+    return 0 if result.snapshot_isolation_proven else 1
+
+
+def _parse_runtime_serve_args(argv: Sequence[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-synthesize runtime-serve",
+        description="Serve a catalog store file over HTTP (read-only JSON "
+        "endpoints: /search, /product/<id>, /stats); safe to run against "
+        "a file a live engine or cluster is still writing",
+    )
+    parser.add_argument(
+        "--store-path",
+        metavar="PATH",
+        required=True,
+        help="SQLite catalog store file to serve (must exist)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--page-size",
+        type=int,
+        default=256,
+        help="products per disk page of the reader (default: 256)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.port <= 65_535:
+        parser.error(f"--port must be in [0, 65535], got {args.port}")
+    if args.page_size < 1:
+        parser.error("--page-size must be >= 1")
+    _validate_store_path(parser, args.store_path, must_exist=True)
+    return args
+
+
+def _run_runtime_serve(argv: Sequence[str]) -> int:
+    """Dispatch the ``runtime-serve`` subcommand (blocks until ^C)."""
+    # Imported here: the experiments CLI must not drag the HTTP serving
+    # stack in for the tables/figures paths.
+    from repro.serving.http import serve
+    from repro.serving.service import CatalogSearchService
+
+    args = _parse_runtime_serve_args(argv)
+    service = CatalogSearchService.from_store_path(
+        args.store_path, page_size=args.page_size
+    )
+    print(
+        f"runtime-serve: {service.num_products:,} products from "
+        f"{args.store_path} (snapshot {service.snapshot_commit_count})"
+    )
+    serve(service, host=args.host, port=args.port)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Run the selected experiments (or the ``runtime-bench`` command)."""
+    """Run the selected experiments (or one of the runtime subcommands)."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "runtime-bench":
         return _run_runtime_bench(list(argv[1:]))
+    if argv and argv[0] == "serving-bench":
+        return _run_serving_bench(list(argv[1:]))
+    if argv and argv[0] == "runtime-serve":
+        return _run_runtime_serve(list(argv[1:]))
     args = _parse_args(argv)
     preset = CorpusPreset(args.preset)
     harness = ExperimentHarness(preset.config(seed=args.seed))

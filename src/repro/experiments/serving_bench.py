@@ -1,0 +1,372 @@
+"""Serving-layer benchmark: query throughput, latency, snapshot isolation.
+
+Two phases over the same feed-ordered synthetic stream the runtime
+benchmark uses:
+
+* **Query throughput** — ingest the whole stream into an engine (the
+  serving index maintained incrementally by the commit feed), then run a
+  deterministic top-k search workload derived from the product titles
+  and report queries/sec plus p50/p95 latency.
+* **Mixed ingest + query** — on *both* store backends, interleave
+  engine ingest batches with service queries and then *prove* snapshot
+  isolation: every query's full result list (ids and scores) is
+  re-executed against a reference index rebuilt from the exact product
+  set of the committed prefix the service reported serving, and must
+  match byte for byte.  The memory backend exercises the feed-driven
+  maintenance path, the SQLite backend the read-only
+  :class:`~repro.serving.reader.CatalogReader` resync path — a reader
+  process querying concurrently with a live writer.
+
+Writes ``BENCH_serving.json`` via ``--json`` (CLI: ``repro-synthesize
+serving-bench``); the committed copy at the repo root is the regression
+reference for ``benchmarks/test_bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus.config import CorpusPreset
+from repro.experiments.harness import ExperimentHarness
+
+# Shared with the runtime benchmark: identical batch rounding and sqlite
+# sidecar cleanup, so the two benches can never drift apart on either.
+from repro.experiments.runtime_bench import _batches, _remove_sqlite_files
+from repro.model.products import Product
+from repro.runtime import SynthesisEngine
+from repro.serving.index import CatalogIndex
+from repro.serving.service import CatalogSearchService
+from repro.text.memo import clear_text_caches
+from repro.text.tokenize import tokenize_title
+
+__all__ = ["MixedRunResult", "ServingBenchResult", "run"]
+
+
+@dataclass
+class MixedRunResult:
+    """One backend's mixed ingest+query measurements and isolation proof."""
+
+    store: str
+    commits: int
+    queries_run: int
+    #: Distinct committed prefixes the queries were served against.
+    distinct_snapshots: int
+    #: Whether every query reproduced its committed prefix byte for byte.
+    snapshot_stable: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible summary."""
+        return {
+            "store": self.store,
+            "commits": self.commits,
+            "queries_run": self.queries_run,
+            "distinct_snapshots": self.distinct_snapshots,
+            "snapshot_stable": self.snapshot_stable,
+        }
+
+
+@dataclass
+class ServingBenchResult:
+    """Everything the serving benchmark measured."""
+
+    num_offers: int
+    num_batches: int
+    seed: int
+    store: str
+    num_products: int
+    num_queries: int
+    top_k: int
+    #: Seconds to ingest the stream with the index maintained per commit.
+    build_seconds: float
+    #: Seconds spent executing the query workload.
+    query_seconds: float
+    queries_per_second: float
+    p50_ms: float
+    p95_ms: float
+    #: Queries that returned at least one hit (sanity: workload is real).
+    queries_with_hits: int
+    index_vocabulary: int
+    mixed: List[MixedRunResult] = field(default_factory=list)
+
+    @property
+    def snapshot_isolation_proven(self) -> bool:
+        """Whether every mixed-mode backend stayed byte-stable."""
+        return bool(self.mixed) and all(run.snapshot_stable for run in self.mixed)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable summary (written to ``BENCH_serving.json``)."""
+        return {
+            "num_offers": self.num_offers,
+            "num_batches": self.num_batches,
+            "seed": self.seed,
+            "store": self.store,
+            "num_products": self.num_products,
+            "num_queries": self.num_queries,
+            "top_k": self.top_k,
+            "build_seconds": round(self.build_seconds, 4),
+            "query_seconds": round(self.query_seconds, 4),
+            "queries_per_second": round(self.queries_per_second, 1),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "queries_with_hits": self.queries_with_hits,
+            "index_vocabulary": self.index_vocabulary,
+            "snapshot_isolation_proven": self.snapshot_isolation_proven,
+            "mixed": [entry.to_dict() for entry in self.mixed],
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        """Human-readable report."""
+        lines = [
+            "Serving benchmark (snapshot-isolated top-k search over the catalog)",
+            f"  corpus: {self.num_offers:,} offers in {self.num_batches} batches "
+            f"(seed {self.seed}) -> {self.num_products:,} products, "
+            f"{self.index_vocabulary:,} index tokens",
+            f"  build           : {self.build_seconds:8.2f}s "
+            f"(ingest + incremental index maintenance, {self.store} store)",
+            f"  queries         : {self.num_queries:,} top-{self.top_k} searches "
+            f"({self.queries_with_hits:,} with hits)",
+            f"  throughput      : {self.queries_per_second:8,.0f} queries/s",
+            f"  latency         : p50 {self.p50_ms:.3f}ms, p95 {self.p95_ms:.3f}ms",
+        ]
+        for entry in self.mixed:
+            verdict = "byte-stable" if entry.snapshot_stable else "TORN READS"
+            lines.append(
+                f"  mixed ({entry.store:6s}) : {entry.queries_run} queries across "
+                f"{entry.commits} commits, {entry.distinct_snapshots} snapshots "
+                f"observed -> {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def _query_workload(
+    products: List[Product], num_queries: int, seed: int
+) -> List[str]:
+    """A deterministic search workload drawn from product titles.
+
+    Each query is a 1-3 token span of some product title — what a user
+    typing a partial product name sends — so the workload exercises the
+    ranked path with real vocabulary instead of synthetic noise.
+    """
+    rng = random.Random(seed)
+    # Pre-tokenise and keep only products that yield tokens at all, so
+    # the sampling loop below always makes progress.
+    tokenised = [
+        tokens
+        for tokens in (tokenize_title(product.title) for product in products)
+        if tokens
+    ]
+    queries: List[str] = []
+    while len(queries) < num_queries and tokenised:
+        tokens = tokenised[rng.randrange(len(tokenised))]
+        span = rng.randint(1, min(3, len(tokens)))
+        start = rng.randrange(len(tokens) - span + 1)
+        queries.append(" ".join(tokens[start : start + span]))
+    return queries
+
+
+def _result_fingerprint(results) -> Tuple[Tuple[str, float], ...]:
+    """The byte-comparable form of one search's full result list."""
+    return tuple((entry.product.product_id, entry.score) for entry in results)
+
+
+def _engine(harness: ExperimentHarness, **kwargs) -> SynthesisEngine:
+    return SynthesisEngine(
+        catalog=harness.corpus.catalog,
+        correspondences=harness.offline_result.correspondences,
+        extractor=harness.extractor,
+        category_classifier=harness.category_classifier,
+        num_shards=kwargs.pop("num_shards", 8),
+        **kwargs,
+    )
+
+
+def _mixed_run(
+    harness: ExperimentHarness,
+    batches: List[List],
+    queries: List[str],
+    top_k: int,
+    store: str,
+    store_path: Optional[str],
+    queries_per_batch: int,
+) -> MixedRunResult:
+    """Interleave ingest and queries on one backend; verify isolation."""
+    clear_text_caches()
+    if store == "sqlite":
+        _remove_sqlite_files(store_path)  # type: ignore[arg-type]
+    engine = _engine(
+        harness,
+        executor="serial",
+        store=store,
+        store_path=store_path,
+    )
+    # Memory backend: feed-driven service (same process, commit feed).
+    # SQLite backend: reader-driven service over the live WAL file — a
+    # second connection querying concurrently with the writer.
+    if store == "sqlite":
+        service = CatalogSearchService.from_store_path(store_path)  # type: ignore[arg-type]
+    else:
+        service = CatalogSearchService.from_engine(engine)
+
+    #: commit_count -> products of that committed prefix.
+    prefix_products: Dict[int, List[Product]] = {}
+    #: (query, snapshot served, full result fingerprint) per query run.
+    observed: List[Tuple[str, int, Tuple]] = []
+    query_cursor = 0
+    for batch in batches:
+        engine.ingest(batch)
+        prefix_products[engine.store.commit_count] = engine.products()
+        for _ in range(queries_per_batch):
+            query = queries[query_cursor % len(queries)]
+            query_cursor += 1
+            results = service.search(query, top_k=top_k)
+            observed.append(
+                (query, service.snapshot_commit_count, _result_fingerprint(results))
+            )
+    commits = len(prefix_products)
+    service.close()
+    engine.close()
+    if store == "sqlite":
+        _remove_sqlite_files(store_path)  # type: ignore[arg-type]
+
+    # The proof: rebuild a reference index per committed prefix actually
+    # served and re-execute every query against it.  Identical ids AND
+    # scores == the service answered from exactly that prefix, never
+    # from a half-applied batch.
+    stable = True
+    snapshots = sorted({snapshot for _, snapshot, _ in observed})
+    for snapshot in snapshots:
+        if snapshot not in prefix_products:
+            stable = False
+            break
+        reference = CatalogIndex(prefix_products[snapshot])
+        for query, seen_snapshot, fingerprint in observed:
+            if seen_snapshot != snapshot:
+                continue
+            expected = _result_fingerprint(reference.search(query, top_k=top_k))
+            if expected != fingerprint:
+                stable = False
+    return MixedRunResult(
+        store=store,
+        commits=commits,
+        queries_run=len(observed),
+        distinct_snapshots=len(snapshots),
+        snapshot_stable=stable,
+    )
+
+
+def run(
+    num_offers: int = 10_000,
+    num_batches: int = 10,
+    num_queries: int = 5_000,
+    top_k: int = 10,
+    seed: int = 2011,
+    store: str = "sqlite",
+    store_path: Optional[str] = None,
+    harness: Optional[ExperimentHarness] = None,
+    mixed_queries_per_batch: int = 25,
+) -> ServingBenchResult:
+    """Run both serving-benchmark phases and return the measurements.
+
+    Parameters mirror :func:`repro.experiments.runtime_bench.run` where
+    they overlap; ``num_queries`` sizes the throughput workload, and
+    ``mixed_queries_per_batch`` the per-commit query burst of the mixed
+    phase (which always runs on both backends).
+    """
+    if store not in ("memory", "sqlite"):
+        raise ValueError(f"store must be 'memory' or 'sqlite', got {store!r}")
+    if store == "sqlite" and store_path is None:
+        raise ValueError("store='sqlite' requires store_path")
+    if harness is None:
+        factor = max(1.0, num_offers / 1200.0)
+        harness = ExperimentHarness(CorpusPreset.SMALL.config(seed=seed).scaled(factor))
+    offers = harness.unmatched_offers[:num_offers]
+    offers = sorted(offers, key=lambda offer: offer.merchant_id)
+    batches = _batches(offers, num_batches)
+
+    # -- phase 1: build once, then hammer the index with searches
+    clear_text_caches()
+    if store == "sqlite":
+        _remove_sqlite_files(store_path)  # type: ignore[arg-type]
+    engine = _engine(harness, executor="serial", store=store, store_path=store_path)
+    service = CatalogSearchService.from_engine(engine)
+    build_start = time.perf_counter()
+    for batch in batches:
+        engine.ingest(batch)
+    build_seconds = time.perf_counter() - build_start
+    products = engine.products()
+    queries = _query_workload(products, num_queries, seed)
+
+    latencies: List[float] = []
+    queries_with_hits = 0
+    query_start = time.perf_counter()
+    for query in queries:
+        started = time.perf_counter()
+        results = service.search(query, top_k=top_k)
+        latencies.append(time.perf_counter() - started)
+        if results:
+            queries_with_hits += 1
+    query_seconds = time.perf_counter() - query_start
+    index_vocabulary = service.stats()["index"]["vocabulary_size"]  # type: ignore[index]
+    service.close()
+    engine.close()
+    if store == "sqlite":
+        _remove_sqlite_files(store_path)  # type: ignore[arg-type]
+
+    latencies.sort()
+    result = ServingBenchResult(
+        num_offers=len(offers),
+        num_batches=len(batches),
+        seed=seed,
+        store=store,
+        num_products=len(products),
+        num_queries=len(queries),
+        top_k=top_k,
+        build_seconds=build_seconds,
+        query_seconds=query_seconds,
+        queries_per_second=(
+            len(queries) / query_seconds if query_seconds > 0 else float("inf")
+        ),
+        p50_ms=_percentile(latencies, 0.50) * 1000.0,
+        p95_ms=_percentile(latencies, 0.95) * 1000.0,
+        queries_with_hits=queries_with_hits,
+        index_vocabulary=int(index_vocabulary),
+    )
+
+    # -- phase 2: mixed ingest+query isolation proof on both backends
+    mixed_path = None if store_path is None else store_path + ".mixed"
+    result.mixed.append(
+        _mixed_run(
+            harness, batches, queries, top_k, "memory", None, mixed_queries_per_batch
+        )
+    )
+    if mixed_path is not None:
+        result.mixed.append(
+            _mixed_run(
+                harness,
+                batches,
+                queries,
+                top_k,
+                "sqlite",
+                mixed_path,
+                mixed_queries_per_batch,
+            )
+        )
+    return result

@@ -49,7 +49,7 @@ from repro.runtime.cluster import (
 )
 from repro.runtime.delta import TransportStats
 from repro.runtime.procnode import MultiProcessEngine, NodeDeadError, ProcessNode
-from repro.runtime.engine import EngineSnapshot, IngestReport, SynthesisEngine
+from repro.runtime.engine import CommitEvent, EngineSnapshot, IngestReport, SynthesisEngine
 from repro.runtime.executors import (
     ProcessPoolShardExecutor,
     SerialExecutor,
@@ -62,6 +62,7 @@ from repro.runtime.store import MemoryCatalogStore, SqliteCatalogStore
 
 __all__ = [
     "SynthesisEngine",
+    "CommitEvent",
     "IngestReport",
     "EngineSnapshot",
     "MultiNodeEngine",

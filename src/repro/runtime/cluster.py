@@ -159,6 +159,18 @@ class FencedStoreView(CatalogStore):
         """The shared store this view delegates to."""
         return self._base
 
+    @property
+    def commit_count(self) -> int:
+        """The *base* store's snapshot counter.
+
+        The view never counts commits itself: with ``deferred_commit``
+        its ``commit`` only validates the lease, and either way the
+        snapshot identity readers care about is the shared store's.  A
+        node engine's commit listeners therefore see the same counter a
+        reader of the shared file would.
+        """
+        return self._base.commit_count
+
     # -- fencing ---------------------------------------------------------------
 
     def _check_writable(self) -> None:

@@ -51,7 +51,7 @@ Examples
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.extraction.extractor import WebPageAttributeExtractor
 from repro.matching.correspondence import CorrespondenceSet
@@ -74,7 +74,7 @@ from repro.synthesis.pipeline import ProductSynthesisPipeline, build_product_fro
 from repro.synthesis.reconciliation import ReconciliationStats
 from repro.text.tfidf import IncrementalTfIdf
 
-__all__ = ["IngestReport", "EngineSnapshot", "SynthesisEngine"]
+__all__ = ["CommitEvent", "IngestReport", "EngineSnapshot", "SynthesisEngine"]
 
 
 @dataclass
@@ -111,6 +111,34 @@ class IngestReport:
         self.offers_uncategorised += other.offers_uncategorised
         self.clusters_touched += other.clusters_touched
         self.products_refreshed += other.products_refreshed
+
+
+@dataclass
+class CommitEvent:
+    """One committed ingest batch, as delivered to commit listeners.
+
+    The per-commit changed-product feed of the read side
+    (:mod:`repro.serving`): after every successful commit barrier the
+    engine tells its listeners exactly which clusters' products the
+    batch created, refreshed, or left below the emission threshold, so a
+    serving index can stay current incrementally instead of re-reading
+    the whole catalog.  Events are emitted strictly *after* the store
+    commit, so a listener only ever observes committed prefixes of the
+    stream — the snapshot-isolation contract queries rely on.
+    """
+
+    #: The store's commit counter after this barrier (identifies the
+    #: committed stream prefix the event completes).
+    commit_count: int
+    #: (cluster id, fused product) per cluster the batch touched;
+    #: ``None`` marks a cluster still below the emission threshold.
+    changed: List[Tuple[ClusterId, Optional[Product]]]
+    #: The ingest report of the batch that produced this commit.
+    report: IngestReport
+
+    def num_changed(self) -> int:
+        """Number of clusters the committed batch touched."""
+        return len(self.changed)
 
 
 @dataclass
@@ -256,6 +284,7 @@ class SynthesisEngine:
             supports_pinning if delta_refusion is None else bool(delta_refusion)
         )
         self._transport_stats = TransportStats()
+        self._commit_listeners: List[Callable[[CommitEvent], None]] = []
         self._closed = False
 
         # Full-state process payloads get the plain fusion (shipping a
@@ -308,6 +337,7 @@ class SynthesisEngine:
         report.offers_duplicate = report.offers_in_batch - report.offers_new
         if not fresh:
             self._store.commit()
+            self._notify_commit(report, [])
             return report
 
         categorised = self._pipeline._assign_categories(fresh)
@@ -325,6 +355,7 @@ class SynthesisEngine:
         report.products_refreshed = self._refuse_clusters(pending)
         self._transport_stats.batches += 1
         self._store.commit()
+        self._notify_commit(report, list(pending))
         return report
 
     def _extract_specifications(self, offers: Sequence[Offer]) -> List[Offer]:
@@ -570,6 +601,43 @@ class SynthesisEngine:
     def transport_stats(self) -> TransportStats:
         """Cumulative executor-payload accounting (see :class:`TransportStats`)."""
         return self._transport_stats
+
+    # -- commit feed -----------------------------------------------------------
+
+    def add_commit_listener(self, listener: Callable[[CommitEvent], None]) -> None:
+        """Subscribe to the per-commit changed-product feed.
+
+        ``listener`` is invoked synchronously at the end of every
+        successful :meth:`ingest`, strictly after the store commit, with
+        a :class:`CommitEvent` describing the clusters the batch touched
+        and their (re-)fused products.  Because the call happens after
+        the commit barrier, a listener that maintains derived state (the
+        serving index) only ever observes fully committed batches — it
+        can never see a torn prefix.  A listener that raises propagates
+        out of :meth:`ingest`; the batch itself is already committed.
+        """
+        self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener: Callable[[CommitEvent], None]) -> None:
+        """Unsubscribe a previously added commit listener (idempotent)."""
+        try:
+            self._commit_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_commit(self, report: IngestReport, changed_ids: List[ClusterId]) -> None:
+        """Deliver one :class:`CommitEvent` to every subscribed listener."""
+        if not self._commit_listeners:
+            return
+        changed: List[Tuple[ClusterId, Optional[Product]]] = [
+            (cluster_id, self._store.get_cluster(cluster_id).product)
+            for cluster_id in changed_ids
+        ]
+        event = CommitEvent(
+            commit_count=self._store.commit_count, changed=changed, report=report
+        )
+        for listener in list(self._commit_listeners):
+            listener(event)
 
     def snapshot(self) -> EngineSnapshot:
         """A consistent summary of everything ingested so far."""

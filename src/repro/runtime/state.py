@@ -97,6 +97,7 @@ class CatalogStore(abc.ABC):
         self.token = _new_store_token()
         self._num_shards = 0
         self._fault_hook: Optional[Callable[[str], None]] = None
+        self._commit_count = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -119,6 +120,18 @@ class CatalogStore(abc.ABC):
     @abc.abstractmethod
     def commit(self) -> None:
         """Make everything recorded so far durable (no-op for memory)."""
+
+    @property
+    def commit_count(self) -> int:
+        """How many commit barriers this store has completed.
+
+        A monotonic snapshot identifier: the engine commits exactly once
+        per ingest, so "the catalog after commit *k*" names a committed
+        stream prefix.  The read side (:mod:`repro.serving`) uses it to
+        label which prefix a query ran against; durable backends persist
+        it, so the counter also identifies snapshots *across* processes.
+        """
+        return self._commit_count
 
     @abc.abstractmethod
     def close(self) -> None:
@@ -257,6 +270,19 @@ class CatalogStore(abc.ABC):
                 collected.append((cluster_id, state.product))
         collected.sort(key=lambda item: item[0])
         return [product for _, product in collected]
+
+    def iter_products(self, page_size: int = 256) -> Iterator[Product]:
+        """Stream the current products in (category, key) order.
+
+        Same listing as :meth:`sorted_products`, but as an iterator so
+        read-side consumers can page through a large catalog without the
+        writer materialising it twice.  The default serves from the
+        in-memory state (``page_size`` is advisory there); the SQLite
+        backend overrides it to read committed pages straight from disk,
+        the first step toward a read-through mode that does not require
+        the full in-memory mirror.
+        """
+        yield from self.sorted_products()
 
     # -- per-category statistics -----------------------------------------------
 

@@ -33,8 +33,15 @@ class MemoryCatalogStore(CatalogStore):
     # -- lifecycle -------------------------------------------------------------
 
     def commit(self) -> None:
-        """Nothing to flush (but an installed fault hook still fires)."""
+        """Nothing to flush, but the snapshot counter still advances.
+
+        An installed fault hook fires first, so crash-injection tests
+        can cut a batch down before it counts as committed — mirroring
+        the durable backends, where a failed flush leaves the counter
+        untouched.
+        """
         self._fault_point("commit")
+        self._commit_count += 1
 
     def close(self) -> None:
         """Nothing to release."""

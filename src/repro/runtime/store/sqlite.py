@@ -70,7 +70,7 @@ from repro.synthesis.clustering import OfferCluster
 from repro.synthesis.reconciliation import ReconciliationStats
 from repro.text.tfidf import IncrementalTfIdf
 
-__all__ = ["SqliteCatalogStore", "load_shard_clusters"]
+__all__ = ["SqliteCatalogStore", "load_shard_clusters", "read_product_page"]
 
 #: Bumped when the table layout changes incompatibly.
 _FORMAT_VERSION = 1
@@ -157,6 +157,43 @@ def load_shard_clusters(
         return loaded
     finally:
         connection.close()
+
+
+def read_product_page(
+    connection: sqlite3.Connection,
+    after: Optional[ClusterId] = None,
+    limit: int = 256,
+) -> List[Tuple[ClusterId, Product]]:
+    """Read one page of committed products in (category, key) order.
+
+    Keyset pagination over the ``clusters`` table: ``after`` is the last
+    cluster id of the previous page (``None`` starts from the beginning),
+    and only clusters that currently have a fused product are returned.
+    The page comes straight from the database — no store mirror involved
+    — which is what lets a read-only serving connection
+    (:class:`repro.serving.reader.CatalogReader`) and
+    :meth:`SqliteCatalogStore.iter_products` stream a catalog larger
+    than they are willing to hold in memory.
+    """
+    if after is None:
+        rows = connection.execute(
+            "SELECT category_id, cluster_key, product FROM clusters"
+            " WHERE product IS NOT NULL"
+            " ORDER BY category_id, cluster_key LIMIT ?",
+            (limit,),
+        ).fetchall()
+    else:
+        rows = connection.execute(
+            "SELECT category_id, cluster_key, product FROM clusters"
+            " WHERE product IS NOT NULL AND"
+            " (category_id > ? OR (category_id = ? AND cluster_key > ?))"
+            " ORDER BY category_id, cluster_key LIMIT ?",
+            (after[0], after[0], after[1], limit),
+        ).fetchall()
+    return [
+        ((category_id, cluster_key), product_from_dict(json.loads(product_json)))
+        for category_id, cluster_key, product_json in rows
+    ]
 
 
 class SqliteCatalogStore(CatalogStore):
@@ -294,6 +331,8 @@ class SqliteCatalogStore(CatalogStore):
         ).fetchone()
         if row is not None:
             state.reconciliation_stats = ReconciliationStats(*row)
+        commit_count = self._meta("commit_count")
+        self._commit_count = 0 if commit_count is None else int(commit_count)
         # Global totals are the single-writer row plus every node
         # partition; a partitioned store also reloads its own slice so a
         # restarted node keeps accumulating where it left off.
@@ -448,7 +487,17 @@ class SqliteCatalogStore(CatalogStore):
                         own.pairs_discarded,
                     ),
                 )
+        # The snapshot counter is incremented atomically in SQL (and read
+        # back) rather than written from the mirror: several node-process
+        # connections of a multi-process cluster commit through this same
+        # row, and a mirror-based write would lose their increments.
+        connection.execute(
+            "INSERT INTO meta (key, value) VALUES ('commit_count', '1')"
+            " ON CONFLICT(key) DO UPDATE SET"
+            " value = CAST(CAST(value AS INTEGER) + 1 AS TEXT)"
+        )
         connection.commit()
+        self._commit_count = int(self._meta("commit_count") or 0)
         self._new_seen = []
         self._new_categories = []
         self._new_clusters = []
@@ -699,6 +748,27 @@ class SqliteCatalogStore(CatalogStore):
     def num_clusters(self) -> int:
         """Number of clusters tracked so far."""
         return len(self._state.clusters)
+
+    def iter_products(self, page_size: int = 256) -> Iterator[Product]:
+        """Stream committed products from disk, one page at a time.
+
+        Unlike :meth:`sorted_products` (which serves the mirror and
+        therefore includes uncommitted batch state), this reads the last
+        *committed* snapshot via keyset pagination and never needs the
+        mirror — the first concrete piece of the planned read-through
+        mode for catalogs larger than RAM.  Uncommitted journal entries
+        are invisible by construction: the journal lives Python-side
+        until :meth:`commit` flushes it.
+        """
+        connection = self._require_open()
+        after: Optional[ClusterId] = None
+        while True:
+            page = read_product_page(connection, after, page_size)
+            if not page:
+                return
+            for _, product in page:
+                yield product
+            after = page[-1][0]
 
     # -- per-category statistics -----------------------------------------------
 

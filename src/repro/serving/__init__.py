@@ -1,0 +1,43 @@
+"""The read side: snapshot-isolated query serving over the catalog.
+
+Everything before this package scales the *write* path — streaming
+ingest, durable stores, multi-node and multi-process clusters.  This
+package serves the synthesized catalog to readers, isolated from the
+writers in the HTAP style (an independent read engine fed by update
+propagation from the transactional side):
+
+``index``
+    :class:`~repro.serving.index.CatalogIndex` — an inverted TF-IDF
+    keyword index over product titles and attribute values with top-k
+    ranked search, category/attribute filters, and faceted counts;
+    maintained incrementally from the engine's commit feed with a
+    full-rebuild fallback.
+``reader``
+    :class:`~repro.serving.reader.CatalogReader` — a read-only WAL
+    connection onto the shared store file, so queries run concurrently
+    with a live ingesting engine and observe only committed batches
+    (keyset-paged disk reads, LRU page cache, snapshot identity via the
+    store's persistent commit counter).
+``service``
+    :class:`~repro.serving.service.CatalogSearchService` — the facade
+    gluing index to feed or reader, with the snapshot-isolation
+    guarantee: a query never sees a half-applied batch.
+``http``
+    Stdlib JSON endpoints (``/search``, ``/product/<id>``, ``/stats``)
+    behind the ``runtime-serve`` CLI command.
+"""
+
+from repro.serving.http import CatalogHTTPServer, serve
+from repro.serving.index import CatalogIndex, SearchResult
+from repro.serving.reader import CatalogReader, StaleSnapshotError
+from repro.serving.service import CatalogSearchService
+
+__all__ = [
+    "CatalogIndex",
+    "SearchResult",
+    "CatalogReader",
+    "StaleSnapshotError",
+    "CatalogSearchService",
+    "CatalogHTTPServer",
+    "serve",
+]

@@ -1,0 +1,170 @@
+"""JSON-over-HTTP serving endpoints (stdlib ``http.server`` only).
+
+The ``runtime-serve`` CLI command and the tests/examples both run this
+tiny server: a :class:`CatalogHTTPServer` (threading) that answers
+
+* ``GET /search?q=<text>&k=<top-k>&category=<id>&attr=<Name=Value>`` —
+  ranked top-k search (``attr`` may repeat; every pair must match),
+* ``GET /product/<product-id>`` — full product JSON by id,
+* ``GET /stats`` — service, index, and snapshot statistics.
+
+Every response is JSON.  The handler is deliberately thin: all query
+semantics (ranking, filters, snapshot discipline) live in
+:class:`~repro.serving.service.CatalogSearchService`, which serialises
+index access, so the threading server needs no extra locking here.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.model.persistence import product_to_dict
+from repro.serving.service import CatalogSearchService
+
+__all__ = ["CatalogHTTPServer", "CatalogRequestHandler", "serve"]
+
+#: Hard cap on ``k`` so a typo cannot ask the index for a million hits.
+_MAX_TOP_K = 1000
+
+
+class CatalogRequestHandler(BaseHTTPRequestHandler):
+    """Route table for the three serving endpoints."""
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Quiet by default; benchmark traffic would spam one line per request.
+
+        ``CatalogHTTPServer(log_requests=True)`` restores the stdlib
+        per-request stderr logging for interactive runs.
+        """
+        if getattr(self.server, "log_requests", False):
+            super().log_message(format, *args)
+
+    @property
+    def _service(self) -> CatalogSearchService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        """Dispatch one GET request to its endpoint."""
+        parsed = urlparse(self.path)
+        if parsed.path == "/search":
+            self._do_search(parse_qs(parsed.query))
+        elif parsed.path.startswith("/product/"):
+            self._do_product(parsed.path[len("/product/") :])
+        elif parsed.path == "/stats":
+            self._reply(200, self._service.stats())
+        else:
+            self._error(404, f"unknown endpoint {parsed.path!r}")
+
+    def _parse_search_params(
+        self, params: Dict[str, list]
+    ) -> Tuple[str, int, Optional[str], Optional[Dict[str, str]]]:
+        query = params.get("q", [""])[0]
+        if not query.strip():
+            raise ValueError("missing or empty query parameter 'q'")
+        raw_k = params.get("k", ["10"])[0]
+        try:
+            top_k = int(raw_k)
+        except ValueError:
+            raise ValueError(f"parameter 'k' must be an integer, got {raw_k!r}")
+        if not 1 <= top_k <= _MAX_TOP_K:
+            raise ValueError(f"parameter 'k' must be in [1, {_MAX_TOP_K}], got {top_k}")
+        category = params.get("category", [None])[0]
+        attributes: Optional[Dict[str, str]] = None
+        for pair in params.get("attr", []):
+            name, separator, value = pair.partition("=")
+            if not separator or not name or not value:
+                raise ValueError(
+                    f"parameter 'attr' must look like Name=Value, got {pair!r}"
+                )
+            attributes = attributes or {}
+            attributes[name] = value
+        return query, top_k, category, attributes
+
+    def _do_search(self, params: Dict[str, list]) -> None:
+        try:
+            query, top_k, category, attributes = self._parse_search_params(params)
+        except ValueError as error:
+            self._error(400, str(error))
+            return
+        results = self._service.search(
+            query, top_k=top_k, category=category, attributes=attributes
+        )
+        self._reply(
+            200,
+            {
+                "query": query,
+                "top_k": top_k,
+                "snapshot_commit_count": self._service.snapshot_commit_count,
+                "num_results": len(results),
+                "results": [result.to_dict() for result in results],
+            },
+        )
+
+    def _do_product(self, product_id: str) -> None:
+        if not product_id:
+            self._error(400, "missing product id")
+            return
+        product = self._service.get_product(product_id)
+        if product is None:
+            self._error(404, f"no product with id {product_id!r}")
+            return
+        payload = product_to_dict(product)
+        payload["snapshot_commit_count"] = self._service.snapshot_commit_count
+        self._reply(200, payload)
+
+
+class CatalogHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`CatalogSearchService`.
+
+    ``port=0`` binds an ephemeral port (tests and examples);
+    ``server_address`` reports the actual one after construction.
+    Start it with ``serve_forever()`` (blocking) or on a daemon thread.
+    """
+
+    #: Worker threads die with the process; a hung client never blocks
+    #: shutdown of a drill or test run.
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: CatalogSearchService,
+        log_requests: bool = False,
+    ) -> None:
+        super().__init__(address, CatalogRequestHandler)
+        self.service = service
+        self.log_requests = log_requests
+
+
+def serve(
+    service: CatalogSearchService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    log_requests: bool = True,
+) -> None:
+    """Run the serving endpoints until interrupted (the CLI entry point)."""
+    server = CatalogHTTPServer((host, port), service, log_requests=log_requests)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"runtime-serve: listening on http://{bound_host}:{bound_port}")
+    print("  endpoints: /search?q=...&k=10  /product/<id>  /stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nruntime-serve: shutting down")
+    finally:
+        server.server_close()
+        service.close()

@@ -1,0 +1,215 @@
+"""The catalog serving facade: one index, one snapshot discipline.
+
+:class:`CatalogSearchService` owns a :class:`~repro.serving.index.CatalogIndex`
+and keeps it current through one of two maintenance modes:
+
+* **feed-driven** (:meth:`CatalogSearchService.from_engine`) — the
+  service subscribes to the engine's per-commit changed-product feed
+  and applies each :class:`~repro.runtime.CommitEvent` atomically, so a
+  co-located deployment pays O(changed) index work per commit;
+* **reader-driven** (:meth:`CatalogSearchService.from_store_path`) — a
+  separate serving process watches the store file through a read-only
+  :class:`~repro.serving.reader.CatalogReader` and rebuilds the index
+  from the committed snapshot whenever the commit counter moves (the
+  full-rebuild fallback, same resync philosophy as the delta
+  protocol's workers).
+
+Either way the service guarantees **snapshot isolation**: every query
+runs under the service lock against an index state that corresponds to
+exactly one committed prefix of the ingest stream (reported as
+``snapshot_commit_count``), never to a half-applied batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.model.products import Product
+from repro.runtime.engine import CommitEvent, SynthesisEngine
+from repro.serving.index import CatalogIndex, SearchResult
+from repro.serving.reader import CatalogReader
+
+__all__ = ["CatalogSearchService"]
+
+
+class CatalogSearchService:
+    """Thread-safe query front end over an incrementally maintained index."""
+
+    def __init__(self, index: Optional[CatalogIndex] = None) -> None:
+        self._index = index if index is not None else CatalogIndex()
+        self._lock = threading.RLock()
+        self._engine: Optional[SynthesisEngine] = None
+        self._reader: Optional[CatalogReader] = None
+        self._snapshot_commit_count = 0
+        self._queries_served = 0
+        self._resyncs = 0
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_engine(cls, engine: SynthesisEngine) -> "CatalogSearchService":
+        """Serve a live engine's catalog, maintained by its commit feed.
+
+        The initial index is built from the engine's current product
+        listing; afterwards every committed ingest batch is folded in
+        incrementally.  Call :meth:`close` to unsubscribe.
+        """
+        service = cls()
+        service._engine = engine
+        with service._lock:
+            service._index.rebuild(engine.products())
+            service._snapshot_commit_count = engine.store.commit_count
+        engine.add_commit_listener(service._on_commit)
+        return service
+
+    @classmethod
+    def from_store_path(
+        cls,
+        path: str,
+        page_size: int = 256,
+        max_cached_pages: int = 64,
+    ) -> "CatalogSearchService":
+        """Serve a store file written by another process (read-only).
+
+        Opens a :class:`~repro.serving.reader.CatalogReader` over the
+        WAL file and builds the index from the committed snapshot.
+        Queries transparently resync when a writer commits — see
+        :meth:`maybe_resync`.
+        """
+        service = cls()
+        service._reader = CatalogReader(
+            path, page_size=page_size, max_cached_pages=max_cached_pages
+        )
+        service.resync()
+        return service
+
+    def close(self) -> None:
+        """Detach from the feed / close the reader (idempotent)."""
+        if self._engine is not None:
+            self._engine.remove_commit_listener(self._on_commit)
+            self._engine = None
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+
+    def __enter__(self) -> "CatalogSearchService":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, traceback: object) -> None:
+        self.close()
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _on_commit(self, event: CommitEvent) -> None:
+        """Feed-driven maintenance: apply one committed batch atomically."""
+        with self._lock:
+            self._index.apply_commit(event)
+            self._snapshot_commit_count = event.commit_count
+
+    def resync(self) -> int:
+        """Rebuild the index from the store's committed snapshot.
+
+        Reader-driven mode only; returns the commit count of the
+        snapshot now served.  The read is atomic (one WAL read
+        transaction), so the swapped-in index is exactly the catalog of
+        that commit.
+        """
+        if self._reader is None:
+            raise RuntimeError(
+                "resync() requires a reader-driven service "
+                "(CatalogSearchService.from_store_path)"
+            )
+        snapshot, products = self._reader.read_products()
+        with self._lock:
+            # Concurrent resyncs race on the read: if another thread
+            # already swapped in this snapshot (or a newer one), keeping
+            # ours would roll the served index *backwards* — the
+            # non-monotonic read the snapshot contract forbids.
+            if snapshot > self._snapshot_commit_count or (
+                snapshot == self._snapshot_commit_count and self._resyncs == 0
+            ):
+                self._index.rebuild(products)
+                self._snapshot_commit_count = snapshot
+                self._resyncs += 1
+            return self._snapshot_commit_count
+
+    def maybe_resync(self) -> bool:
+        """Resync if (and only if) a writer committed since the last look.
+
+        Cheap when current — one ``meta`` row read.  Feed-driven
+        services are always current and return ``False``.
+        """
+        if self._reader is None:
+            return False
+        if self._reader.commit_count() == self._snapshot_commit_count:
+            return False
+        self.resync()
+        return True
+
+    # -- queries ---------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        top_k: int = 10,
+        category: Optional[str] = None,
+        attributes: Optional[Dict[str, str]] = None,
+    ) -> List[SearchResult]:
+        """Top-k ranked products for ``query`` (see :meth:`CatalogIndex.search`).
+
+        Reader-driven services first fold in any newly committed
+        snapshot, so a query never serves state older than the store's
+        last commit barrier at call time — and never anything newer or
+        torn either.
+        """
+        self.maybe_resync()
+        with self._lock:
+            self._queries_served += 1
+            return self._index.search(
+                query, top_k=top_k, category=category, attributes=attributes
+            )
+
+    def get_product(self, product_id: str) -> Optional[Product]:
+        """Point lookup by product id against the served snapshot."""
+        self.maybe_resync()
+        with self._lock:
+            self._queries_served += 1
+            return self._index.get_product(product_id)
+
+    def count_by_category(self) -> Dict[str, int]:
+        """The category facet of the served snapshot."""
+        self.maybe_resync()
+        with self._lock:
+            self._queries_served += 1
+            return self._index.count_by_category()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def snapshot_commit_count(self) -> int:
+        """Commit barrier the served index corresponds to."""
+        with self._lock:
+            return self._snapshot_commit_count
+
+    @property
+    def num_products(self) -> int:
+        """Products in the served snapshot."""
+        with self._lock:
+            return self._index.num_products
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-compatible service + index statistics (the ``/stats`` body)."""
+        with self._lock:
+            payload: Dict[str, object] = {
+                "mode": "reader" if self._reader is not None else "feed",
+                "snapshot_commit_count": self._snapshot_commit_count,
+                "queries_served": self._queries_served,
+                "resyncs": self._resyncs,
+                "index": self._index.stats(),
+                "count_by_category": self._index.count_by_category(),
+            }
+        if self._reader is not None:
+            payload["reader"] = self._reader.cache_stats()
+            payload["store_path"] = self._reader.path
+        return payload

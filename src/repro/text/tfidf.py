@@ -66,6 +66,39 @@ class IncrementalTfIdf:
         for text in corpus:
             self.add(text)
 
+    def discard(self, text: str) -> None:
+        """Remove one previously :meth:`add`-ed document from the statistics.
+
+        The exact inverse of :meth:`add`: after ``discard(text)`` the
+        statistics are indistinguishable from never having added
+        ``text``.  The serving-side catalog index relies on this to
+        replace a product document in place when a cluster re-fuses
+        (its product id is stable but its title/attributes change).
+
+        Raises
+        ------
+        ValueError
+            If ``text`` contains a token the statistics never counted —
+            a document frequency can never go negative, so this always
+            indicates the caller discarding something it never added.
+        """
+        if self._num_documents == 0:
+            raise ValueError("cannot discard from empty TF-IDF statistics")
+        tokens = set(tokenize_value(text))
+        for token in tokens:
+            frequency = self._document_frequency.get(token, 0)
+            if frequency == 0:
+                raise ValueError(
+                    f"cannot discard document: token {token!r} was never added"
+                )
+        self._num_documents -= 1
+        for token in tokens:
+            frequency = self._document_frequency[token]
+            if frequency == 1:
+                del self._document_frequency[token]
+            else:
+                self._document_frequency[token] = frequency - 1
+
     def merge(self, other: "IncrementalTfIdf") -> None:
         """Fold another statistics object (built on disjoint documents) in."""
         self._num_documents += other._num_documents
@@ -189,6 +222,9 @@ class TfIdfVectorizer(IncrementalTfIdf):
         if self._frozen:
             raise self._frozen_error()
         super().add(text)
+
+    def discard(self, text: str) -> None:
+        raise self._frozen_error()
 
     def merge(self, other: IncrementalTfIdf) -> None:
         raise self._frozen_error()

@@ -1,0 +1,144 @@
+"""Tests for the engine's per-commit changed-product feed (ISSUE 5).
+
+The feed is the write side of the serving layer's incremental index
+maintenance: every ingest must emit exactly one event, strictly after
+the commit barrier, naming every cluster the batch touched — on both
+store backends, including replays and listener churn.
+"""
+
+import pytest
+
+from repro.runtime import MemoryCatalogStore, SynthesisEngine
+from repro.runtime.cluster import FencedStoreView, ShardLease
+from repro.synthesis.pipeline import stable_product_id
+
+
+def make_engine(harness, **kwargs):
+    return SynthesisEngine(
+        catalog=harness.corpus.catalog,
+        correspondences=harness.offline_result.correspondences,
+        extractor=harness.extractor,
+        category_classifier=harness.category_classifier,
+        num_shards=4,
+        **kwargs,
+    )
+
+
+def stream(offers, num_batches):
+    size = max(1, (len(offers) + num_batches - 1) // num_batches)
+    return [offers[start : start + size] for start in range(0, len(offers), size)]
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_every_ingest_emits_one_post_commit_event(tiny_harness, tmp_path, backend):
+    store_path = str(tmp_path / "feed.sqlite3") if backend == "sqlite" else None
+    engine = make_engine(tiny_harness, store=backend, store_path=store_path)
+    events = []
+    commit_counts_at_delivery = []
+
+    def listener(event):
+        events.append(event)
+        # Delivered strictly after the barrier: the store's counter
+        # already includes this commit.
+        commit_counts_at_delivery.append(engine.store.commit_count)
+
+    engine.add_commit_listener(listener)
+    batches = stream(tiny_harness.unmatched_offers, 3)
+    reports = [engine.ingest(batch) for batch in batches]
+
+    assert len(events) == len(batches)
+    assert commit_counts_at_delivery == [event.commit_count for event in events]
+    assert [event.commit_count for event in events] == [1, 2, 3]
+    latest = {}
+    for event, report in zip(events, reports):
+        assert event.report is report
+        assert event.num_changed() == report.clusters_touched
+        for cluster_id, product in event.changed:
+            if product is not None:
+                assert product.product_id == stable_product_id(*cluster_id)
+            latest[cluster_id] = product
+    # The newest event per cluster carries exactly the store's
+    # post-commit product object (earlier events carried the since-
+    # replaced generations).
+    for cluster_id, product in latest.items():
+        state = engine.store.get_cluster(cluster_id)
+        assert state is not None
+        assert state.product is product
+    engine.close()
+
+
+def test_replayed_batch_emits_an_empty_event(tiny_harness):
+    engine = make_engine(tiny_harness)
+    events = []
+    engine.add_commit_listener(events.append)
+    batch = tiny_harness.unmatched_offers[:10]
+    engine.ingest(batch)
+    engine.ingest(batch)  # full replay: deduplicated, still committed
+    assert len(events) == 2
+    assert events[1].num_changed() == 0
+    assert events[1].report.offers_duplicate == len(batch)
+    assert events[1].commit_count == 2
+    engine.close()
+
+
+def test_remove_commit_listener_is_idempotent(tiny_harness):
+    engine = make_engine(tiny_harness)
+    events = []
+    engine.add_commit_listener(events.append)
+    engine.ingest(tiny_harness.unmatched_offers[:5])
+    engine.remove_commit_listener(events.append)
+    engine.remove_commit_listener(events.append)  # second removal: no-op
+    engine.ingest(tiny_harness.unmatched_offers[5:10])
+    assert len(events) == 1
+    engine.close()
+
+
+def test_multiple_listeners_see_the_same_event(tiny_harness):
+    engine = make_engine(tiny_harness)
+    first, second = [], []
+    engine.add_commit_listener(first.append)
+    engine.add_commit_listener(second.append)
+    engine.ingest(tiny_harness.unmatched_offers[:5])
+    assert len(first) == len(second) == 1
+    assert first[0] is second[0]
+    engine.close()
+
+
+def test_fenced_view_reports_the_base_stores_commit_count():
+    """A node engine's store view must expose the *shared* snapshot
+    counter, so commit listeners on node engines see real commit ids
+    instead of a forever-zero view-local counter."""
+    base = MemoryCatalogStore()
+    base.bind(4)
+    view = FencedStoreView(base, ShardLease(node_id="node-1"), deferred_commit=True)
+    assert view.commit_count == 0
+    base.commit()
+    base.commit()
+    assert view.commit_count == 2
+    # The deferred-commit view only validates; the counter stays the base's.
+    view.commit()
+    assert view.commit_count == base.commit_count == 2
+
+
+def test_feed_reconstructs_the_catalog(tiny_harness):
+    """Applying every event to a plain dict reproduces products() —
+    the exact contract the serving index builds on."""
+    engine = make_engine(tiny_harness)
+    mirror = {}
+
+    def apply(event):
+        for cluster_id, product in event.changed:
+            if product is None:
+                mirror.pop(cluster_id, None)
+            else:
+                mirror[cluster_id] = product
+
+    engine.add_commit_listener(apply)
+    for batch in stream(tiny_harness.unmatched_offers, 4):
+        engine.ingest(batch)
+    expected = {p.product_id: p for p in engine.products()}
+    rebuilt = {p.product_id: p for p in mirror.values()}
+    assert rebuilt.keys() == expected.keys()
+    for product_id, product in rebuilt.items():
+        assert product is expected[product_id]
+    engine.close()

@@ -1,0 +1,170 @@
+"""Tests for the runtime-serve HTTP endpoints (stdlib client + server).
+
+The server binds an ephemeral port with a hand-built catalog behind a
+:class:`~repro.serving.service.CatalogSearchService`, so these stay
+fast and hermetic: routing, parameter validation, JSON shapes, and the
+error paths.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.model.attributes import Specification
+from repro.model.products import Product
+from repro.serving import CatalogHTTPServer, CatalogIndex, CatalogSearchService
+
+
+def make_product(pid, category, title, pairs=()):
+    return Product(
+        product_id=pid,
+        category_id=category,
+        title=title,
+        specification=Specification(list(pairs)),
+    )
+
+
+PRODUCTS = [
+    make_product(
+        "p-1",
+        "computing.hdd",
+        "Seagate Barracuda 500GB hard drive",
+        [("Brand", "Seagate"), ("Capacity", "500GB")],
+    ),
+    make_product(
+        "p-2",
+        "computing.hdd",
+        "WD Raptor 150GB hard drive",
+        [("Brand", "Western Digital")],
+    ),
+    make_product("p-3", "cameras.digital", "Kodak EasyShare digital camera"),
+]
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    service = CatalogSearchService(CatalogIndex(PRODUCTS))
+    server = CatalogHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def get_json(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def get_error(url):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(url)
+    return excinfo.value.code, json.loads(excinfo.value.read().decode("utf-8"))
+
+
+class TestSearchEndpoint:
+    def test_ranked_search(self, server_url):
+        query = urllib.parse.quote("seagate barracuda")
+        status, payload = get_json(f"{server_url}/search?q={query}&k=2")
+        assert status == 200
+        assert payload["num_results"] >= 1
+        assert payload["results"][0]["product_id"] == "p-1"
+        assert payload["results"][0]["score"] > 0
+        assert payload["top_k"] == 2
+        assert "snapshot_commit_count" in payload
+
+    def test_category_and_attribute_filters(self, server_url):
+        query = urllib.parse.quote("hard drive")
+        attr = urllib.parse.quote("Brand=Seagate")
+        status, payload = get_json(f"{server_url}/search?q={query}&attr={attr}")
+        assert status == 200
+        assert [hit["product_id"] for hit in payload["results"]] == ["p-1"]
+        status, payload = get_json(
+            f"{server_url}/search?q={urllib.parse.quote('digital')}"
+            "&category=cameras.digital"
+        )
+        assert [hit["product_id"] for hit in payload["results"]] == ["p-3"]
+
+    def test_missing_query_is_400(self, server_url):
+        code, payload = get_error(f"{server_url}/search")
+        assert code == 400
+        assert "q" in payload["error"]
+
+    def test_bad_k_is_400(self, server_url):
+        code, payload = get_error(f"{server_url}/search?q=drive&k=banana")
+        assert code == 400
+        assert "k" in payload["error"]
+        code, _ = get_error(f"{server_url}/search?q=drive&k=0")
+        assert code == 400
+        code, _ = get_error(f"{server_url}/search?q=drive&k=100000")
+        assert code == 400
+
+    def test_bad_attr_is_400(self, server_url):
+        code, payload = get_error(f"{server_url}/search?q=drive&attr=notapair")
+        assert code == 400
+        assert "Name=Value" in payload["error"]
+
+
+class TestProductEndpoint:
+    def test_product_lookup(self, server_url):
+        status, payload = get_json(f"{server_url}/product/p-2")
+        assert status == 200
+        assert payload["product_id"] == "p-2"
+        assert payload["title"] == "WD Raptor 150GB hard drive"
+        assert ["Brand", "Western Digital"] in [
+            list(pair) for pair in payload["specification"]
+        ]
+
+    def test_unknown_product_is_404(self, server_url):
+        code, payload = get_error(f"{server_url}/product/p-999")
+        assert code == 404
+        assert "p-999" in payload["error"]
+
+    def test_empty_product_id_is_400(self, server_url):
+        code, _ = get_error(f"{server_url}/product/")
+        assert code == 400
+
+
+class TestStatsAndRouting:
+    def test_stats_shape(self, server_url):
+        status, payload = get_json(f"{server_url}/stats")
+        assert status == 200
+        assert payload["mode"] == "feed"
+        assert payload["index"]["num_products"] == 3
+        assert payload["count_by_category"] == {
+            "cameras.digital": 1,
+            "computing.hdd": 2,
+        }
+        assert payload["queries_served"] >= 1
+
+    def test_unknown_route_is_404(self, server_url):
+        code, payload = get_error(f"{server_url}/nope")
+        assert code == 404
+        assert "/nope" in payload["error"]
+
+    def test_concurrent_queries(self, server_url):
+        """The threading server answers parallel searches consistently."""
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                query = urllib.parse.quote("hard drive")
+                _, payload = get_json(f"{server_url}/search?q={query}")
+                results.append(tuple(hit["product_id"] for hit in payload["results"]))
+            except Exception as error:  # pragma: no cover - diagnostic aid
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(set(results)) == 1
