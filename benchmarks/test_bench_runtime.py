@@ -17,12 +17,13 @@ stream after every batch), asserting the engine's contract:
   tentpole) reproduce the single engine's catalog byte-identically and
   partition the ingest work near-linearly (scaling bound on per-node
   busy time; writes ``BENCH_runtime_cluster_threads.json``);
-* true multi-process clusters (ISSUE 4 tentpole: one OS process per
-  node over a shared WAL file) stay byte-identical and partition the
-  work near-linearly too (writes ``BENCH_runtime_cluster.json`` — the
-  committed artifact the README cites);
 * throughput does not regress by more than 20% against the committed
   ``BENCH_runtime.json`` (regression guard).
+
+The true multi-process cluster benchmark (ISSUE 4/7: one OS process per
+node over a shared WAL file, pipelined commit barrier + hint routing)
+lives in ``test_bench_runtime_cluster.py`` and writes the committed
+``BENCH_runtime_cluster.json`` artifact.
 
 Writes ``BENCH_runtime.json`` (machine-readable result) next to the repo
 root, or into ``$BENCH_OUTPUT_DIR`` when set — CI uploads it as an
@@ -193,55 +194,6 @@ def test_bench_runtime_multinode_scaling(benchmark):
     assert four.scaling_bound >= 2.5, f"4-node scaling bound {four.scaling_bound:.2f}"
     # The routed offers themselves stay balanced after the rebalance.
     assert max(four.node_offers) <= 0.40 * STREAM_OFFERS
-
-
-def test_bench_runtime_multiprocess_scaling(benchmark, tmp_path):
-    """ISSUE 4 tentpole: true multi-process clusters scale the ingest.
-
-    Clusters of 1, 2 and 4 node *processes* over a shared SQLite WAL
-    file absorb the 10k feed-ordered stream.  Asserted on the scaling
-    bound (partitioning quality, machine-independent) and byte-identity;
-    the recorded ``wall_speedup`` is the realised multi-core number and
-    is reported, not asserted — it measures the core count of the box.
-    Writes ``BENCH_runtime_cluster.json``, the committed artifact.
-    """
-    harness = ExperimentHarness(
-        CorpusPreset.SMALL.config(seed=2011).scaled(STREAM_OFFERS / 1200.0)
-    )
-    _ = harness.unmatched_offers
-    _ = harness.offline_result
-    _ = harness.category_classifier
-
-    result = run_once(
-        benchmark,
-        runtime_bench.run_multinode,
-        num_offers=STREAM_OFFERS,
-        num_batches=STREAM_BATCHES,
-        num_shards=16,
-        harness=harness,
-        store_path=str(tmp_path / "bench-proc.sqlite3"),
-        node_counts=(1, 2, 4),
-        mode="processes",
-    )
-    out_dir = os.environ.get("BENCH_OUTPUT_DIR") or _repo_root()
-    result.write_json(os.path.join(out_dir, "BENCH_runtime_cluster.json"))
-    print()
-    print(result.to_text())
-
-    assert result.num_offers == STREAM_OFFERS
-    assert result.mode == "processes"
-    assert result.store == "sqlite"
-    # Every process count reproduces the single engine's catalog exactly.
-    assert result.products_identical
-    two = result.run_for(2)
-    four = result.run_for(4)
-    assert sum(two.node_offers) == STREAM_OFFERS
-    assert sum(four.node_offers) == STREAM_OFFERS
-    assert two.scaling_bound >= 1.4, f"2-process scaling bound {two.scaling_bound:.2f}"
-    assert four.scaling_bound >= 2.5, f"4-process scaling bound {four.scaling_bound:.2f}"
-    assert max(four.node_offers) <= 0.40 * STREAM_OFFERS
-    for entry in result.runs:
-        assert entry.wall_speedup is not None
 
 
 def test_bench_runtime_sqlite_store(benchmark, tmp_path):

@@ -1,0 +1,134 @@
+"""Multi-process cluster benchmark: pipelined ingest beats the engine.
+
+ISSUE 7 tentpole guard.  Clusters of 1, 2 and 4 node *processes* over a
+shared SQLite WAL file absorb the 10k feed-ordered stream with the
+pipelined commit barrier (``pipeline_depth=2``) and hint routing on —
+the configuration that collapses the coordinator's serial fraction.
+Writes ``BENCH_runtime_cluster.json``, the committed artifact the README
+cites.  Asserts:
+
+* every process count reproduces the single engine's catalog
+  byte-identically (hint routing and the pipelined barrier are
+  zero-cost in output space);
+* the scaling bound (total node work over the busiest node) stays
+  near-linear — partitioning quality, machine-independent;
+* ``coordinator_seconds`` is recorded separately from node work, so the
+  serial fraction the tentpole attacks can never silently fold back
+  into ``max_node_seconds``;
+* hint-routing accounting is sane: misroutes are counted and bounded;
+* **wall_speedup > 1.5 at 4 processes** whenever the box has >= 4 cores
+  (the ISSUE 7 acceptance criterion).  On smaller boxes wall-clock
+  measures core count, not this PR, so the guard degrades to a
+  same-machine regression check against the committed JSON (which
+  records ``cpu_count`` for exactly this purpose).
+"""
+
+import json
+import os
+
+from conftest import run_once
+
+from repro.corpus.config import CorpusPreset
+from repro.experiments import runtime_bench
+from repro.experiments.harness import ExperimentHarness
+
+#: Stream size of the headline run (matches the acceptance criterion).
+STREAM_OFFERS = 10_000
+STREAM_BATCHES = 10
+
+#: The ISSUE 7 acceptance bar for the realised 4-process speedup, only
+#: meaningful when the nodes actually get their own cores.
+WALL_SPEEDUP_FLOOR = 1.5
+WALL_SPEEDUP_CORES = 4
+
+#: Same-machine regression guard against the committed artifact (the
+#: fallback when the box is too small for the absolute bar).
+WALL_SPEEDUP_GUARD = 0.8
+
+
+def _repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _committed_result() -> dict:
+    """The committed benchmark JSON (read before this run overwrites it)."""
+    committed_path = os.path.join(_repo_root(), "BENCH_runtime_cluster.json")
+    if not os.path.exists(committed_path):
+        return {}
+    with open(committed_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_bench_runtime_multiprocess_pipelined_scaling(benchmark, tmp_path):
+    committed = _committed_result()
+    harness = ExperimentHarness(
+        CorpusPreset.SMALL.config(seed=2011).scaled(STREAM_OFFERS / 1200.0)
+    )
+    # Materialise setup artefacts outside the measured region.
+    _ = harness.unmatched_offers
+    _ = harness.offline_result
+    _ = harness.category_classifier
+
+    result = run_once(
+        benchmark,
+        runtime_bench.run_multinode,
+        num_offers=STREAM_OFFERS,
+        num_batches=STREAM_BATCHES,
+        num_shards=16,
+        harness=harness,
+        store_path=str(tmp_path / "bench-proc.sqlite3"),
+        node_counts=(1, 2, 4),
+        mode="processes",
+        pipeline_depth=2,
+        hint_routing=True,
+    )
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR") or _repo_root()
+    result.write_json(os.path.join(out_dir, "BENCH_runtime_cluster.json"))
+    print()
+    print(result.to_text())
+
+    assert result.num_offers == STREAM_OFFERS
+    assert result.mode == "processes"
+    assert result.store == "sqlite"
+    assert result.pipeline_depth == 2
+    assert result.hint_routing
+    assert result.cpu_count == os.cpu_count()
+    # Every process count reproduces the single engine's catalog exactly.
+    assert result.products_identical
+    two = result.run_for(2)
+    four = result.run_for(4)
+    assert sum(two.node_offers) == STREAM_OFFERS
+    assert sum(four.node_offers) == STREAM_OFFERS
+    assert two.scaling_bound >= 1.4, f"2-process scaling bound {two.scaling_bound:.2f}"
+    assert four.scaling_bound >= 2.5, f"4-process scaling bound {four.scaling_bound:.2f}"
+    assert max(four.node_offers) <= 0.40 * STREAM_OFFERS
+    # The coordinator's serial fraction is measured on its own, never
+    # folded into node work — and it cannot exceed the cluster's wall.
+    for entry in result.runs:
+        assert 0.0 < entry.coordinator_seconds
+    # Hint routing: misroutes are reconciled, not lost — they are bounded
+    # by the stream and the catalog still came out byte-identical above.
+    assert 0 <= four.misrouted_offers < STREAM_OFFERS
+    assert result.single_engine_seconds > 0.0
+
+    # The tentpole's realised-scaling claim.
+    for entry in result.runs:
+        assert entry.wall_speedup is not None
+    cores = os.cpu_count() or 1
+    if cores >= WALL_SPEEDUP_CORES:
+        assert four.wall_speedup > WALL_SPEEDUP_FLOOR, (
+            f"4-process wall_speedup {four.wall_speedup:.2f} on a {cores}-core box "
+            f"— the pipelined cluster must beat the single engine by >{WALL_SPEEDUP_FLOOR}x"
+        )
+    else:
+        # Not enough cores for the absolute bar: guard against same-
+        # machine regressions instead (see module docstring).
+        committed_runs = {
+            run.get("num_nodes"): run for run in committed.get("runs", ())
+        }
+        committed_four = committed_runs.get(4, {}).get("wall_speedup")
+        if committed_four and committed.get("cpu_count") == cores:
+            assert four.wall_speedup >= WALL_SPEEDUP_GUARD * committed_four, (
+                f"4-process wall_speedup regressed on the same {cores}-core box: "
+                f"{four.wall_speedup:.2f} now vs {committed_four:.2f} committed"
+            )

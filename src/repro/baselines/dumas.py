@@ -97,6 +97,7 @@ class DumasMatcher:
         similarity_cache: Dict[Tuple[str, str], float] = {}
 
         def cached_similarity(value_a: str, value_b: str) -> float:
+            """Memoised SoftTfIdf similarity between two attribute values."""
             key = (value_a, value_b)
             cached = similarity_cache.get(key)
             if cached is None:

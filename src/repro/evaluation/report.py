@@ -39,6 +39,7 @@ def format_table(
             widths[index] = max(widths[index], len(cell))
 
     def render_line(cells: Sequence[str]) -> str:
+        """Pad one row's cells to the computed column widths."""
         return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
 
     lines: List[str] = []

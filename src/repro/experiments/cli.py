@@ -176,6 +176,23 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
     )
     parser.add_argument("--seed", type=int, default=2011, help="corpus RNG seed")
     parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        choices=[1, 2],
+        default=1,
+        metavar="D",
+        help="cluster commit pipelining (with --nodes/--processes): 2 "
+        "overlaps each batch's commit barrier with the next batch's "
+        "routing; 1 (default) commits synchronously",
+    )
+    parser.add_argument(
+        "--hint-routing",
+        action="store_true",
+        help="route cluster batches on cheap category hints and run the "
+        "real classifier on the nodes in parallel (with --nodes/"
+        "--processes); products stay byte-identical",
+    )
+    parser.add_argument(
         "--store",
         choices=["memory", "sqlite"],
         default=None,
@@ -209,6 +226,13 @@ def _parse_runtime_bench_args(argv: Sequence[str]) -> argparse.Namespace:
         parser.error("--nodes and --processes are mutually exclusive")
     if args.resume and (args.nodes > 1 or args.processes > 1):
         parser.error("--resume is a single-engine path; drop --nodes/--processes")
+    if (args.pipeline_depth != 1 or args.hint_routing) and (
+        args.nodes == 1 and args.processes == 1
+    ):
+        parser.error(
+            "--pipeline-depth/--hint-routing are cluster knobs; "
+            "combine them with --nodes or --processes"
+        )
     if args.processes > 1:
         if args.store == "memory":
             parser.error(
@@ -264,6 +288,8 @@ def _run_runtime_bench(argv: Sequence[str]) -> int:
             store_path=args.store_path,
             node_counts=_multinode_counts(max_nodes),
             mode=mode,
+            pipeline_depth=args.pipeline_depth,
+            hint_routing=args.hint_routing,
         )
         print(result.to_text())
         if args.json:

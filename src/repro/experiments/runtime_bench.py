@@ -241,6 +241,7 @@ def run(
     batches = _batches(offers, num_batches)
 
     def build_pipeline() -> ProductSynthesisPipeline:
+        """A fresh batch pipeline over the harness corpus."""
         return ProductSynthesisPipeline(
             catalog=harness.corpus.catalog,
             correspondences=harness.offline_result.correspondences,
@@ -253,6 +254,7 @@ def run(
         engine_store_path: Optional[str],
         delta_refusion: Optional[bool],
     ) -> Tuple[float, List[Product], SynthesisEngine]:
+        """Time one engine configuration over the shared batch stream."""
         clear_text_caches()
         engine = SynthesisEngine(
             catalog=harness.corpus.catalog,
@@ -359,6 +361,13 @@ class MultiNodeRun:
     max_node_seconds: float
     #: Sum of every node's ingest seconds (the total work performed).
     total_node_seconds: float
+    #: Coordinator-side serial overhead: dedup + routing plus commit-
+    #: barrier waits.  The serial fraction pipelining and hint routing
+    #: attack; kept separate from ``max_node_seconds`` so routing cost
+    #: is never mistaken for node work.
+    coordinator_seconds: float = 0.0
+    #: Offers whose routing hint pointed at the wrong node (hint mode).
+    misrouted_offers: int = 0
     #: Offers routed to each node, in node-id order.
     node_offers: List[int] = field(default_factory=list)
     products_identical: bool = False
@@ -383,6 +392,8 @@ class MultiNodeRun:
             "engine_seconds": round(self.engine_seconds, 4),
             "max_node_seconds": round(self.max_node_seconds, 4),
             "total_node_seconds": round(self.total_node_seconds, 4),
+            "coordinator_seconds": round(self.coordinator_seconds, 4),
+            "misrouted_offers": self.misrouted_offers,
             "scaling_bound": round(self.scaling_bound, 3),
             "node_offers": list(self.node_offers),
             "products_identical": self.products_identical,
@@ -408,6 +419,12 @@ class MultiNodeBenchResult:
     #: ``"threads"`` (MultiNodeEngine, shared mirror under a lock) or
     #: ``"processes"`` (MultiProcessEngine, one OS process per node).
     mode: str = "threads"
+    #: Cluster knobs the clusters ran with (see the engines' docs).
+    pipeline_depth: int = 1
+    hint_routing: bool = False
+    #: ``os.cpu_count()`` of the measuring box — realised wall speedup
+    #: is physically bounded by it, so readings travel with it.
+    cpu_count: Optional[int] = None
     runs: List[MultiNodeRun] = field(default_factory=list)
 
     @property
@@ -432,6 +449,9 @@ class MultiNodeBenchResult:
             "seed": self.seed,
             "store": self.store,
             "mode": self.mode,
+            "pipeline_depth": self.pipeline_depth,
+            "hint_routing": self.hint_routing,
+            "cpu_count": self.cpu_count,
             "single_engine_seconds": round(self.single_engine_seconds, 4),
             "products_identical": self.products_identical,
             "runs": [entry.to_dict() for entry in self.runs],
@@ -454,6 +474,11 @@ class MultiNodeBenchResult:
             f"{self.store} store, {self.mode} mode",
             f"  single engine   : {self.single_engine_seconds:8.2f}s",
         ]
+        if self.pipeline_depth != 1 or self.hint_routing:
+            lines.append(
+                f"  knobs: pipeline_depth={self.pipeline_depth}, "
+                f"hint_routing={self.hint_routing}"
+            )
         for entry in self.runs:
             wall = ""
             if entry.wall_speedup is not None:
@@ -461,6 +486,7 @@ class MultiNodeBenchResult:
             lines.append(
                 f"  {entry.num_nodes} node(s)       : busiest {entry.max_node_seconds:6.2f}s "
                 f"of {entry.total_node_seconds:6.2f}s total work, "
+                f"coordinator {entry.coordinator_seconds:5.2f}s, "
                 f"scaling bound {entry.scaling_bound:4.2f}x"
                 f"{wall} "
                 f"(identical: {entry.products_identical})"
@@ -479,6 +505,8 @@ def run_multinode(
     store_path: Optional[str] = None,
     node_counts: Sequence[int] = (1, 2, 4),
     mode: str = "threads",
+    pipeline_depth: int = 1,
+    hint_routing: bool = False,
 ) -> MultiNodeBenchResult:
     """Measure multi-node ingest scaling against a single engine.
 
@@ -509,6 +537,14 @@ def run_multinode(
     coordinator's load-aware reassignment (with its epoch re-fencing and
     store resync) is precisely the mechanism a warm production cluster
     would use.  The rebalance cost is inside the measured region.
+
+    ``pipeline_depth`` and ``hint_routing`` are handed to the clusters
+    verbatim (both facades accept them): depth 2 overlaps each batch's
+    commit barrier with the next batch's routing, and hint routing
+    moves per-offer classification from the coordinator onto the nodes.
+    Products are byte-identical under every combination (asserted per
+    run); the per-run ``coordinator_seconds`` shows the serial overhead
+    they remove.
     """
     if mode not in ("threads", "processes"):
         raise ValueError(f"mode must be 'threads' or 'processes', got {mode!r}")
@@ -563,6 +599,9 @@ def run_multinode(
         seed=seed,
         store="sqlite" if mode == "processes" else store,
         mode=mode,
+        pipeline_depth=pipeline_depth,
+        hint_routing=hint_routing,
+        cpu_count=os.cpu_count(),
         single_engine_seconds=single_engine_seconds,
     )
     for num_nodes in node_counts:
@@ -578,6 +617,8 @@ def run_multinode(
                 num_shards=num_shards,
                 node_executor=executor,
                 store_path=cluster_path,
+                pipeline_depth=pipeline_depth,
+                hint_routing=hint_routing,
                 **pipeline_kwargs,
             )
         else:
@@ -585,6 +626,8 @@ def run_multinode(
                 num_nodes=num_nodes,
                 store=store,
                 store_path=cluster_path,
+                pipeline_depth=pipeline_depth,
+                hint_routing=hint_routing,
                 **engine_kwargs,
             )
         start = time.perf_counter()
@@ -596,6 +639,7 @@ def run_multinode(
         engine_seconds = time.perf_counter() - start
         node_stats = cluster.node_stats()
         transport = cluster.transport_stats()
+        coordinator_seconds = cluster.coordinator_seconds
         cluster.close()
         if cluster_path is not None:
             _remove_sqlite_files(cluster_path)
@@ -606,6 +650,8 @@ def run_multinode(
                 engine_seconds=engine_seconds,
                 max_node_seconds=max(busy) if busy else 0.0,
                 total_node_seconds=sum(busy),
+                coordinator_seconds=coordinator_seconds,
+                misrouted_offers=transport.misrouted_offers,
                 node_offers=[stats.offers_routed for stats in node_stats],
                 products_identical=_product_fingerprint(products) == reference,
                 worker_resyncs=transport.worker_resyncs,

@@ -93,6 +93,7 @@ def run(
     small = [p for p in products if p.num_source_offers() < offer_threshold]
 
     def build_stratum(label: str, subset) -> Table4Stratum:
+        """Evaluate one popularity stratum of the product set."""
         evaluation = harness.oracle.evaluate_products(subset)
         available_pairs = [
             sum(

@@ -132,6 +132,7 @@ class _TreeBuilder(HTMLParser):
     # -- HTMLParser callbacks -------------------------------------------------
 
     def handle_starttag(self, tag: str, attrs) -> None:  # type: ignore[override]
+        """Open a tag, auto-closing siblings that cannot nest under it."""
         tag = tag.lower()
         closes = _IMPLICIT_CLOSERS.get(tag)
         if closes:
@@ -143,11 +144,13 @@ class _TreeBuilder(HTMLParser):
             self._stack.append(node)
 
     def handle_startendtag(self, tag: str, attrs) -> None:  # type: ignore[override]
+        """Add a self-closing element without pushing it on the stack."""
         tag = tag.lower()
         node = DomNode(tag=tag, attributes={name.lower(): (value or "") for name, value in attrs})
         self._stack[-1].add_child(node)
 
     def handle_endtag(self, tag: str) -> None:  # type: ignore[override]
+        """Close the innermost matching open tag, ignoring strays."""
         tag = tag.lower()
         if tag in _VOID_ELEMENTS:
             return
@@ -159,6 +162,7 @@ class _TreeBuilder(HTMLParser):
                 return
 
     def handle_data(self, data: str) -> None:  # type: ignore[override]
+        """Attach non-blank text as a leaf node of the open element."""
         if not data or not data.strip():
             return
         self._stack[-1].add_child(DomNode(tag=None, text=data.strip()))

@@ -34,12 +34,14 @@ class _Standardizer:
 
     @classmethod
     def fit(cls, features: np.ndarray) -> "_Standardizer":
+        """Estimate per-feature mean and scale from the training matrix."""
         mean = features.mean(axis=0)
         scale = features.std(axis=0)
         scale = np.where(scale < 1e-12, 1.0, scale)
         return cls(mean=mean, scale=scale)
 
     def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the fitted standardisation to a feature matrix."""
         return (features - self.mean) / self.scale
 
 

@@ -142,3 +142,20 @@ class MultinomialNaiveBayes:
         posterior = self.posterior(tokens)
         label, probability = max(posterior.items(), key=lambda item: item[1])
         return label, probability
+
+    def dominant_class_by_token(self) -> Dict[str, str]:
+        """token -> the class where the token was observed most often.
+
+        A cheap routing-hint table: looking a token up costs one dict
+        access instead of a full posterior sweep over every class.  Ties
+        break on the lexicographically smallest class label, so the
+        table is deterministic for any training order.
+        """
+        dominant: Dict[str, str] = {}
+        best_count: Dict[str, int] = {}
+        for label in sorted(self._token_counts):
+            for token, count in self._token_counts[label].items():
+                if count > best_count.get(token, 0):
+                    best_count[token] = count
+                    dominant[token] = label
+        return dominant

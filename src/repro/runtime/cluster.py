@@ -80,6 +80,7 @@ __all__ = [
     "ShardLease",
     "FencedStoreView",
     "ShardCoordinator",
+    "CategoryHinter",
     "LoadSkewWatcher",
     "NodeStats",
     "MultiNodeEngine",
@@ -543,6 +544,90 @@ def partition_offers_by_node(
     return routed
 
 
+class CategoryHinter:
+    """Cheap per-offer routing hints derived from the real classifier.
+
+    The full classifier scores every category's posterior for every
+    title — that sweep is the dominant serial cost when a coordinator
+    classifies whole batches before routing them.  A hinter instead
+    looks each title feature up in a precomputed ``feature -> dominant
+    category`` table (:meth:`TitleCategoryClassifier.routing_hints`) and
+    majority-votes, which is an order of magnitude cheaper and needs no
+    model state beyond one dict.
+
+    Hints are allowed to be *wrong*: a cluster coordinator routes on the
+    hint, the receiving node runs the real classifier, and misrouted
+    offers are re-shipped to their true owner before ingest — so hint
+    accuracy only affects transport volume, never the output bytes.
+    """
+
+    def __init__(self, table: Dict[str, str], features) -> None:
+        """Wrap a ``feature -> category`` table and a feature extractor.
+
+        ``features`` may be ``None`` (no trained model): every offer
+        without a pre-assigned category then hints ``None`` and falls
+        back to the coordinator's stable fallback node.
+        """
+        self._table = table
+        self._features = features
+
+    @classmethod
+    def from_classifier(cls, classifier: Optional[TitleCategoryClassifier]) -> "CategoryHinter":
+        """Build a hinter from a classifier; untrained/absent = empty table."""
+        if classifier is None or not classifier.is_trained:
+            return cls({}, None)
+        return cls(classifier.routing_hints(), classifier.routing_features)
+
+    def hint(self, offer: Offer) -> Optional[str]:
+        """Best-effort category guess for ``offer`` (``None`` = no idea).
+
+        Pre-assigned categories are authoritative (the node-side
+        classifier keeps them too, so such hints are always right);
+        otherwise the dominant categories of the title's features vote,
+        ties breaking on the lexicographically smallest category so the
+        guess is deterministic.
+        """
+        if offer.category_id is not None:
+            return offer.category_id
+        if self._features is None:
+            return None
+        votes: Dict[str, int] = {}
+        for feature in self._features(offer.title):
+            category = self._table.get(feature)
+            if category is not None:
+                votes[category] = votes.get(category, 0) + 1
+        if not votes:
+            return None
+        return min(votes.items(), key=lambda item: (-item[1], item[0]))[0]
+
+
+def partition_offers_by_hint(
+    offers: Sequence[Offer],
+    num_shards: int,
+    node_for_shard,
+    fallback_node_id: str,
+    hinter: CategoryHinter,
+) -> Dict[str, List[Tuple[int, Offer]]]:
+    """Group *unclassified* offers by hinted owner, tagging each with its
+    batch position.
+
+    The position tag is what keeps hint routing byte-identical: after
+    nodes classify their hinted sub-batches and re-ship misroutes, every
+    true owner sorts its merged offers by position, recovering exactly
+    the per-node stream order coordinator-side routing would have
+    produced.  Shared by both cluster facades.
+    """
+    routed: Dict[str, List[Tuple[int, Offer]]] = {}
+    for position, offer in enumerate(offers):
+        category = hinter.hint(offer)
+        if category is None:
+            node_id = fallback_node_id
+        else:
+            node_id = node_for_shard(shard_for_category(category, num_shards))
+        routed.setdefault(node_id, []).append((position, offer))
+    return routed
+
+
 class LoadSkewWatcher:
     """Watches per-batch busy-time skew and fires automatic rebalances.
 
@@ -676,6 +761,22 @@ class MultiNodeEngine:
         ``auto_rebalance_patience`` consecutive batches.  ``None``
         (default) keeps rebalancing manual.  Rebalancing never changes
         the synthesized products, only the layout.
+    pipeline_depth:
+        ``1`` (default) commits every batch before ``ingest`` returns —
+        today's semantics.  ``2`` defers the commit barrier of batch N
+        until batch N+1 (or any view/membership call) via :meth:`flush`,
+        the in-process twin of the multi-process engine's pipelined
+        commit window.  Products are byte-identical either way.
+    hint_routing:
+        Route each batch on a cheap :class:`CategoryHinter` guess and
+        run the real classifier on the nodes instead of the
+        coordinator, re-shipping misrouted offers to their true owner
+        before ingest (position-tagged, so per-node stream order — and
+        therefore every output byte — is preserved).  In this
+        in-process facade the "node-side" classification still runs on
+        the coordinator thread; the knob exists so equivalence tests
+        can pin the routing protocol itself against coordinator-side
+        classification.
 
     The ``executor`` argument is built *per node* when given as a name,
     so ``executor="process"`` gives every node its own worker pool.
@@ -702,11 +803,15 @@ class MultiNodeEngine:
         auto_recover: bool = True,
         auto_rebalance_skew: Optional[float] = None,
         auto_rebalance_patience: int = 2,
+        pipeline_depth: int = 1,
+        hint_routing: bool = False,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if pipeline_depth not in (1, 2):
+            raise ValueError(f"pipeline_depth must be 1 or 2, got {pipeline_depth}")
         self._classifier = category_classifier
         self._engine_kwargs = dict(
             catalog=catalog,
@@ -737,6 +842,15 @@ class MultiNodeEngine:
         self._nodes: Dict[str, _EngineNode] = {}
         self._node_counter = itertools.count(1)
         self._retired_transport = TransportStats()
+        self._pipeline_depth = pipeline_depth
+        self._hint_routing = hint_routing
+        self._hinter: Optional[CategoryHinter] = None
+        self._pending_commit = False
+        # Coordinator-side accounting: misroute counters for hint mode,
+        # and the routing / barrier-wait split the cluster bench reports.
+        self._coordinator_transport = TransportStats()
+        self._routing_seconds = 0.0
+        self._barrier_seconds = 0.0
         self._closed = False
         # Bootstrap membership in one layout pass: registering the nodes
         # first and granting shards once avoids fencing every shard
@@ -783,6 +897,7 @@ class MultiNodeEngine:
         """
         if node_id is None:
             node_id = f"node-{next(self._node_counter)}"
+        self.flush()
         lease = self._coordinator.register_node(node_id, rebalance=not defer_layout)
         view = FencedStoreView(self._store, lease, self._lock, deferred_commit=True)
         engine = SynthesisEngine(num_shards=self._num_shards, store=view, **self._engine_kwargs)
@@ -796,6 +911,7 @@ class MultiNodeEngine:
             raise RuntimeError(
                 f"cannot retire {node_id!r}: it is the last node of the cluster"
             )
+        self.flush()
         node = self._nodes.pop(node_id)
         self._coordinator.retire_node(node_id, fence=fence)
         self._retired_transport.merge(node.engine.transport_stats())
@@ -831,6 +947,7 @@ class MultiNodeEngine:
         Moved shards are re-fenced and their new owners resync through
         the delta protocol, exactly like a membership handoff.
         """
+        self.flush()
         if loads is None:
             loads = {}
             for _, state in self._store.iter_clusters():
@@ -852,6 +969,59 @@ class MultiNodeEngine:
             fallback_node_id=self.node_ids()[0],
         )
 
+    def _hint_route(self, fresh: Sequence[Offer]) -> Dict[str, List[Offer]]:
+        """Route ``fresh`` via hints, classifying on the hinted nodes.
+
+        The in-process emulation of the multi-process classify round:
+        each hinted node runs the real classifier over its guessed
+        sub-batch (billed to that node's busy time), misroutes are
+        counted and re-homed, and every true owner's final sub-batch is
+        re-sorted by batch position — byte-identical placement and order
+        to coordinator-side classification.
+        """
+        if any(offer.category_id is None for offer in fresh) and (
+            self._classifier is None or not self._classifier.is_trained
+        ):
+            # Same error contract as assign_routing_categories — checked
+            # up front so no node sees a half-routed batch.
+            raise ValueError(
+                "offers without a category require a trained category classifier"
+            )
+        if self._hinter is None:
+            self._hinter = CategoryHinter.from_classifier(self._classifier)
+        fallback = self.node_ids()[0]
+        hinted = partition_offers_by_hint(
+            fresh, self._num_shards, self._coordinator.node_for_shard, fallback, self._hinter
+        )
+        merged: Dict[str, List[Tuple[int, Offer]]] = {}
+        for node_id in sorted(hinted):
+            node = self._nodes[node_id]
+            started = time.perf_counter()
+            categorised = node.engine.classify_offers(
+                [offer for _, offer in hinted[node_id]]
+            )
+            node.busy_seconds += time.perf_counter() - started
+            for (position, _), offer in zip(hinted[node_id], categorised):
+                if offer.category_id is None:
+                    owner = fallback
+                else:
+                    owner = self._coordinator.node_for_shard(
+                        shard_for_category(offer.category_id, self._num_shards)
+                    )
+                if owner != node_id:
+                    self._coordinator_transport.misrouted_offers += 1
+                merged.setdefault(owner, []).append((position, offer))
+        return {
+            node_id: [offer for _, offer in sorted(items, key=lambda item: item[0])]
+            for node_id, items in merged.items()
+        }
+
+    def _route(self, fresh: Sequence[Offer]) -> Dict[str, List[Offer]]:
+        """One batch's node -> fully-categorised sub-batch map."""
+        if self._hint_routing:
+            return self._hint_route(fresh)
+        return self._partition(self._route_categories(fresh))
+
     # -- ingest ----------------------------------------------------------------
 
     def ingest(self, offers: Sequence[Offer]) -> IngestReport:
@@ -870,6 +1040,12 @@ class MultiNodeEngine:
                 "(reopen the store path with a new cluster to resume)"
             )
         self._closed = False
+        # A deferred commit from the previous pipelined batch must land
+        # before this batch mutates the store: crash recovery rolls back
+        # to the last commit barrier, and that barrier must never
+        # straddle two batches.
+        self.flush()
+        routing_started = time.perf_counter()
         fresh: List[Offer] = []
         batch_ids = set()
         for offer in offers:
@@ -878,16 +1054,22 @@ class MultiNodeEngine:
             batch_ids.add(offer.offer_id)
             fresh.append(offer)
         report.offers_duplicate = report.offers_in_batch - len(fresh)
+        self._routing_seconds += time.perf_counter() - routing_started
         if not fresh:
             self._store.commit()
             return report
 
-        categorised = self._route_categories(fresh)
         busy_before = {node_id: node.busy_seconds for node_id, node in self._nodes.items()}
         attempts = 0
         while True:
             try:
-                node_reports = self._dispatch(categorised)
+                # Routing sits inside the retry loop: a recovery replay
+                # re-routes against the post-fence layout (deterministic,
+                # so an un-fenced replay routes identically).
+                routing_started = time.perf_counter()
+                routed = self._route(fresh)
+                self._routing_seconds += time.perf_counter() - routing_started
+                node_reports = self._dispatch(routed)
                 break
             except _NodeFailure as failure:
                 attempts += 1
@@ -924,14 +1106,43 @@ class MultiNodeEngine:
         # flush is a *store* failure, not a node crash: fencing cannot
         # help, so discard the batch (where the backend allows it) and
         # surface the error — the caller may then retry the whole batch.
+        # At pipeline_depth 2 the barrier is deferred to the next batch
+        # (or the next view/membership call) via :meth:`flush`.
+        if self._pipeline_depth > 1:
+            self._pending_commit = True
+        else:
+            barrier_started = time.perf_counter()
+            try:
+                self._store.commit()
+            except Exception:
+                if self._store.supports_rollback and not self._store.closed:
+                    self._store.rollback()
+                raise
+            finally:
+                self._barrier_seconds += time.perf_counter() - barrier_started
+        self._maybe_auto_rebalance(busy_before)
+        return report
+
+    def flush(self) -> None:
+        """Land the deferred commit barrier of a pipelined batch.
+
+        No-op unless ``pipeline_depth`` is 2 and a batch is pending.
+        Runs at the start of the next ingest and before any view or
+        membership operation, so the deferred window is invisible to
+        callers — reads always observe fully committed state.
+        """
+        if not self._pending_commit:
+            return
+        self._pending_commit = False
+        barrier_started = time.perf_counter()
         try:
             self._store.commit()
         except Exception:
             if self._store.supports_rollback and not self._store.closed:
                 self._store.rollback()
             raise
-        self._maybe_auto_rebalance(busy_before)
-        return report
+        finally:
+            self._barrier_seconds += time.perf_counter() - barrier_started
 
     def _maybe_auto_rebalance(self, busy_before: Dict[str, float]) -> None:
         """Feed the skew watcher one batch; rebalance when it fires.
@@ -962,9 +1173,8 @@ class MultiNodeEngine:
             # recovery replay never double-counts offers.
             node.busy_seconds += time.perf_counter() - started
 
-    def _dispatch(self, categorised: Sequence[Offer]) -> List[IngestReport]:
-        """Run one batch's sub-batches on their nodes; first failure wins."""
-        routed = self._partition(categorised)
+    def _dispatch(self, routed: Dict[str, List[Offer]]) -> List[IngestReport]:
+        """Run one batch's routed sub-batches on their nodes; first failure wins."""
         ordered = [(node_id, routed[node_id]) for node_id in sorted(routed)]
         if not self._concurrent or len(ordered) == 1:
             results = [
@@ -1000,18 +1210,22 @@ class MultiNodeEngine:
 
     def products(self) -> List[Product]:
         """All current synthesized products (same order as a single engine)."""
+        self.flush()
         return self._store.sorted_products()
 
     def num_clusters(self) -> int:
         """Number of clusters tracked so far (including sub-threshold ones)."""
+        self.flush()
         return self._store.num_clusters()
 
     def category_statistics(self, category_id: str) -> Optional[IncrementalTfIdf]:
         """The incremental TF-IDF statistics of one category (or ``None``)."""
+        self.flush()
         return self._store.category_stats(category_id)
 
     def snapshot(self) -> EngineSnapshot:
         """A consistent summary of everything ingested so far."""
+        self.flush()
         return EngineSnapshot(
             products=self.products(),
             num_clusters=self.num_clusters(),
@@ -1025,9 +1239,25 @@ class MultiNodeEngine:
         """Cluster-wide executor-payload accounting (all nodes, ever)."""
         merged = TransportStats()
         merged.merge(self._retired_transport)
+        merged.merge(self._coordinator_transport)
         for node in self._nodes.values():
             merged.merge(node.engine.transport_stats())
         return merged
+
+    @property
+    def routing_seconds(self) -> float:
+        """Coordinator time spent deduplicating and routing batches."""
+        return self._routing_seconds
+
+    @property
+    def barrier_wait_seconds(self) -> float:
+        """Coordinator time spent waiting on commit barriers."""
+        return self._barrier_seconds
+
+    @property
+    def coordinator_seconds(self) -> float:
+        """Total serial coordinator overhead (routing + barrier waits)."""
+        return self._routing_seconds + self._barrier_seconds
 
     def node_stats(self) -> List[NodeStats]:
         """Per-node routing/timing accounting, in node-id order."""
@@ -1049,6 +1279,8 @@ class MultiNodeEngine:
         if self._closed:
             return
         self._closed = True
+        if not self._store.closed:
+            self.flush()
         for node in self._nodes.values():
             node.engine.release_workers()
         if self._owns_store:

@@ -121,6 +121,17 @@ class TransportStats:
     worker_resyncs: int = 0
     #: Clusters re-shipped in full after a worker reported them missing.
     full_retries: int = 0
+    #: Pipe-protocol frames a cluster coordinator sent to its nodes.
+    frames_sent: int = 0
+    #: Pipe-protocol frames a cluster coordinator received from nodes.
+    frames_received: int = 0
+    #: Serialized payload bytes of the sent frames.
+    frame_bytes_sent: int = 0
+    #: Serialized payload bytes of the received frames.
+    frame_bytes_received: int = 0
+    #: Offers whose routing hint pointed at the wrong node and that were
+    #: re-shipped to their true owner at the classification barrier.
+    misrouted_offers: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """JSON-compatible summary."""
@@ -131,6 +142,11 @@ class TransportStats:
             "offers_shipped": self.offers_shipped,
             "worker_resyncs": self.worker_resyncs,
             "full_retries": self.full_retries,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "frame_bytes_sent": self.frame_bytes_sent,
+            "frame_bytes_received": self.frame_bytes_received,
+            "misrouted_offers": self.misrouted_offers,
         }
 
     def merge(self, other: "TransportStats") -> None:
@@ -145,6 +161,11 @@ class TransportStats:
         self.offers_shipped += other.offers_shipped
         self.worker_resyncs += other.worker_resyncs
         self.full_retries += other.full_retries
+        self.frames_sent += other.frames_sent
+        self.frames_received += other.frames_received
+        self.frame_bytes_sent += other.frame_bytes_sent
+        self.frame_bytes_received += other.frame_bytes_received
+        self.misrouted_offers += other.misrouted_offers
 
 
 @dataclass

@@ -358,6 +358,19 @@ class SynthesisEngine:
         self._notify_commit(report, list(pending))
         return report
 
+    def classify_offers(self, offers: Sequence[Offer]) -> List[Offer]:
+        """Run only the category-assignment stage over ``offers``.
+
+        Exactly the classification :meth:`ingest` would perform — offers
+        already carrying a category keep it, the rest are classified by
+        title — with no store writes and no other pipeline stages.
+        Cluster nodes use this to classify hint-routed offers locally, so
+        a coordinator can route on a cheap hint and still hand every node
+        a fully-categorised sub-batch whose later ingest is byte-identical
+        to coordinator-side classification.
+        """
+        return self._pipeline._assign_categories(list(offers))
+
     def _extract_specifications(self, offers: Sequence[Offer]) -> List[Offer]:
         """Extract landing-page specifications for offers that need them.
 

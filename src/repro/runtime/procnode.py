@@ -19,14 +19,35 @@ across nodes):
     — all mutations land in the store's *journal*, nothing touches the
     file — and answers with a ``vote``: its ingest report, busy time and
     transport counters on success, the error otherwise.
+``classify`` / ``apply``
+    The hint-routing rounds (``hint_routing=True``): the coordinator
+    routes each batch on a cheap :class:`~repro.runtime.cluster.CategoryHinter`
+    guess, and the *nodes* run the real classifier in parallel —
+    removing per-offer classification from the coordinator's serial
+    path.  ``classify`` ships a hinted, position-tagged sub-batch; the
+    node classifies it, retains what it truly owns and answers with the
+    misrouted remainder.  ``apply`` delivers every misroute to its true
+    owner, which merges retained + incoming offers back into original
+    batch order and ingests — so placement and order (and therefore
+    every output byte) match coordinator-side classification exactly.
 ``commit`` / ``abort``
     The cluster commit barrier.  When every involved node voted ready,
-    the coordinator tells them to flush their journals (each node's
-    flush is one SQLite transaction; WAL + busy timeouts serialise the
-    concurrent writers).  Any failed or dead node instead aborts the
-    others: they roll their journals away and rebuild their mirrors
-    from the last barrier, the coordinator fences the failure, and the
-    whole batch replays on the survivors.
+    the coordinator durably records a *commit intent* (the batch's
+    offers, pickled into the store) and tells the voters to flush their
+    journals (each node's flush is one SQLite transaction; WAL + busy
+    timeouts serialise the concurrent writers).  Any failed or dead
+    node instead aborts the others: they roll their journals away and
+    rebuild their mirrors from the last barrier, the coordinator fences
+    the failure, and the whole batch replays on the survivors.  With
+    ``pipeline_depth=2`` the coordinator does not wait for the flush
+    acks: it returns to the caller and collects them at the *next*
+    ingest, overlapping batch N's node-side flushes with batch N+1's
+    coordinator-side dedup and routing.  A death discovered at the
+    barrier is replayed from the intent (only the offers the file does
+    not already hold), and a coordinator that dies mid-barrier leaves
+    the intent behind — a reopened cluster replays it on startup, so
+    the once-fatal "commit barrier failed partway" state is now
+    self-healing.
 ``lease``
     Fence/handoff: the new epoch map of the node, plus the shards it
     just gained and must reload from the file
@@ -60,6 +81,7 @@ import itertools
 import multiprocessing
 import multiprocessing.connection
 import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -70,17 +92,20 @@ from repro.model.catalog import Catalog
 from repro.model.offers import Offer
 from repro.model.products import Product
 from repro.runtime.cluster import (
+    CategoryHinter,
     FencedStoreView,
     LoadSkewWatcher,
     NodeStats,
     ShardCoordinator,
     ShardLease,
     assign_routing_categories,
+    partition_offers_by_hint,
     partition_offers_by_node,
 )
 from repro.runtime.delta import TransportStats
 from repro.runtime.engine import EngineSnapshot, IngestReport, SynthesisEngine
 from repro.runtime.executors import ShardExecutor
+from repro.runtime.sharding import shard_for_category
 from repro.runtime.store.sqlite import SqliteCatalogStore
 from repro.synthesis.category_classifier import TitleCategoryClassifier
 from repro.synthesis.clustering import KeyAttributeClusterer
@@ -156,37 +181,79 @@ def _node_main(
     lease = ShardLease(node_id=node_id, epochs=dict(epochs))
     view = FencedStoreView(store, lease, deferred_commit=True)
     engine = SynthesisEngine(num_shards=num_shards, store=view, **engine_kwargs)
+    # Offers retained from a hint-routing ``classify`` round, position-
+    # tagged; the following ``apply`` merges them with incoming
+    # misroutes and ingests.  An ``abort`` discards them with the
+    # journal.
+    classify_buffer: List[Tuple[int, Offer]] = []
+
+    def ingest_vote(sub_batch: Sequence[Offer]) -> NodeVote:
+        """Ingest one routed sub-batch and build the vote reply."""
+        started = time.perf_counter()
+        try:
+            report = engine.ingest(sub_batch)
+        except Exception as exc:  # noqa: BLE001 - shipped to coordinator
+            return NodeVote(
+                ready=False,
+                error=repr(exc),
+                busy_seconds=time.perf_counter() - started,
+                transport=engine.transport_stats(),
+            )
+        return NodeVote(
+            ready=True,
+            report=report,
+            busy_seconds=time.perf_counter() - started,
+            transport=engine.transport_stats(),
+        )
+
     try:
         while True:
             kind, payload = channel.recv()
             if kind == "ingest":
+                channel.send(("vote", ingest_vote(payload)))
+            elif kind == "classify":
                 started = time.perf_counter()
                 try:
-                    report = engine.ingest(payload)
+                    positioned = payload["offers"]
+                    assignment = payload["assignment"]
+                    fallback = payload["fallback"]
+                    categorised = engine.classify_offers(
+                        [offer for _, offer in positioned]
+                    )
+                    owned: List[Tuple[int, Offer]] = []
+                    outgoing: Dict[str, List[Tuple[int, Offer]]] = {}
+                    for (position, _), offer in zip(positioned, categorised):
+                        if offer.category_id is None:
+                            destination = fallback
+                        else:
+                            destination = assignment[
+                                shard_for_category(offer.category_id, num_shards)
+                            ]
+                        if destination == node_id:
+                            owned.append((position, offer))
+                        else:
+                            outgoing.setdefault(destination, []).append(
+                                (position, offer)
+                            )
                 except Exception as exc:  # noqa: BLE001 - shipped to coordinator
-                    channel.send(
-                        (
-                            "vote",
-                            NodeVote(
-                                ready=False,
-                                error=repr(exc),
-                                busy_seconds=time.perf_counter() - started,
-                                transport=engine.transport_stats(),
-                            ),
-                        )
-                    )
+                    classify_buffer = []
+                    channel.send(("classify-error", repr(exc)))
                 else:
+                    classify_buffer = owned
                     channel.send(
                         (
-                            "vote",
-                            NodeVote(
-                                ready=True,
-                                report=report,
-                                busy_seconds=time.perf_counter() - started,
-                                transport=engine.transport_stats(),
-                            ),
+                            "classified",
+                            {
+                                "outgoing": outgoing,
+                                "busy_seconds": time.perf_counter() - started,
+                            },
                         )
                     )
+            elif kind == "apply":
+                merged = classify_buffer + list(payload["incoming"])
+                classify_buffer = []
+                merged.sort(key=lambda item: item[0])
+                channel.send(("vote", ingest_vote([offer for _, offer in merged])))
             elif kind == "commit":
                 try:
                     view.validate_lease()
@@ -197,6 +264,7 @@ def _node_main(
                     channel.send(("committed", None))
             elif kind == "abort":
                 store.rollback()
+                classify_buffer = []
                 channel.send(("aborted", None))
             elif kind == "lease":
                 lease.epochs.clear()
@@ -238,6 +306,7 @@ def _arm_fault(
     remaining = {"count": countdown}
 
     def hook(name: str) -> None:
+        """Fail (hard or soft) at the armed store operation."""
         if name != operation:
             return
         remaining["count"] -= 1
@@ -268,7 +337,11 @@ class ProcessNode:
     Owns the process object and the coordinator's end of the pipe, plus
     the routing/timing accounting the facade reports.  All protocol I/O
     funnels through :meth:`send` / :meth:`recv`, which translate a dead
-    or silent process into :class:`NodeDeadError`.
+    or silent process into :class:`NodeDeadError`.  Each message
+    travels as one explicitly pickled frame, and every frame and its
+    payload bytes are counted into ``pipe_stats`` — the engine-level
+    :class:`~repro.runtime.delta.TransportStats` that makes the pipe
+    protocol's cost measurable (and regressions visible).
     """
 
     def __init__(
@@ -281,12 +354,15 @@ class ProcessNode:
         context: multiprocessing.context.BaseContext,
         timeout: float,
         sibling_channels: Sequence[multiprocessing.connection.Connection] = (),
+        pipe_stats: Optional[TransportStats] = None,
     ) -> None:
         """Spawn the node process with its initial lease epochs.
 
         ``sibling_channels`` — the coordinator-side pipe ends of nodes
         that already exist — travel to the child only so it can close
         its inherited duplicates (see :func:`_node_main`).
+        ``pipe_stats`` is the frame-accounting sink, usually shared by
+        every node of one engine; a private one is made when omitted.
         """
         self.node_id = node_id
         self.lease = lease
@@ -294,6 +370,7 @@ class ProcessNode:
         self.batches = 0
         self.busy_seconds = 0.0
         self.transport = TransportStats()
+        self.pipe_stats = pipe_stats if pipe_stats is not None else TransportStats()
         self._timeout = timeout
         parent_end, child_end = context.Pipe(duplex=True)
         self._channel = parent_end
@@ -333,22 +410,35 @@ class ProcessNode:
         return self._process.pid
 
     def send(self, kind: str, payload: object = None) -> None:
-        """Ship one protocol message; raises :class:`NodeDeadError`."""
+        """Ship one protocol message as one pickled frame.
+
+        The whole message is serialized here (highest pickle protocol)
+        and written with ``send_bytes`` — a single frame whose size is
+        known and counted, rather than whatever the connection's
+        implicit pickler produces.  Raises :class:`NodeDeadError` when
+        the process is gone.
+        """
+        frame = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
         try:
-            self._channel.send((kind, payload))
+            self._channel.send_bytes(frame)
         except (BrokenPipeError, OSError) as exc:
             raise NodeDeadError(self.node_id, f"send failed: {exc!r}") from exc
+        self.pipe_stats.frames_sent += 1
+        self.pipe_stats.frame_bytes_sent += len(frame)
 
     def recv(self) -> Tuple[str, object]:
-        """Await one reply; raises :class:`NodeDeadError` on death/timeout."""
+        """Await one reply frame; raises :class:`NodeDeadError` on death/timeout."""
         try:
             if not self._channel.poll(self._timeout):
                 raise NodeDeadError(
                     self.node_id, f"no reply within {self._timeout:.0f}s"
                 )
-            return self._channel.recv()
+            frame = self._channel.recv_bytes()
         except (EOFError, ConnectionResetError, BrokenPipeError, OSError) as exc:
             raise NodeDeadError(self.node_id, f"connection lost: {exc!r}") from exc
+        self.pipe_stats.frames_received += 1
+        self.pipe_stats.frame_bytes_received += len(frame)
+        return pickle.loads(frame)
 
     def request(self, kind: str, payload: object = None) -> object:
         """Send one message and await its reply, checking the reply kind.
@@ -379,6 +469,20 @@ class ProcessNode:
         self._process.join(timeout=10)
 
 
+@dataclass
+class _CommitWindow:
+    """An in-flight pipelined commit round (batch N's barrier).
+
+    Held by the coordinator between the fire-and-forget ``commit``
+    fan-out and the ack collection at the next ingest (or any view /
+    membership call).  ``offers`` keeps the batch's fresh offers so a
+    node death discovered at the drain can be replayed precisely.
+    """
+
+    node_ids: List[str]
+    offers: List[Offer]
+
+
 class MultiProcessEngine:
     """N synthesis engines in N OS processes over one shared WAL store.
 
@@ -393,12 +497,15 @@ class MultiProcessEngine:
       process — no shared mirror, no cluster lock, true multi-core
       ingest;
     * the commit barrier is a vote/commit message round instead of one
-      in-process flush.  A node that dies before voting costs nothing
-      (its journal dies with it); recovery aborts the survivors, fences
-      the dead node and replays the batch.  A failure *during* the
-      commit round (after some nodes flushed) is surfaced as
-      :class:`RuntimeError` — re-open the store to resume from its
-      consistent last barrier.
+      in-process flush, preceded by a durable *commit intent* in the
+      shared file.  A node that dies before voting costs nothing (its
+      journal dies with it); recovery aborts the survivors, fences the
+      dead node and replays the batch.  A failure *during* the commit
+      round (after some nodes flushed) is replayed from the intent when
+      ``auto_recover`` holds — only the offers the file does not already
+      hold are re-dispatched — and a coordinator crash at that point
+      leaves the intent behind for the next cluster opened over the
+      same store path to replay on startup.
 
     Parameters mirror :class:`~repro.runtime.cluster.MultiNodeEngine`
     where they overlap; the process-specific ones:
@@ -411,6 +518,22 @@ class MultiProcessEngine:
         spawn worker-pool children.
     node_timeout:
         Seconds to wait for a node's reply before declaring it dead.
+    pipeline_depth:
+        ``1`` (default) waits for every commit ack before ``ingest``
+        returns — today's semantics.  ``2`` pipelines: ``ingest``
+        returns once the nodes voted and the commit was sent, and the
+        acks are collected at the start of the *next* ingest — so batch
+        N's node-side SQLite flushes overlap batch N+1's coordinator-
+        side dedup and routing.  Any view or membership call first
+        drains the open window (:meth:`flush`), so reads always observe
+        fully committed state and products stay byte-identical.
+    hint_routing:
+        Route each batch on a cheap :class:`~repro.runtime.cluster.CategoryHinter`
+        guess and run the real per-offer classification on the nodes,
+        in parallel, instead of on the coordinator (the dominant serial
+        routing cost).  Misrouted offers are re-shipped to their true
+        owner before ingest with their batch positions, so per-node
+        order — and every output byte — matches coordinator routing.
     """
 
     def __init__(
@@ -433,12 +556,21 @@ class MultiProcessEngine:
         auto_rebalance_skew: Optional[float] = None,
         auto_rebalance_patience: int = 2,
         node_timeout: float = 300.0,
+        pipeline_depth: int = 1,
+        hint_routing: bool = False,
     ) -> None:
-        """Open the shared store, compute the layout, spawn the nodes."""
+        """Open the shared store, compute the layout, spawn the nodes.
+
+        Replays a pending commit intent (a previous coordinator died
+        mid-barrier over this store path) before returning, so the
+        resumed catalog equals an uninterrupted run's.
+        """
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if pipeline_depth not in (1, 2):
+            raise ValueError(f"pipeline_depth must be 1 or 2, got {pipeline_depth}")
         if store_path is None:
             raise ValueError(
                 "MultiProcessEngine requires store_path: the shared WAL "
@@ -495,6 +627,17 @@ class MultiProcessEngine:
         self._seen = set()
         self._dirty = False
         self._closed = False
+        self._pipeline_depth = pipeline_depth
+        self._hint_routing = hint_routing
+        self._hinter: Optional[CategoryHinter] = None
+        # Frame accounting shared by every node handle, plus the batch
+        # sequence for commit intents, the open pipelined commit window,
+        # and the coordinator's serial-overhead split for the bench.
+        self._pipe_stats = TransportStats()
+        self._batch_counter = itertools.count(1)
+        self._window: Optional[_CommitWindow] = None
+        self._routing_seconds = 0.0
+        self._barrier_seconds = 0.0
         # One layout pass for the whole initial membership, then spawn
         # each node with its final epochs.
         node_ids = [f"node-{next(self._node_counter)}" for _ in range(num_nodes)]
@@ -503,6 +646,12 @@ class MultiProcessEngine:
         self._coordinator.apply_layout()
         for node_id in node_ids:
             self._spawn(node_id)
+        pending = self._store.pending_commit_intent()
+        if pending is not None:
+            # A previous coordinator died between vote and barrier; its
+            # intent names the batch.  Replay is idempotent — only the
+            # offers absent from the file are re-dispatched.
+            self._replay_offers(pickle.loads(pending[1]))
 
     def _spawn(self, node_id: str) -> ProcessNode:
         """Start the node process for an already-registered lease."""
@@ -515,6 +664,7 @@ class MultiProcessEngine:
             context=self._context,
             timeout=self._timeout,
             sibling_channels=[peer.channel for peer in self._nodes.values()],
+            pipe_stats=self._pipe_stats,
         )
         self._nodes[node_id] = node
         return node
@@ -600,6 +750,7 @@ class MultiProcessEngine:
         the surviving nodes just learn their shrunken leases.
         """
         self._ensure_open()
+        self._drain_window()
         if node_id is None:
             node_id = f"node-{next(self._node_counter)}"
         before = self._coordinator.assignment()
@@ -639,6 +790,7 @@ class MultiProcessEngine:
         write rejection), exactly as :meth:`fence_node`.
         """
         self._ensure_open()
+        self._drain_window()
         node = self._retire(node_id)
         graceful = True
         try:
@@ -662,6 +814,11 @@ class MultiProcessEngine:
         """
         if node_id not in self._nodes:
             raise ValueError(f"node {node_id!r} is not a cluster member")
+        # Drain first: surviving nodes must not have a commit ack in
+        # flight when the fence's lease pushes expect lease replies.  If
+        # the drain's own recovery already fenced the target, the fence
+        # below is a no-op.
+        self._drain_window()
         self._fence_unreachable([node_id])
 
     def kill_node(self, node_id: str) -> None:
@@ -690,6 +847,7 @@ class MultiProcessEngine:
         """
         if node_id not in self._nodes:
             raise ValueError(f"node {node_id!r} is not a cluster member")
+        self._drain_window()
         self._nodes[node_id].request(
             "crash", {"operation": operation, "countdown": countdown, "hard": hard}
         )
@@ -704,6 +862,7 @@ class MultiProcessEngine:
         file, exactly like a membership handoff.
         """
         self._ensure_open()
+        self._drain_window()
         if loads is None:
             self._refresh_if_dirty()
             loads = {}
@@ -743,17 +902,24 @@ class MultiProcessEngine:
         """Absorb one micro-batch across the node processes.
 
         Same contract as the single engine's ``ingest``: idempotent per
-        offer id, one commit barrier at the end.  A node that dies
+        offer id, one commit barrier per batch.  A node that dies
         before voting (killed, crashed, engine error) triggers recovery
         when ``auto_recover`` holds: survivors abort (journals dropped,
         mirrors rebuilt from the last barrier), the dead node is fenced,
         and the batch replays on the new layout — products stay
-        byte-identical to an uninterrupted run.  Raises the node-side
-        error when recovery is disabled or impossible, and
-        :class:`RuntimeError` if the commit round itself fails partway.
+        byte-identical to an uninterrupted run.  A failure *at* the
+        barrier replays from the durable commit intent (only what the
+        file does not hold).  Raises the node-side error when recovery
+        is disabled or impossible.
+
+        With ``pipeline_depth=2`` the previous batch's commit acks are
+        collected here, *after* this batch's dedup and routing — the
+        overlap that hides the coordinator's serial work behind the
+        nodes' flushes.
         """
         self._ensure_open()
         report = IngestReport(offers_in_batch=len(offers))
+        routing_started = time.perf_counter()
         fresh: List[Offer] = []
         batch_ids = set()
         for offer in offers:
@@ -766,25 +932,23 @@ class MultiProcessEngine:
             batch_ids.add(offer.offer_id)
             fresh.append(offer)
         report.offers_duplicate = report.offers_in_batch - len(fresh)
+        self._routing_seconds += time.perf_counter() - routing_started
         if not fresh:
             return report
 
-        categorised = self._route_categories(fresh)
-        attempts = 0
-        max_attempts = len(self._nodes) + 1
-        while True:
-            try:
-                votes = self._dispatch_batch(categorised)
-                break
-            except _BatchFailure as failure:
-                attempts += 1
-                if (
-                    not self._auto_recover
-                    or len(self._nodes) <= 1
-                    or attempts >= max_attempts
-                ):
-                    raise failure.cause
-                self.fence_node(failure.node_id)
+        categorised: Optional[List[Offer]] = None
+        if not self._hint_routing:
+            # Classify before draining the previous batch's commit
+            # window: this is the pipelining overlap — the per-offer
+            # classification sweep runs while the nodes flush.  (In
+            # hint mode there is nothing heavy to overlap here; the
+            # partition is a dict lookup per offer and classification
+            # itself runs on the nodes.)
+            routing_started = time.perf_counter()
+            categorised = self._route_categories(fresh)
+            self._routing_seconds += time.perf_counter() - routing_started
+        self._drain_window()
+        votes = self._dispatch_with_retry(fresh, categorised)
 
         aggregate = IngestReport()
         for _, vote in sorted(votes.items()):
@@ -796,6 +960,7 @@ class MultiProcessEngine:
         report.offers_uncategorised = aggregate.offers_uncategorised
         report.clusters_touched = aggregate.clusters_touched
         report.products_refreshed = aggregate.products_refreshed
+        self._commit_phase(sorted(votes), fresh)
         self._seen.update(offer.offer_id for offer in fresh)
         self._dirty = True
         if self._skew_watcher is not None:
@@ -805,8 +970,55 @@ class MultiProcessEngine:
                 self.rebalance()
         return report
 
-    def _dispatch_batch(self, categorised: Sequence[Offer]) -> Dict[str, NodeVote]:
-        """One dispatch wave: fan out, collect votes, commit or abort.
+    def _dispatch_with_retry(
+        self, fresh: Sequence[Offer], categorised: Optional[List[Offer]] = None
+    ) -> Dict[str, NodeVote]:
+        """Dispatch one batch, fencing and re-dispatching on node death.
+
+        ``categorised`` carries a pre-computed classification (the
+        pipelined overlap); it stays valid across retries because
+        classification does not depend on the layout — only the
+        partition is recomputed against the post-fence assignment.
+        """
+        attempts = 0
+        max_attempts = len(self._nodes) + 1
+        while True:
+            try:
+                if self._hint_routing:
+                    return self._dispatch_hint(fresh)
+                if categorised is None:
+                    routing_started = time.perf_counter()
+                    categorised = self._route_categories(fresh)
+                    self._routing_seconds += time.perf_counter() - routing_started
+                return self._dispatch_batch(self._partition(categorised))
+            except _BatchFailure as failure:
+                attempts += 1
+                if (
+                    not self._auto_recover
+                    or len(self._nodes) <= 1
+                    or attempts >= max_attempts
+                ):
+                    raise failure.cause
+                self.fence_node(failure.node_id)
+
+    def _abort_answered(
+        self, answered: List[str], failures: Dict[str, BaseException]
+    ) -> None:
+        """Roll every answering journal (and classify buffer) back.
+
+        Ready voters and failed-but-alive nodes alike: a node whose
+        engine raised mid-ingest holds a *partial* journal; left in
+        place it would flush half-processed offers at the next barrier
+        (or survive a caller retry with auto_recover off).
+        """
+        for node_id in answered:
+            try:
+                self._nodes[node_id].request("abort")
+            except NodeDeadError as exc:
+                failures.setdefault(node_id, exc)
+
+    def _dispatch_batch(self, routed: Dict[str, List[Offer]]) -> Dict[str, NodeVote]:
+        """One dispatch wave: fan out sub-batches, collect votes.
 
         Returns the ready votes by node id on success.  On any node
         failure the survivors' journals are aborted and
@@ -814,7 +1026,6 @@ class MultiProcessEngine:
         for the recovery loop.  All sends go out before any receive, so
         the node processes genuinely overlap.
         """
-        routed = self._partition(categorised)
         ordered = [(node_id, routed[node_id]) for node_id in sorted(routed)]
         failures: Dict[str, BaseException] = {}
         dispatched: List[str] = []
@@ -848,50 +1059,273 @@ class MultiProcessEngine:
                     f"node {node_id!r} failed mid-batch: {vote.error}"
                 )
         if failures:
-            # Roll EVERY answering journal back to the barrier — ready
-            # voters and failed-but-alive nodes alike.  A node whose
-            # engine raised mid-ingest holds a *partial* journal; left
-            # in place it would flush half-processed offers at the next
-            # barrier (or survive a caller retry with auto_recover off).
-            for node_id in answered:
-                try:
-                    self._nodes[node_id].request("abort")
-                except NodeDeadError as exc:
-                    failures.setdefault(node_id, exc)
+            self._abort_answered(answered, failures)
             first = sorted(failures)[0]
             raise _BatchFailure(first, failures[first])
-        self._commit_barrier(list(votes))
         for node_id, sub_batch in ordered:
             node = self._nodes[node_id]
             node.offers_routed += len(sub_batch)
             node.batches += 1
         return votes
 
-    def _commit_barrier(self, node_ids: List[str]) -> None:
-        """Phase two: tell every ready node to flush, await every ack.
+    def _dispatch_hint(self, fresh: Sequence[Offer]) -> Dict[str, NodeVote]:
+        """Hint-routed dispatch: nodes classify, misroutes re-ship, owners apply.
 
-        A failure here is *not* recoverable by replay — some nodes may
-        already have flushed — so it surfaces as :class:`RuntimeError`.
-        The WAL file itself stays consistent (each node's flush is one
-        transaction); re-opening the store resumes from what landed.
+        Two message rounds instead of one.  ``classify`` ships each
+        hinted, position-tagged sub-batch (plus the shard assignment)
+        to its guessed owner, which runs the real classifier and
+        answers with the offers that belong elsewhere.  ``apply`` then
+        delivers every misroute to its true owner, which merges its
+        retained offers with the incoming ones in original batch order
+        and ingests.  The per-offer classification sweep — the dominant
+        serial cost of coordinator routing — thus runs on all nodes in
+        parallel, and only misrouted offers cross the pipes twice.
         """
-        for node_id in sorted(node_ids):
-            self._nodes[node_id].send("commit")
+        if any(offer.category_id is None for offer in fresh) and (
+            self._classifier is None or not self._classifier.is_trained
+        ):
+            # Same error contract as assign_routing_categories, checked
+            # up front so no node sees a doomed batch.
+            raise ValueError(
+                "offers without a category require a trained category classifier"
+            )
+        if self._hinter is None:
+            self._hinter = CategoryHinter.from_classifier(self._classifier)
+        routing_started = time.perf_counter()
+        fallback = self.node_ids()[0]
+        hinted = partition_offers_by_hint(
+            fresh, self._num_shards, self._coordinator.node_for_shard, fallback, self._hinter
+        )
+        assignment = {
+            shard: self._coordinator.node_for_shard(shard)
+            for shard in range(self._num_shards)
+        }
+        self._routing_seconds += time.perf_counter() - routing_started
+        failures: Dict[str, BaseException] = {}
+        dispatched: List[str] = []
+        for node_id in sorted(hinted):
+            try:
+                self._nodes[node_id].send(
+                    "classify",
+                    {
+                        "offers": hinted[node_id],
+                        "assignment": assignment,
+                        "fallback": fallback,
+                    },
+                )
+                dispatched.append(node_id)
+            except NodeDeadError as exc:
+                failures[node_id] = exc
+        answered: List[str] = []
+        incoming: Dict[str, List[Tuple[int, Offer]]] = {}
+        owned_counts: Dict[str, int] = {}
+        for node_id in dispatched:
+            node = self._nodes[node_id]
+            try:
+                kind, payload = node.recv()
+            except NodeDeadError as exc:
+                failures[node_id] = exc
+                continue
+            answered.append(node_id)
+            if kind != "classified":
+                failures[node_id] = RuntimeError(
+                    f"node {node_id!r} answered {kind!r} to a classify"
+                )
+                continue
+            node.busy_seconds += payload["busy_seconds"]
+            moved = 0
+            for destination, items in payload["outgoing"].items():
+                incoming.setdefault(destination, []).extend(items)
+                moved += len(items)
+            self._pipe_stats.misrouted_offers += moved
+            owned_counts[node_id] = len(hinted[node_id]) - moved
+        if failures:
+            self._abort_answered(answered, failures)
+            first = sorted(failures)[0]
+            raise _BatchFailure(first, failures[first])
+        targets = sorted(
+            {node_id for node_id, count in owned_counts.items() if count}
+            | set(incoming)
+        )
+        routed_counts: Dict[str, int] = {}
+        dispatched = []
+        for node_id in targets:
+            items = sorted(incoming.get(node_id, ()), key=lambda item: item[0])
+            routed_counts[node_id] = owned_counts.get(node_id, 0) + len(items)
+            try:
+                self._nodes[node_id].send("apply", {"incoming": items})
+                dispatched.append(node_id)
+            except NodeDeadError as exc:
+                failures[node_id] = exc
+        votes: Dict[str, NodeVote] = {}
+        answered = []
+        for node_id in dispatched:
+            node = self._nodes[node_id]
+            try:
+                kind, vote = node.recv()
+            except NodeDeadError as exc:
+                failures[node_id] = exc
+                continue
+            answered.append(node_id)
+            if kind != "vote":  # pragma: no cover - protocol guard
+                failures[node_id] = RuntimeError(
+                    f"node {node_id!r} answered {kind!r} to an apply"
+                )
+                continue
+            node.busy_seconds += vote.busy_seconds
+            node.transport = vote.transport
+            if vote.ready:
+                votes[node_id] = vote
+            else:
+                failures[node_id] = RuntimeError(
+                    f"node {node_id!r} failed mid-batch: {vote.error}"
+                )
+        if failures:
+            self._abort_answered(answered, failures)
+            first = sorted(failures)[0]
+            raise _BatchFailure(first, failures[first])
+        for node_id in targets:
+            node = self._nodes[node_id]
+            node.offers_routed += routed_counts[node_id]
+            node.batches += 1
+        return votes
+
+    # -- commit barrier --------------------------------------------------------
+
+    def _commit_phase(self, node_ids: List[str], fresh: Sequence[Offer]) -> None:
+        """Phase two: record the intent, then flush the voters' journals.
+
+        The intent — the batch's fresh offers, pickled into the shared
+        store *before* any node flushes — is what turns a mid-barrier
+        death (node or coordinator) from a fatal partway state into a
+        replayable one.  At ``pipeline_depth=1`` the acks are awaited
+        here; at 2 the round is left open as the commit window and
+        drained at the next ingest.
+        """
+        sequence = next(self._batch_counter)
+        payload = pickle.dumps(list(fresh), protocol=pickle.HIGHEST_PROTOCOL)
+        self._store.write_commit_intent(sequence, payload)
+        if self._pipeline_depth > 1:
+            sent, failed, errors = self._commit_fanout(node_ids)
+            if failed:
+                more_failed, more_errors = self._collect_commit_acks(sent)
+                self._recover_commit(
+                    list(fresh), failed + more_failed, errors + more_errors
+                )
+            else:
+                self._window = _CommitWindow(node_ids=sent, offers=list(fresh))
+        else:
+            self._sync_commit_round(node_ids, list(fresh))
+
+    def _commit_fanout(self, node_ids: List[str]) -> Tuple[List[str], List[str], List[str]]:
+        """Send ``commit`` to every voter; returns (sent, failed, errors)."""
+        sent: List[str] = []
+        failed: List[str] = []
         errors: List[str] = []
         for node_id in sorted(node_ids):
             try:
+                self._nodes[node_id].send("commit")
+                sent.append(node_id)
+            except NodeDeadError as exc:
+                failed.append(node_id)
+                errors.append(str(exc))
+        return sent, failed, errors
+
+    def _collect_commit_acks(self, sent: List[str]) -> Tuple[List[str], List[str]]:
+        """Await one commit ack per listed node; returns (failed, errors)."""
+        failed: List[str] = []
+        errors: List[str] = []
+        started = time.perf_counter()
+        for node_id in sent:
+            try:
                 kind, payload = self._nodes[node_id].recv()
             except NodeDeadError as exc:
+                failed.append(node_id)
                 errors.append(str(exc))
                 continue
             if kind != "committed":
+                failed.append(node_id)
                 errors.append(f"node {node_id!r}: {payload}")
-        if errors:
+        self._barrier_seconds += time.perf_counter() - started
+        return failed, errors
+
+    def _sync_commit_round(self, node_ids: List[str], offers: List[Offer]) -> None:
+        """One full synchronous commit round (fan out + await every ack)."""
+        sent, failed, errors = self._commit_fanout(node_ids)
+        more_failed, more_errors = self._collect_commit_acks(sent)
+        failed += more_failed
+        errors += more_errors
+        if failed:
+            self._recover_commit(offers, failed, errors)
+        else:
+            self._store.clear_commit_intent()
+
+    def _drain_window(self) -> None:
+        """Collect the open commit window's acks (no-op when none is open)."""
+        if self._window is None:
+            return
+        window = self._window
+        self._window = None
+        failed, errors = self._collect_commit_acks(window.node_ids)
+        if failed:
+            self._recover_commit(window.offers, failed, errors)
+        else:
+            self._store.clear_commit_intent()
+
+    def flush(self) -> None:
+        """Land the pipelined commit window (no-op when none is open).
+
+        After this returns, every previously ingested batch is durably
+        committed in the shared WAL file and its intent is cleared.
+        Views and membership operations drain implicitly; an explicit
+        flush is only needed before e.g. reading the file from outside.
+        """
+        self._drain_window()
+
+    def _recover_commit(
+        self, offers: List[Offer], failed: List[str], errors: List[str]
+    ) -> None:
+        """A commit round lost nodes: fence them and replay what is missing.
+
+        Only possible because the batch's intent is already durable and
+        every node's flush is one atomic SQLite transaction: after
+        fencing, the coordinator refreshes its mirror from the file —
+        the only authority on which sub-batches landed — and re-runs
+        the batch's *unseen* offers through a normal dispatch + commit.
+        Node-side dedup could not replace the refresh: fencing just
+        moved shards, and a surviving node's mirror may predate another
+        node's flushed sub-batch.
+        """
+        if not self._auto_recover:
             raise RuntimeError(
                 "cluster commit barrier failed partway — the shared store "
                 "holds the last fully-voted state of the nodes that "
-                "flushed; reopen it to resume: " + "; ".join(errors)
+                "flushed, plus this batch's durable commit intent; reopen "
+                "the store path (or keep auto_recover on) to replay it: "
+                + "; ".join(errors)
             )
+        self._fence_unreachable([node_id for node_id in failed if node_id in self._nodes])
+        self._store.refresh()
+        self._seen.clear()
+        self._dirty = False
+        self._replay_offers(offers)
+
+    def _replay_offers(self, offers: Sequence[Offer]) -> None:
+        """Re-dispatch and durably commit whichever offers never landed.
+
+        Shared by barrier recovery and the startup replay of a leftover
+        intent; idempotent because the store's seen set filters first.
+        """
+        remainder = [
+            offer for offer in offers if not self._store.is_seen(offer.offer_id)
+        ]
+        if not remainder:
+            self._store.clear_commit_intent()
+            return
+        votes = self._dispatch_with_retry(remainder)
+        self._sync_commit_round(sorted(votes), remainder)
+        self._seen.update(offer.offer_id for offer in remainder)
+        self._dirty = True
 
     # -- views ----------------------------------------------------------------
 
@@ -911,24 +1345,28 @@ class MultiProcessEngine:
     def products(self) -> List[Product]:
         """All current synthesized products (same order as a single engine)."""
         self._ensure_open()
+        self._drain_window()
         self._refresh_if_dirty()
         return self._store.sorted_products()
 
     def num_clusters(self) -> int:
         """Number of clusters tracked so far (including sub-threshold ones)."""
         self._ensure_open()
+        self._drain_window()
         self._refresh_if_dirty()
         return self._store.num_clusters()
 
     def category_statistics(self, category_id: str) -> Optional[IncrementalTfIdf]:
         """The incremental TF-IDF statistics of one category (or ``None``)."""
         self._ensure_open()
+        self._drain_window()
         self._refresh_if_dirty()
         return self._store.category_stats(category_id)
 
     def snapshot(self) -> EngineSnapshot:
         """A consistent summary of everything ingested so far."""
         self._ensure_open()
+        self._drain_window()
         self._refresh_if_dirty()
         return EngineSnapshot(
             products=self._store.sorted_products(),
@@ -940,12 +1378,28 @@ class MultiProcessEngine:
         )
 
     def transport_stats(self) -> TransportStats:
-        """Cluster-wide executor-payload accounting (all nodes, ever)."""
+        """Cluster-wide transport accounting: executor payloads + pipe frames."""
         merged = TransportStats()
         merged.merge(self._retired_transport)
+        merged.merge(self._pipe_stats)
         for node in self._nodes.values():
             merged.merge(node.transport)
         return merged
+
+    @property
+    def routing_seconds(self) -> float:
+        """Coordinator time spent deduplicating, classifying and routing."""
+        return self._routing_seconds
+
+    @property
+    def barrier_wait_seconds(self) -> float:
+        """Coordinator time spent waiting on commit acks."""
+        return self._barrier_seconds
+
+    @property
+    def coordinator_seconds(self) -> float:
+        """Total serial coordinator overhead (routing + barrier waits)."""
+        return self._routing_seconds + self._barrier_seconds
 
     def node_stats(self) -> List[NodeStats]:
         """Per-node routing/timing accounting, in node-id order."""
@@ -967,6 +1421,12 @@ class MultiProcessEngine:
         if self._closed:
             return
         self._closed = True
+        try:
+            self._drain_window()
+        except Exception:  # noqa: BLE001 - teardown proceeds regardless
+            # A failed final barrier leaves its durable intent behind;
+            # the next cluster opened over this store path replays it.
+            pass
         for _, node in sorted(self._nodes.items()):
             try:
                 node.request("shutdown")

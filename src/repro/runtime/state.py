@@ -98,6 +98,7 @@ class CatalogStore(abc.ABC):
         self._num_shards = 0
         self._fault_hook: Optional[Callable[[str], None]] = None
         self._commit_count = 0
+        self._commit_intent: Optional[Tuple[int, bytes]] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -354,6 +355,30 @@ class CatalogStore(abc.ABC):
                 f"store is at epoch {current}: the writing node was fenced "
                 "(it lagged, restarted, or lost the shard to reassignment)"
             )
+
+    # -- commit intents (cluster barrier bookkeeping) --------------------------
+
+    def write_commit_intent(self, sequence: int, payload: bytes) -> None:
+        """Durably record that a batch is about to enter its commit round.
+
+        A cluster coordinator writes the intent — the batch sequence
+        number plus an opaque payload (the serialised offers) — *before*
+        telling nodes to flush.  If the coordinator or a node dies
+        between vote and flush, a restart finds the intent and replays
+        the batch (idempotently: committed offers dedup away) instead of
+        surfacing an unrecoverable error.  Volatile backends keep it in
+        memory; durable ones must persist it immediately, outside the
+        journalled batch state.
+        """
+        self._commit_intent = (sequence, payload)
+
+    def clear_commit_intent(self) -> None:
+        """Drop the pending intent once its batch fully committed."""
+        self._commit_intent = None
+
+    def pending_commit_intent(self) -> Optional[Tuple[int, bytes]]:
+        """The recorded ``(sequence, payload)`` intent, or ``None``."""
+        return self._commit_intent
 
     # -- worker resync ---------------------------------------------------------
 

@@ -126,6 +126,11 @@ CREATE TABLE IF NOT EXISTS node_reconciliation_stats (
     pairs_mapped INTEGER NOT NULL,
     pairs_discarded INTEGER NOT NULL
 ) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS commit_intents (
+    id INTEGER PRIMARY KEY CHECK (id = 1),
+    sequence INTEGER NOT NULL,
+    payload BLOB NOT NULL
+);
 """
 
 
@@ -664,6 +669,59 @@ class SqliteCatalogStore(CatalogStore):
     def worker_resync_path(self) -> Optional[str]:
         """The SQLite file itself: workers resync straight from it."""
         return self._path
+
+    # -- commit intents --------------------------------------------------------
+
+    def write_commit_intent(self, sequence: int, payload: bytes) -> None:
+        """Durably record a batch's imminent commit round, immediately.
+
+        Like :meth:`advance_shard_epoch`, the intent is flushed right
+        away rather than journalled: it must survive exactly the crashes
+        it guards against (a coordinator or node dying between vote and
+        flush), and it must not be discarded by a batch rollback.  The
+        coordinator's connection carries no journalled batch state —
+        everything else is journalled Python-side — so this commit is
+        precise.  Refused for partitioned (node) stores: only the
+        coordinator runs commit barriers.
+        """
+        if self._partition is not None:
+            raise RuntimeError(
+                "a partitioned node store cannot write commit intents; "
+                "only the coordinator's store instance runs the barrier"
+            )
+        connection = self._require_open()
+        connection.execute(
+            "INSERT OR REPLACE INTO commit_intents (id, sequence, payload)"
+            " VALUES (1, ?, ?)",
+            (sequence, payload),
+        )
+        connection.commit()
+        self._commit_intent = (sequence, payload)
+
+    def clear_commit_intent(self) -> None:
+        """Drop the pending intent once its batch fully committed."""
+        if self._partition is not None:
+            raise RuntimeError(
+                "a partitioned node store cannot clear commit intents; "
+                "only the coordinator's store instance runs the barrier"
+            )
+        connection = self._require_open()
+        connection.execute("DELETE FROM commit_intents WHERE id = 1")
+        connection.commit()
+        self._commit_intent = None
+
+    def pending_commit_intent(self) -> Optional[Tuple[int, bytes]]:
+        """The persisted ``(sequence, payload)`` intent, or ``None``.
+
+        Read straight from the file: a restarted coordinator consults
+        this before its first batch to replay an interrupted barrier.
+        """
+        connection = self._require_open()
+        row = connection.execute(
+            "SELECT sequence, payload FROM commit_intents WHERE id = 1"
+        ).fetchone()
+        self._commit_intent = None if row is None else (int(row[0]), row[1])
+        return self._commit_intent
 
     # -- seen offers -----------------------------------------------------------
 

@@ -46,6 +46,31 @@ class TitleCategoryClassifier:
             features.extend(sliding_ngrams(tokens, 2))
         return features
 
+    def routing_features(self, title: str) -> List[str]:
+        """The exact feature sequence :meth:`classify` scores for a title.
+
+        Public so cluster coordinators can build cheap routing hints over
+        the same feature space the real classifier uses.
+        """
+        return self._features(title)
+
+    def routing_hints(self) -> Dict[str, str]:
+        """feature -> dominant category, for cheap coordinator routing.
+
+        A one-dict-lookup approximation of :meth:`classify`: the class
+        where each feature was observed most often during training.  Used
+        by hint-routing cluster coordinators, which only need a *guess*
+        (misroutes are reconciled node-side), never by the engine itself.
+
+        Raises
+        ------
+        RuntimeError
+            If the classifier has not been trained.
+        """
+        if self._model is None:
+            raise RuntimeError("category classifier has not been trained")
+        return self._model.dominant_class_by_token()
+
     # -- training -------------------------------------------------------------
 
     def train_from_history(

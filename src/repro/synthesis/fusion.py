@@ -97,6 +97,7 @@ class CentroidValueFusion:
         ]
 
         def distance(vector: List[float]) -> float:
+            """Euclidean distance from the cluster centroid."""
             return math.sqrt(
                 sum(
                     (component - centroid[position]) ** 2

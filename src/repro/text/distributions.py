@@ -163,12 +163,15 @@ class TermDistribution:
         return frozenset(self._probs.keys())
 
     def items(self) -> Iterable[Tuple[str, float]]:
+        """(term, probability) pairs of the distribution."""
         return self._probs.items()
 
     def as_dict(self) -> Dict[str, float]:
+        """A plain dict copy of the term probabilities."""
         return dict(self._probs)
 
     def is_empty(self) -> bool:
+        """Whether the distribution has no support at all."""
         return not self._probs
 
     def __len__(self) -> int:

@@ -219,14 +219,17 @@ class TfIdfVectorizer(IncrementalTfIdf):
         )
 
     def add(self, text: str) -> None:
+        """Refuse updates once the statistics are frozen."""
         if self._frozen:
             raise self._frozen_error()
         super().add(text)
 
     def discard(self, text: str) -> None:
+        """Always refuse: frozen statistics cannot drop documents."""
         raise self._frozen_error()
 
     def merge(self, other: IncrementalTfIdf) -> None:
+        """Always refuse: frozen statistics cannot absorb another corpus."""
         raise self._frozen_error()
 
     def idf(self, token: str) -> float:

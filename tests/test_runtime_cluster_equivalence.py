@@ -188,6 +188,120 @@ class TestMultiProcessEquivalence:
             cluster.close()
 
 
+class TestPipelinedEquivalence:
+    """ISSUE 7 acceptance: the pipelined / hint-routed ingest paths are
+    byte-identical to the default path for random streams and splits, at
+    1, 2 and 4 nodes, on both store backends, including a node killed
+    while a depth-2 commit window is still in flight."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_knob_combinations_byte_identical(self, tiny_harness, tmp_path_factory, data):
+        offers = tiny_harness.unmatched_offers
+        indices, cut_points = data.draw(stream_and_cuts(len(offers)))
+        stream = [offers[index] for index in indices]
+        batches = split_batches(stream, cut_points)
+        num_nodes = data.draw(st.sampled_from([1, 2, 4]))
+        backend = data.draw(st.sampled_from(["memory", "sqlite"]))
+        pipeline_depth = data.draw(st.sampled_from([1, 2]))
+        hint_routing = data.draw(st.booleans())
+
+        expected = reference_fingerprint(tiny_harness, batches)
+
+        store_path = None
+        if backend == "sqlite":
+            store_dir = tmp_path_factory.mktemp("pipelined")
+            store_path = str(store_dir / f"cluster-{next(_STORE_COUNTER)}.sqlite3")
+        cluster = MultiNodeEngine(
+            num_nodes=num_nodes,
+            num_shards=8,
+            store=backend,
+            store_path=store_path,
+            pipeline_depth=pipeline_depth,
+            hint_routing=hint_routing,
+            **engine_kwargs(tiny_harness),
+        )
+        try:
+            for batch in batches:
+                cluster.ingest(batch)
+            assert sorted(fingerprint(cluster.products())) == expected
+            assert cluster.snapshot().offers_ingested == len({o.offer_id for o in stream})
+        finally:
+            cluster.close()
+
+    @settings(max_examples=5, deadline=None)
+    @given(data=st.data())
+    def test_process_cluster_pipelined_byte_identical(
+        self, tiny_harness, tmp_path_factory, data
+    ):
+        offers = tiny_harness.unmatched_offers
+        indices, cut_points = data.draw(stream_and_cuts(len(offers)))
+        stream = [offers[index] for index in indices]
+        batches = split_batches(stream, cut_points)
+        num_nodes = data.draw(st.sampled_from([2, 4]))
+        hint_routing = data.draw(st.booleans())
+
+        expected = reference_fingerprint(tiny_harness, batches)
+
+        store_dir = tmp_path_factory.mktemp("proc-pipelined")
+        store_path = str(store_dir / f"cluster-{next(_STORE_COUNTER)}.sqlite3")
+        cluster = MultiProcessEngine(
+            num_nodes=num_nodes,
+            num_shards=8,
+            store_path=store_path,
+            pipeline_depth=2,
+            hint_routing=hint_routing,
+            **engine_kwargs(tiny_harness),
+        )
+        try:
+            for batch in batches:
+                cluster.ingest(batch)
+            assert sorted(fingerprint(cluster.products())) == expected
+            assert cluster.snapshot().offers_ingested == len({o.offer_id for o in stream})
+        finally:
+            cluster.close()
+
+    @settings(max_examples=4, deadline=None)
+    @given(data=st.data())
+    def test_mid_pipeline_node_kill_preserves_equivalence(
+        self, tiny_harness, tmp_path_factory, data
+    ):
+        """SIGKILL a node while batch N's commit window is still open
+        (depth 2): the durable commit intent plus recovery replay keeps
+        the products identical to the single engine."""
+        offers = tiny_harness.unmatched_offers
+        indices, cut_points = data.draw(stream_and_cuts(len(offers)))
+        stream = [offers[index] for index in indices]
+        batches = split_batches(stream, cut_points)
+        # Kill *after* some batch's ingest returned — its commit window
+        # is still in flight at depth 2 — and before the next batch.
+        kill_after = data.draw(st.integers(0, len(batches) - 1))
+
+        expected = reference_fingerprint(tiny_harness, batches)
+
+        store_dir = tmp_path_factory.mktemp("proc-pipeline-kill")
+        store_path = str(store_dir / f"cluster-{next(_STORE_COUNTER)}.sqlite3")
+        cluster = MultiProcessEngine(
+            num_nodes=2,
+            num_shards=8,
+            store_path=store_path,
+            pipeline_depth=2,
+            hint_routing=True,
+            **engine_kwargs(tiny_harness),
+        )
+        try:
+            killed = False
+            for position, batch in enumerate(batches):
+                cluster.ingest(batch)
+                if position == kill_after and not killed:
+                    cluster.kill_node(cluster.node_ids()[-1])
+                    killed = True
+            assert sorted(fingerprint(cluster.products())) == expected
+            assert cluster.snapshot().offers_ingested == len({o.offer_id for o in stream})
+        finally:
+            cluster.close()
+
+
 class TestFencedEpochRejection:
     """Acceptance criterion rider: the stale-epoch write is rejected."""
 

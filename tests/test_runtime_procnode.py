@@ -365,6 +365,88 @@ class TestCrashRecovery:
         second.close()
 
 
+class TestCommitIntent:
+    """ISSUE 7 satellite: the durable per-batch commit intent makes a
+    death between vote and flush replayable instead of fatal."""
+
+    def test_crash_during_flush_recovers_inline(self, tmp_path, tiny_harness, feed_expected):
+        """A node hard-exiting inside its store flush (between vote and
+        commit) is healed at the next barrier drain from the durable
+        intent, and the intent is cleared afterwards."""
+        cluster = make_cluster(
+            tiny_harness,
+            tmp_path,
+            num_nodes=2,
+            num_shards=8,
+            pipeline_depth=2,
+            hint_routing=True,
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        victim = cluster.node_ids()[-1]
+        cluster.inject_crash(victim, "commit", countdown=1, hard=True)
+        for batch in batches[1:]:
+            cluster.ingest(batch)
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        assert cluster.store.pending_commit_intent() is None
+        cluster.close()
+
+    def test_coordinator_death_replays_intent_on_reopen(
+        self, tmp_path, tiny_harness, feed_expected
+    ):
+        """Coordinator and a flushing node both die with a commit window
+        in flight: the next cluster opened over the store path replays
+        the durable intent during construction."""
+        path_name = "intent.sqlite3"
+        batches = feed_stream(tiny_harness)
+        cluster = make_cluster(
+            tiny_harness,
+            tmp_path,
+            name=path_name,
+            num_nodes=2,
+            num_shards=8,
+            pipeline_depth=2,
+            hint_routing=True,
+        )
+        for batch in batches[:-1]:
+            cluster.ingest(batch)
+        victim = cluster.node_ids()[-1]
+        cluster.inject_crash(victim, "commit", countdown=1, hard=True)
+        # The last batch's commit window stays open (depth 2) and the
+        # victim dies mid-flush, leaving the durable intent behind.
+        cluster.ingest(batches[-1])
+        assert cluster.store.pending_commit_intent() is not None
+        # Simulate coordinator death: no drain, no graceful shutdown.
+        for node in cluster._nodes.values():
+            node.kill()
+        cluster._store.close()
+        cluster._closed = True
+
+        reopened = make_cluster(
+            tiny_harness, tmp_path, name=path_name, num_nodes=2, num_shards=8
+        )
+        try:
+            assert reopened.store.pending_commit_intent() is None
+            assert sorted(fingerprint(reopened.products())) == feed_expected
+        finally:
+            reopened.close()
+
+    def test_crash_without_auto_recover_names_the_intent(self, tmp_path, tiny_harness):
+        """Without auto-recovery the barrier failure still leaves the
+        durable intent behind and the error says how to replay it."""
+        cluster = make_cluster(
+            tiny_harness, tmp_path, num_nodes=2, num_shards=8, auto_recover=False
+        )
+        batches = feed_stream(tiny_harness)
+        cluster.ingest(batches[0])
+        victim = cluster.node_ids()[-1]
+        cluster.inject_crash(victim, "commit", countdown=1, hard=True)
+        with pytest.raises(RuntimeError, match="commit intent"):
+            cluster.ingest(batches[1])
+        assert cluster.store.pending_commit_intent() is not None
+        cluster.close()
+
+
 class TestAutoRebalance:
     def test_skew_watcher_triggers_rebalance(self, tmp_path, tiny_harness, feed_expected):
         """threshold=1.0 / patience=1 fires on any imbalance: the layout

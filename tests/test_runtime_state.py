@@ -381,6 +381,11 @@ class TestDeltaProtocol:
             "offers_shipped": stats.offers_shipped,
             "worker_resyncs": stats.worker_resyncs,
             "full_retries": stats.full_retries,
+            "frames_sent": stats.frames_sent,
+            "frames_received": stats.frames_received,
+            "frame_bytes_sent": stats.frame_bytes_sent,
+            "frame_bytes_received": stats.frame_bytes_received,
+            "misrouted_offers": stats.misrouted_offers,
         }
         # merge() is plain summation (the multi-node aggregation path).
         from repro.runtime import TransportStats
