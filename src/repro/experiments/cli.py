@@ -42,10 +42,18 @@ ingest+query snapshot-isolation proof, see
 
     repro-synthesize serving-bench --offers 10000 --json BENCH_serving.json
 
+Stress the replicated serving fleet with concurrent closed-loop HTTP
+clients under mixed ingest (see :func:`repro.experiments.serving_bench.run_fleet`)::
+
+    repro-synthesize serving-bench --clients 4 --duration 5 --replicas 2 \
+        --json BENCH_serving_fleet.json
+
 Serve a catalog store over HTTP (read-only; queries run concurrently
-with whatever engine or cluster is writing the file)::
+with whatever engine or cluster is writing the file), optionally as a
+replicated fleet with ``/health`` and ``/lag``::
 
     repro-synthesize runtime-serve --store-path catalog.sqlite3 --port 8080
+    repro-synthesize runtime-serve --store-path catalog.sqlite3 --replicas 2
 """
 
 from __future__ import annotations
@@ -349,10 +357,44 @@ def _parse_serving_bench_args(argv: Sequence[str]) -> argparse.Namespace:
         help="SQLite store file (default: BENCH_serving_catalog.sqlite3)",
     )
     parser.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the CLOSED-LOOP fleet benchmark instead: N concurrent "
+        "HTTP client threads stress a replica fleet (and a single-replica "
+        "baseline) under mixed ingest (default: 0 = the classic benchmark)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="seconds per closed-loop measurement window (with --clients; "
+        "default: 5)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        metavar="N",
+        help="fleet size of the closed-loop benchmark (with --clients; "
+        "default: 2)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="HTTP worker-pool size of the closed-loop benchmark (with "
+        "--clients; default: max(clients, 2*replicas))",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
-        help="also write the result as JSON (e.g. BENCH_serving.json)",
+        help="also write the result as JSON (e.g. BENCH_serving.json, "
+        "or BENCH_serving_fleet.json with --clients)",
     )
     args = parser.parse_args(argv)
     if args.offers < 1:
@@ -361,6 +403,20 @@ def _parse_serving_bench_args(argv: Sequence[str]) -> argparse.Namespace:
         parser.error("--queries must be >= 1")
     if args.top_k < 1:
         parser.error("--top-k must be >= 1")
+    if args.clients < 0:
+        parser.error("--clients must be >= 0")
+    if args.clients:
+        if args.duration <= 0:
+            parser.error("--duration must be > 0")
+        if args.replicas < 1:
+            parser.error("--replicas must be >= 1")
+        if args.threads is not None and args.threads < 1:
+            parser.error("--threads must be >= 1")
+        if args.store == "memory":
+            parser.error(
+                "the closed-loop fleet benchmark shares the store file "
+                "between writer and replicas; --store memory cannot back it"
+            )
     if args.store_path is not None and args.store != "sqlite":
         parser.error("--store-path requires --store sqlite")
     if args.store == "sqlite" and args.store_path is None:
@@ -371,8 +427,26 @@ def _parse_serving_bench_args(argv: Sequence[str]) -> argparse.Namespace:
 
 
 def _run_serving_bench(argv: Sequence[str]) -> int:
-    """Dispatch the ``serving-bench`` subcommand."""
+    """Dispatch the ``serving-bench`` subcommand (classic or closed-loop)."""
     args = _parse_serving_bench_args(argv)
+    if args.clients:
+        fleet_result = serving_bench.run_fleet(
+            num_offers=args.offers,
+            num_batches=args.batches,
+            top_k=args.top_k,
+            seed=args.seed,
+            store_path=args.store_path,
+            clients=args.clients,
+            duration=args.duration,
+            replicas=args.replicas,
+            threads=args.threads,
+        )
+        print(fleet_result.to_text())
+        if args.json:
+            fleet_result.write_json(args.json)
+            print(f"[wrote {args.json}]")
+        errors = fleet_result.single.errors + fleet_result.fleet.errors
+        return 0 if errors == 0 else 1
     result = serving_bench.run(
         num_offers=args.offers,
         num_batches=args.batches,
@@ -412,11 +486,43 @@ def _parse_runtime_serve_args(argv: Sequence[str]) -> argparse.Namespace:
         default=256,
         help="products per disk page of the reader (default: 256)",
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve a replicated fleet of N snapshot-pinned readers with "
+        "load balancing, /health and /lag (default: 1 = single service)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded HTTP worker pool size (default: one thread per "
+        "connection; with --replicas > 1 defaults to 2*replicas)",
+    )
+    parser.add_argument(
+        "--max-lag-commits",
+        type=int,
+        default=2,
+        metavar="N",
+        help="fleet divergence bound: replicas may trail the store head "
+        "by up to N commits between refreshes (default: 2)",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.port <= 65_535:
         parser.error(f"--port must be in [0, 65535], got {args.port}")
     if args.page_size < 1:
         parser.error("--page-size must be >= 1")
+    if args.replicas < 1:
+        parser.error("--replicas must be >= 1")
+    if args.threads is not None and args.threads < 1:
+        parser.error("--threads must be >= 1")
+    if args.max_lag_commits < 0:
+        parser.error("--max-lag-commits must be >= 0")
+    if args.threads is None and args.replicas > 1:
+        args.threads = 2 * args.replicas
     _validate_store_path(parser, args.store_path, must_exist=True)
     return args
 
@@ -425,10 +531,27 @@ def _run_runtime_serve(argv: Sequence[str]) -> int:
     """Dispatch the ``runtime-serve`` subcommand (blocks until ^C)."""
     # Imported here: the experiments CLI must not drag the HTTP serving
     # stack in for the tables/figures paths.
+    from repro.serving.fleet import ServingFleet
     from repro.serving.http import serve
     from repro.serving.service import CatalogSearchService
 
     args = _parse_runtime_serve_args(argv)
+    if args.replicas > 1:
+        fleet = ServingFleet.from_store_path(
+            args.store_path,
+            num_replicas=args.replicas,
+            page_size=args.page_size,
+            max_lag_commits=args.max_lag_commits,
+            refresh_interval=0.1,
+        )
+        lag = fleet.lag()
+        print(
+            f"runtime-serve: fleet of {args.replicas} replicas over "
+            f"{args.store_path} (snapshot {lag['head_commit_count']}, "
+            f"lag bound {args.max_lag_commits})"
+        )
+        serve(fleet, host=args.host, port=args.port, max_workers=args.threads)
+        return 0
     service = CatalogSearchService.from_store_path(
         args.store_path, page_size=args.page_size
     )
@@ -436,7 +559,7 @@ def _run_runtime_serve(argv: Sequence[str]) -> int:
         f"runtime-serve: {service.num_products:,} products from "
         f"{args.store_path} (snapshot {service.snapshot_commit_count})"
     )
-    serve(service, host=args.host, port=args.port)
+    serve(service, host=args.host, port=args.port, max_workers=args.threads)
     return 0
 
 

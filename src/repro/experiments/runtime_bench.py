@@ -368,6 +368,10 @@ class MultiNodeRun:
     coordinator_seconds: float = 0.0
     #: Offers whose routing hint pointed at the wrong node (hint mode).
     misrouted_offers: int = 0
+    #: Offers routed by hint at all (the accuracy denominator).
+    hinted_offers: int = 0
+    #: 1 - misrouted/hinted, or None when hint routing never ran.
+    hint_accuracy: Optional[float] = None
     #: Offers routed to each node, in node-id order.
     node_offers: List[int] = field(default_factory=list)
     products_identical: bool = False
@@ -394,6 +398,10 @@ class MultiNodeRun:
             "total_node_seconds": round(self.total_node_seconds, 4),
             "coordinator_seconds": round(self.coordinator_seconds, 4),
             "misrouted_offers": self.misrouted_offers,
+            "hinted_offers": self.hinted_offers,
+            "hint_accuracy": (
+                round(self.hint_accuracy, 4) if self.hint_accuracy is not None else None
+            ),
             "scaling_bound": round(self.scaling_bound, 3),
             "node_offers": list(self.node_offers),
             "products_identical": self.products_identical,
@@ -652,6 +660,8 @@ def run_multinode(
                 total_node_seconds=sum(busy),
                 coordinator_seconds=coordinator_seconds,
                 misrouted_offers=transport.misrouted_offers,
+                hinted_offers=transport.hinted_offers,
+                hint_accuracy=transport.hint_accuracy,
                 node_offers=[stats.offers_routed for stats in node_stats],
                 products_identical=_product_fingerprint(products) == reference,
                 worker_resyncs=transport.worker_resyncs,

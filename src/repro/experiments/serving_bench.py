@@ -20,13 +20,29 @@ benchmark uses:
 Writes ``BENCH_serving.json`` via ``--json`` (CLI: ``repro-synthesize
 serving-bench``); the committed copy at the repo root is the regression
 reference for ``benchmarks/test_bench_serving.py``.
+
+A third, **closed-loop** mode (:func:`run_fleet`, CLI ``serving-bench
+--clients N --duration S``) stresses the replicated serving fleet over
+real HTTP: N client threads issue back-to-back searches against a
+:class:`~repro.serving.fleet.ServingFleet` behind the worker-pool
+server while a writer keeps committing ingest batches, and the same
+workload is replayed against a single-replica baseline on an identical
+copy of the store.  It reports aggregate QPS plus p50/p95/p99 latency
+under mixed ingest and writes ``BENCH_serving_fleet.json`` (regression
+reference for ``benchmarks/test_bench_serving_fleet.py``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
+import shutil
+import threading
 import time
+import urllib.error
+import urllib.parse
+import urllib.request
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,12 +54,21 @@ from repro.experiments.harness import ExperimentHarness
 from repro.experiments.runtime_bench import _batches, _remove_sqlite_files
 from repro.model.products import Product
 from repro.runtime import SynthesisEngine
+from repro.serving.fleet import ServingFleet
+from repro.serving.http import CatalogHTTPServer
 from repro.serving.index import CatalogIndex
 from repro.serving.service import CatalogSearchService
 from repro.text.memo import clear_text_caches
 from repro.text.tokenize import tokenize_title
 
-__all__ = ["MixedRunResult", "ServingBenchResult", "run"]
+__all__ = [
+    "MixedRunResult",
+    "ServingBenchResult",
+    "FleetPhaseResult",
+    "FleetBenchResult",
+    "run",
+    "run_fleet",
+]
 
 
 @dataclass
@@ -370,3 +395,338 @@ def run(
             )
         )
     return result
+
+
+# -- closed-loop fleet benchmark ----------------------------------------------
+
+
+@dataclass
+class FleetPhaseResult:
+    """One closed-loop phase: N clients hammering one serving target."""
+
+    #: ``"single"`` (one replica, the PR-5 serving shape) or ``"fleet"``.
+    mode: str
+    replicas: int
+    #: HTTP worker-pool size.
+    threads: int
+    clients: int
+    #: Wall seconds the measurement window actually lasted.
+    duration_seconds: float
+    requests: int
+    errors: int
+    queries_per_second: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    #: Ingest commits the writer completed during the window.
+    commits_during_run: int
+    #: Distinct pinned snapshots the responses reported serving.
+    distinct_snapshots: int
+    #: Largest per-replica commit lag sampled during the run.
+    max_lag_observed: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible summary."""
+        return {
+            "mode": self.mode,
+            "replicas": self.replicas,
+            "threads": self.threads,
+            "clients": self.clients,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "requests": self.requests,
+            "errors": self.errors,
+            "queries_per_second": round(self.queries_per_second, 1),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "commits_during_run": self.commits_during_run,
+            "distinct_snapshots": self.distinct_snapshots,
+            "max_lag_observed": self.max_lag_observed,
+        }
+
+
+@dataclass
+class FleetBenchResult:
+    """Closed-loop fleet benchmark: single-replica baseline vs the fleet."""
+
+    num_offers: int
+    num_batches: int
+    seed: int
+    top_k: int
+    clients: int
+    replicas: int
+    threads: int
+    #: Cores of the machine that produced the numbers — the fleet only
+    #: beats the baseline with real parallelism underneath, so the
+    #: regression guard reads this before comparing phases.
+    cpu_count: int
+    num_products: int
+    single: "FleetPhaseResult"
+    fleet: "FleetPhaseResult"
+
+    @property
+    def fleet_speedup(self) -> float:
+        """Aggregate fleet QPS over single-replica QPS."""
+        if self.single.queries_per_second <= 0:
+            return float("inf")
+        return self.fleet.queries_per_second / self.single.queries_per_second
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON summary (written to ``BENCH_serving_fleet.json``)."""
+        return {
+            "num_offers": self.num_offers,
+            "num_batches": self.num_batches,
+            "seed": self.seed,
+            "top_k": self.top_k,
+            "clients": self.clients,
+            "replicas": self.replicas,
+            "threads": self.threads,
+            "cpu_count": self.cpu_count,
+            "num_products": self.num_products,
+            "fleet_speedup": round(self.fleet_speedup, 3),
+            "single": self.single.to_dict(),
+            "fleet": self.fleet.to_dict(),
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        """Human-readable report."""
+        lines = [
+            "Serving fleet benchmark (closed-loop HTTP, mixed ingest+query)",
+            f"  corpus: {self.num_offers:,} offers (seed {self.seed}) -> "
+            f"{self.num_products:,} products; {self.clients} clients, "
+            f"{self.threads} server workers, {self.cpu_count} cores",
+        ]
+        for phase in (self.single, self.fleet):
+            lines.append(
+                f"  {phase.mode:7s}: {phase.replicas} replica(s), "
+                f"{phase.queries_per_second:8,.0f} q/s over "
+                f"{phase.duration_seconds:.1f}s "
+                f"(p50 {phase.p50_ms:.2f}ms p95 {phase.p95_ms:.2f}ms "
+                f"p99 {phase.p99_ms:.2f}ms; {phase.commits_during_run} commits, "
+                f"{phase.distinct_snapshots} snapshots, "
+                f"max lag {phase.max_lag_observed}, {phase.errors} errors)"
+            )
+        lines.append(f"  fleet speedup   : {self.fleet_speedup:.2f}x aggregate QPS")
+        return "\n".join(lines)
+
+
+def _copy_store(source: str, destination: str) -> None:
+    """Clone a closed store file (with WAL sidecars) for one phase."""
+    _remove_sqlite_files(destination)
+    for suffix in ("", "-wal", "-shm"):
+        if os.path.exists(source + suffix):
+            shutil.copyfile(source + suffix, destination + suffix)
+
+
+def _closed_loop_phase(
+    mode: str,
+    store_path: str,
+    harness: ExperimentHarness,
+    live_batches: List[List],
+    queries: List[str],
+    top_k: int,
+    clients: int,
+    duration: float,
+    replicas: int,
+    threads: int,
+    max_lag_commits: int,
+) -> FleetPhaseResult:
+    """One measurement window: clients vs one serving target over HTTP.
+
+    ``mode="single"`` serves a lone reader-driven service (every request
+    checks the head and resyncs inline — the PR-5 shape); ``"fleet"``
+    serves ``replicas`` lag-bounded replicas with a background refresher
+    so rebuilds stay off the request path.  The writer engine ingests
+    ``live_batches`` paced across the window either way, so both phases
+    face the same commit pressure on identical store copies.
+    """
+    writer = _engine(harness, executor="serial", store="sqlite", store_path=store_path)
+    if mode == "fleet":
+        target = ServingFleet.from_store_path(
+            store_path,
+            num_replicas=replicas,
+            max_lag_commits=max_lag_commits,
+            refresh_interval=0.05,
+        )
+    else:
+        target = CatalogSearchService.from_store_path(store_path)
+    server = CatalogHTTPServer(("127.0.0.1", 0), target, max_workers=threads)
+    host, port = server.server_address[:2]
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+
+    stop = threading.Event()
+    max_lag_observed = [0]
+
+    def write_live_batches() -> None:
+        interval = duration / (len(live_batches) + 1)
+        for batch in live_batches:
+            if stop.wait(interval):
+                return
+            writer.ingest(batch)
+            lag = (
+                target.lag()["max_lag"]  # type: ignore[index]
+                if mode == "fleet"
+                else target.lag()
+            )
+            max_lag_observed[0] = max(max_lag_observed[0], int(lag))  # type: ignore[arg-type]
+
+    per_client_latencies: List[List[float]] = [[] for _ in range(clients)]
+    per_client_errors = [0] * clients
+    per_client_snapshots: List[set] = [set() for _ in range(clients)]
+    deadline = time.perf_counter() + duration
+
+    def client_loop(client_id: int) -> None:
+        cursor = client_id * 7919  # co-prime stride: clients diverge
+        latencies = per_client_latencies[client_id]
+        snapshots = per_client_snapshots[client_id]
+        while time.perf_counter() < deadline:
+            query = urllib.parse.quote(queries[cursor % len(queries)])
+            cursor += 1
+            started = time.perf_counter()
+            try:
+                with urllib.request.urlopen(
+                    f"http://{host}:{port}/search?q={query}&k={top_k}", timeout=30
+                ) as response:
+                    payload = json.load(response)
+            except (urllib.error.URLError, OSError, ValueError):
+                per_client_errors[client_id] += 1
+                continue
+            latencies.append(time.perf_counter() - started)
+            snapshots.add(payload["snapshot_commit_count"])
+
+    writer_thread = threading.Thread(target=write_live_batches, daemon=True)
+    client_threads = [
+        threading.Thread(target=client_loop, args=(client_id,), daemon=True)
+        for client_id in range(clients)
+    ]
+    window_start = time.perf_counter()
+    writer_thread.start()
+    for thread in client_threads:
+        thread.start()
+    for thread in client_threads:
+        thread.join()
+    stop.set()
+    writer_thread.join()
+    window_seconds = time.perf_counter() - window_start
+
+    server.shutdown()
+    server.server_close()
+    target.close()
+    writer.close()
+
+    latencies = sorted(
+        latency for bucket in per_client_latencies for latency in bucket
+    )
+    requests = len(latencies)
+    return FleetPhaseResult(
+        mode=mode,
+        replicas=replicas if mode == "fleet" else 1,
+        threads=threads,
+        clients=clients,
+        duration_seconds=window_seconds,
+        requests=requests,
+        errors=sum(per_client_errors),
+        queries_per_second=requests / window_seconds if window_seconds > 0 else 0.0,
+        p50_ms=_percentile(latencies, 0.50) * 1000.0,
+        p95_ms=_percentile(latencies, 0.95) * 1000.0,
+        p99_ms=_percentile(latencies, 0.99) * 1000.0,
+        commits_during_run=len(live_batches),
+        distinct_snapshots=len(set().union(*per_client_snapshots)),
+        max_lag_observed=max_lag_observed[0],
+    )
+
+
+def run_fleet(
+    num_offers: int = 10_000,
+    num_batches: int = 10,
+    top_k: int = 10,
+    seed: int = 2011,
+    store_path: str = "BENCH_serving_catalog.sqlite3",
+    clients: int = 4,
+    duration: float = 5.0,
+    replicas: int = 2,
+    threads: Optional[int] = None,
+    max_lag_commits: int = 2,
+    harness: Optional[ExperimentHarness] = None,
+) -> FleetBenchResult:
+    """Closed-loop fleet stress: single-replica baseline vs the fleet.
+
+    Builds one catalog store from the first ~2/3 of the stream, then
+    runs two measurement windows of ``duration`` seconds each on
+    *copies* of that store — so both phases replay the identical mixed
+    workload: ``clients`` HTTP client threads issuing back-to-back
+    searches while a writer engine commits the remaining batches, paced
+    across the window.  ``threads`` defaults to ``replicas * 2``
+    (workers beyond the replica count only queue on replica locks).
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    if threads is None:
+        threads = max(clients, replicas * 2)
+    if harness is None:
+        factor = max(1.0, num_offers / 1200.0)
+        harness = ExperimentHarness(CorpusPreset.SMALL.config(seed=seed).scaled(factor))
+    offers = harness.unmatched_offers[:num_offers]
+    offers = sorted(offers, key=lambda offer: offer.merchant_id)
+    batches = _batches(offers, num_batches)
+    # Most of the stream seeds the store; the tail is the live ingest
+    # pressure both measurement windows replay.
+    live_count = min(max(1, len(batches) // 3), len(batches) - 1) if len(batches) > 1 else 0
+    build_batches = batches[: len(batches) - live_count]
+    live_batches = batches[len(batches) - live_count :]
+
+    clear_text_caches()
+    _remove_sqlite_files(store_path)
+    engine = _engine(harness, executor="serial", store="sqlite", store_path=store_path)
+    for batch in build_batches:
+        engine.ingest(batch)
+    products = engine.products()
+    engine.close()
+    queries = _query_workload(products, max(256, clients * 64), seed)
+
+    phases: Dict[str, FleetPhaseResult] = {}
+    for mode in ("single", "fleet"):
+        phase_path = f"{store_path}.{mode}"
+        _copy_store(store_path, phase_path)
+        try:
+            phases[mode] = _closed_loop_phase(
+                mode,
+                phase_path,
+                harness,
+                live_batches,
+                queries,
+                top_k,
+                clients,
+                duration,
+                replicas,
+                threads,
+                max_lag_commits,
+            )
+        finally:
+            _remove_sqlite_files(phase_path)
+    _remove_sqlite_files(store_path)
+
+    return FleetBenchResult(
+        num_offers=len(offers),
+        num_batches=len(batches),
+        seed=seed,
+        top_k=top_k,
+        clients=clients,
+        replicas=replicas,
+        threads=threads,
+        cpu_count=os.cpu_count() or 1,
+        num_products=len(products),
+        single=phases["single"],
+        fleet=phases["fleet"],
+    )

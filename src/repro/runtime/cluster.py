@@ -993,6 +993,9 @@ class MultiNodeEngine:
         hinted = partition_offers_by_hint(
             fresh, self._num_shards, self._coordinator.node_for_shard, fallback, self._hinter
         )
+        # Every fresh offer is routed by hint here; together with the
+        # misroute counter below this yields the hint_accuracy gauge.
+        self._coordinator_transport.hinted_offers += len(fresh)
         merged: Dict[str, List[Tuple[int, Offer]]] = {}
         for node_id in sorted(hinted):
             node = self._nodes[node_id]

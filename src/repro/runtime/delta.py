@@ -132,8 +132,24 @@ class TransportStats:
     #: Offers whose routing hint pointed at the wrong node and that were
     #: re-shipped to their true owner at the classification barrier.
     misrouted_offers: int = 0
+    #: Offers that were hint-routed at all (misrouted or not); the
+    #: denominator of :attr:`hint_accuracy`.
+    hinted_offers: int = 0
 
-    def to_dict(self) -> Dict[str, int]:
+    @property
+    def hint_accuracy(self) -> Optional[float]:
+        """Fraction of hint-routed offers whose hint was correct.
+
+        ``None`` when hint routing never ran (no denominator) — the
+        gauge the ROADMAP asks for: an accuracy that degrades over a
+        stream is the signal to retrain or widen the hinter's vote
+        table, *before* misroute re-ships start dominating transport.
+        """
+        if self.hinted_offers == 0:
+            return None
+        return 1.0 - self.misrouted_offers / self.hinted_offers
+
+    def to_dict(self) -> Dict[str, object]:
         """JSON-compatible summary."""
         return {
             "batches": self.batches,
@@ -147,6 +163,8 @@ class TransportStats:
             "frame_bytes_sent": self.frame_bytes_sent,
             "frame_bytes_received": self.frame_bytes_received,
             "misrouted_offers": self.misrouted_offers,
+            "hinted_offers": self.hinted_offers,
+            "hint_accuracy": self.hint_accuracy,
         }
 
     def merge(self, other: "TransportStats") -> None:
@@ -166,6 +184,7 @@ class TransportStats:
         self.frame_bytes_sent += other.frame_bytes_sent
         self.frame_bytes_received += other.frame_bytes_received
         self.misrouted_offers += other.misrouted_offers
+        self.hinted_offers += other.hinted_offers
 
 
 @dataclass

@@ -1096,6 +1096,9 @@ class MultiProcessEngine:
         hinted = partition_offers_by_hint(
             fresh, self._num_shards, self._coordinator.node_for_shard, fallback, self._hinter
         )
+        # Every fresh offer is hint-routed; with the misroute counter
+        # below this feeds the hint_accuracy gauge.
+        self._pipe_stats.hinted_offers += len(fresh)
         assignment = {
             shard: self._coordinator.node_for_shard(shard)
             for shard in range(self._num_shards)

@@ -22,11 +22,19 @@ propagation from the transactional side):
     :class:`~repro.serving.service.CatalogSearchService` — the facade
     gluing index to feed or reader, with the snapshot-isolation
     guarantee: a query never sees a half-applied batch.
+``fleet``
+    :class:`~repro.serving.fleet.ServingFleet` — N replicated services
+    over one shared store behind a least-in-flight front: per-request
+    snapshot pinning, bounded divergence (``max_lag_commits``) with a
+    background refresher, fault route-around, and replica restart.
 ``http``
-    Stdlib JSON endpoints (``/search``, ``/product/<id>``, ``/stats``)
-    behind the ``runtime-serve`` CLI command.
+    Stdlib JSON endpoints (``/search``, ``/product/<id>``, ``/health``,
+    ``/lag``, ``/stats``) behind the ``runtime-serve`` CLI command,
+    fronting either a single service or a fleet, optionally with a
+    bounded worker pool.
 """
 
+from repro.serving.fleet import FleetSearchResponse, FleetUnavailableError, ServingFleet
 from repro.serving.http import CatalogHTTPServer, serve
 from repro.serving.index import CatalogIndex, SearchResult
 from repro.serving.reader import CatalogReader, StaleSnapshotError
@@ -38,6 +46,9 @@ __all__ = [
     "CatalogReader",
     "StaleSnapshotError",
     "CatalogSearchService",
+    "ServingFleet",
+    "FleetSearchResponse",
+    "FleetUnavailableError",
     "CatalogHTTPServer",
     "serve",
 ]

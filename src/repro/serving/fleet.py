@@ -1,0 +1,491 @@
+"""A replicated serving fleet: N snapshot-pinned readers, one front.
+
+One :class:`~repro.serving.service.CatalogSearchService` caps out at a
+single index and a single lock — fine for a drill, not for heavy
+traffic.  :class:`ServingFleet` runs ``N`` replica services over the
+same catalog (each with its **own** read-only WAL connection and its
+own index copy, or each subscribed to the same engine commit feed) and
+load-balances queries across them:
+
+* **Per-request snapshot pinning** — every query executes atomically
+  against exactly one replica's served snapshot and reports which
+  commit prefix that was (:class:`FleetSearchResponse`).  Replicas may
+  trail the store head by a *bounded* number of commits
+  (``max_lag_commits``, the Polynesia-style divergence bound), which
+  keeps index rebuilds off the request path; the bound is observable
+  per replica through :meth:`lag`.
+* **Routing** — least-in-flight with a rotating tie-break, so a replica
+  busy rebuilding (or hung) is naturally avoided while it is slow.
+* **Route-around** — a replica whose query raises is marked unhealthy
+  and the request transparently retries on the survivors;
+  :meth:`health` (and the HTTP ``/health`` endpoint) flips immediately.
+  :meth:`restart_replica` stands a dead replica back up from the store
+  file (or the engine feed) and re-admits it.
+* **Background refresh** — an optional refresher thread resyncs the
+  most-lagged replica once per interval (one rebuild in flight at a
+  time, fleet-wide), so a busy writer never stalls every replica at
+  once.  :meth:`refresh_once` is the same step, callable
+  deterministically.
+
+The fleet exposes the same query surface as a single service, so the
+HTTP layer serves either interchangeably.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.runtime.engine import SynthesisEngine
+from repro.serving.index import SearchResult
+from repro.serving.service import CatalogSearchService
+
+__all__ = ["FleetSearchResponse", "FleetUnavailableError", "ServingFleet"]
+
+
+class FleetUnavailableError(RuntimeError):
+    """No healthy replica was able to serve a request.
+
+    Raised after the front has tried every live replica (route-around
+    included); the HTTP layer maps it to a 503.  The fleet stays up —
+    restarting a replica re-admits it.
+    """
+
+
+@dataclass
+class FleetSearchResponse:
+    """One fleet query's pinned, attributed answer."""
+
+    #: Which replica served the request (after any route-around).
+    replica_id: int
+    #: The committed stream prefix the results correspond to.
+    snapshot_commit_count: int
+    results: List[SearchResult]
+
+
+class _Replica:
+    """Fleet-side bookkeeping around one replica service."""
+
+    def __init__(self, replica_id: int, service: CatalogSearchService) -> None:
+        self.replica_id = replica_id
+        self.service = service
+        self.healthy = True
+        self.in_flight = 0
+        self.queries_served = 0
+        self.restarts = 0
+        self.last_error: Optional[str] = None
+        #: Test/drill hook invoked (with the operation name) before each
+        #: request this replica serves; raising simulates a replica
+        #: crash, blocking simulates a hang.
+        self.fault_hook: Optional[Callable[[str], None]] = None
+
+
+class ServingFleet:
+    """Load-balancing front over N replicated catalog search services.
+
+    Build one with :meth:`from_store_path` (reader-driven replicas over
+    a shared WAL file — the cross-process deployment) or
+    :meth:`from_engine` (feed-driven replicas co-located with a live
+    engine).  The direct constructor accepts pre-built services, with
+    ``head`` supplying the store-head commit counter for lag reporting.
+    """
+
+    def __init__(
+        self,
+        services: Sequence[CatalogSearchService],
+        head: Optional[Callable[[], int]] = None,
+        store_path: Optional[str] = None,
+        engine: Optional[SynthesisEngine] = None,
+        page_size: int = 256,
+        max_cached_pages: int = 64,
+        max_lag_commits: int = 0,
+        refresh_interval: Optional[float] = None,
+    ) -> None:
+        if not services:
+            raise ValueError("a serving fleet needs at least one replica service")
+        if max_lag_commits < 0:
+            raise ValueError(f"max_lag_commits must be >= 0, got {max_lag_commits}")
+        if refresh_interval is not None and refresh_interval <= 0:
+            raise ValueError(f"refresh_interval must be > 0, got {refresh_interval}")
+        self._replicas = [
+            _Replica(replica_id, service) for replica_id, service in enumerate(services)
+        ]
+        self._store_path = store_path
+        self._engine = engine
+        self._page_size = page_size
+        self._max_cached_pages = max_cached_pages
+        self._max_lag_commits = max_lag_commits
+        self._lock = threading.Lock()
+        self._cursor = 0
+        self._failovers = 0
+        self._closed = False
+        self._head = head if head is not None else self._default_head
+        self._refresh_interval = refresh_interval
+        self._stop_refresher = threading.Event()
+        self._refresher: Optional[threading.Thread] = None
+        if refresh_interval is not None:
+            self._refresher = threading.Thread(
+                target=self._refresh_loop, name="fleet-refresher", daemon=True
+            )
+            self._refresher.start()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_store_path(
+        cls,
+        path: str,
+        num_replicas: int = 2,
+        page_size: int = 256,
+        max_cached_pages: int = 64,
+        max_lag_commits: int = 0,
+        refresh_interval: Optional[float] = None,
+    ) -> "ServingFleet":
+        """N reader-driven replicas over one shared WAL store file.
+
+        Every replica opens its own read-only connection (and builds its
+        own index), so replicas resync — and fail — independently.
+        """
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        services = [
+            CatalogSearchService.from_store_path(
+                path, page_size=page_size, max_cached_pages=max_cached_pages
+            )
+            for _ in range(num_replicas)
+        ]
+        return cls(
+            services,
+            store_path=path,
+            page_size=page_size,
+            max_cached_pages=max_cached_pages,
+            max_lag_commits=max_lag_commits,
+            refresh_interval=refresh_interval,
+        )
+
+    @classmethod
+    def from_engine(
+        cls, engine: SynthesisEngine, num_replicas: int = 2
+    ) -> "ServingFleet":
+        """N feed-driven replicas subscribed to one live engine.
+
+        Feed replicas are maintained synchronously at each commit, so
+        their divergence bound is effectively zero; the fleet still adds
+        N-way lock parallelism and route-around.
+        """
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        services = [
+            CatalogSearchService.from_engine(engine) for _ in range(num_replicas)
+        ]
+        return cls(services, engine=engine)
+
+    def _default_head(self) -> int:
+        """Store-head commit counter when no explicit ``head`` was given."""
+        if self._engine is not None:
+            return self._engine.store.commit_count
+        best = 0
+        for replica in self._replicas:
+            try:
+                best = max(best, replica.service.head_commit_count())
+            except Exception:  # noqa: BLE001 - a dead replica must not hide the head
+                continue
+        return best
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def num_replicas(self) -> int:
+        """Fleet size (healthy or not)."""
+        return len(self._replicas)
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """Shared store file of reader-driven fleets (``None`` for feed)."""
+        return self._store_path
+
+    def close(self) -> None:
+        """Stop the refresher and close every replica (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_refresher.set()
+        if self._refresher is not None:
+            self._refresher.join(timeout=5)
+        for replica in self._replicas:
+            replica.service.close()
+
+    def __enter__(self) -> "ServingFleet":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, traceback: object) -> None:
+        self.close()
+
+    # -- routing ---------------------------------------------------------------
+
+    def _acquire(self) -> _Replica:
+        """Pick a healthy replica: least in-flight, rotating tie-break."""
+        with self._lock:
+            healthy = [replica for replica in self._replicas if replica.healthy]
+            if not healthy:
+                raise FleetUnavailableError(
+                    f"all {len(self._replicas)} replicas are unhealthy"
+                )
+            self._cursor += 1
+            cursor = self._cursor
+            chosen = min(
+                healthy,
+                key=lambda replica: (
+                    replica.in_flight,
+                    (replica.replica_id - cursor) % len(self._replicas),
+                ),
+            )
+            chosen.in_flight += 1
+            return chosen
+
+    def _release(self, replica: _Replica, served: bool) -> None:
+        with self._lock:
+            replica.in_flight -= 1
+            if served:
+                replica.queries_served += 1
+
+    def _mark_unhealthy(self, replica: _Replica, error: BaseException) -> None:
+        with self._lock:
+            replica.healthy = False
+            replica.last_error = f"{type(error).__name__}: {error}"
+            self._failovers += 1
+
+    def _run(self, operation: str, runner):
+        """Execute ``runner(service)`` on a healthy replica, routing around
+        failures; returns ``(replica_id, outcome)``."""
+        last_error: Optional[BaseException] = None
+        for _ in range(len(self._replicas) + 1):
+            try:
+                replica = self._acquire()
+            except FleetUnavailableError:
+                break
+            service = replica.service
+            served = False
+            try:
+                if replica.fault_hook is not None:
+                    replica.fault_hook(operation)
+                outcome = runner(service)
+                served = True
+            except Exception as error:  # noqa: BLE001 - any failure fails over
+                # A handle that lost a concurrent restart_replica race
+                # (the retired service got closed under this request)
+                # is not the *new* replica's failure — retry without
+                # flagging it.
+                if service is replica.service:
+                    self._mark_unhealthy(replica, error)
+                last_error = error
+                continue
+            finally:
+                self._release(replica, served)
+            return replica.replica_id, outcome
+        detail = f" (last error: {last_error})" if last_error is not None else ""
+        raise FleetUnavailableError(
+            f"no healthy replica could serve {operation!r}{detail}"
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        top_k: int = 10,
+        category: Optional[str] = None,
+        attributes: Optional[Dict[str, str]] = None,
+    ) -> FleetSearchResponse:
+        """Ranked top-k search on one replica, pinned to its snapshot."""
+        replica_id, (snapshot, results) = self._run(
+            "search",
+            lambda service: service.search_pinned(
+                query,
+                top_k=top_k,
+                category=category,
+                attributes=attributes,
+                max_lag_commits=self._max_lag_commits,
+            ),
+        )
+        return FleetSearchResponse(replica_id, snapshot, results)
+
+    def get_product(self, product_id: str):
+        """Point lookup; returns ``(replica_id, snapshot, product-or-None)``."""
+        replica_id, (snapshot, product) = self._run(
+            "get_product",
+            lambda service: service.get_product_pinned(
+                product_id, max_lag_commits=self._max_lag_commits
+            ),
+        )
+        return replica_id, snapshot, product
+
+    def count_by_category(self) -> Dict[str, int]:
+        """Category facet of one replica's served snapshot."""
+        return self._run(
+            "count_by_category", lambda service: service.count_by_category()
+        )[1]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def refresh_once(self) -> Optional[int]:
+        """Resync the most-lagged healthy replica; returns its id (or None).
+
+        One replica rebuilds at a time, fleet-wide, so a commit burst
+        never stalls the whole fleet.  A resync pulls the replica all
+        the way to the current head — intermediate commits are skipped,
+        which is where a lag-bounded fleet does strictly less rebuild
+        work than per-request resyncing.
+        """
+        try:
+            head = self._head()
+        except Exception:  # noqa: BLE001 - head unreadable: nothing to refresh to
+            return None
+        with self._lock:
+            candidates = [
+                (head - replica.service.snapshot_commit_count, replica.replica_id)
+                for replica in self._replicas
+                if replica.healthy
+            ]
+        candidates = [entry for entry in candidates if entry[0] > 0]
+        if not candidates:
+            return None
+        _, replica_id = max(candidates)
+        replica = self._replicas[replica_id]
+        try:
+            replica.service.resync()
+        except Exception as error:  # noqa: BLE001 - a broken replica is routed around
+            self._mark_unhealthy(replica, error)
+            return None
+        return replica_id
+
+    def _refresh_loop(self) -> None:
+        while not self._stop_refresher.wait(self._refresh_interval):
+            self.refresh_once()
+
+    def set_fault_hook(
+        self, replica_id: int, hook: Optional[Callable[[str], None]]
+    ) -> None:
+        """Install a per-replica fault hook (tests/drills); ``None`` clears."""
+        self._replica(replica_id).fault_hook = hook
+
+    def _replica(self, replica_id: int) -> _Replica:
+        if not 0 <= replica_id < len(self._replicas):
+            raise KeyError(f"no replica {replica_id} in a fleet of {len(self._replicas)}")
+        return self._replicas[replica_id]
+
+    def restart_replica(self, replica_id: int) -> None:
+        """Replace one replica with a freshly opened service and re-admit it.
+
+        The replacement is built first (from the store file, or from the
+        engine feed), then swapped in atomically.  An in-flight request
+        on the retired service either finishes against its pinned
+        snapshot or — if the close catches it mid-resync — retries
+        transparently on a live replica, without flagging the fresh
+        one.  Fault hooks do not survive a restart, matching a real
+        process replacement.
+        """
+        replica = self._replica(replica_id)
+        if self._store_path is not None:
+            fresh = CatalogSearchService.from_store_path(
+                self._store_path,
+                page_size=self._page_size,
+                max_cached_pages=self._max_cached_pages,
+            )
+        elif self._engine is not None:
+            fresh = CatalogSearchService.from_engine(self._engine)
+        else:
+            raise RuntimeError(
+                "this fleet was built from detached services; there is no "
+                "store path or engine to restart a replica from"
+            )
+        with self._lock:
+            stale = replica.service
+            replica.service = fresh
+            replica.healthy = True
+            replica.last_error = None
+            replica.fault_hook = None
+            replica.restarts += 1
+        stale.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Fleet and per-replica health (the ``/health`` body).
+
+        ``healthy`` is fleet-level: at least one replica can serve.  A
+        replica that failed a request stays listed with its last error
+        until restarted, so operators see *why* the front routed around.
+        """
+        with self._lock:
+            replicas = [
+                {
+                    "replica_id": replica.replica_id,
+                    "healthy": replica.healthy,
+                    "in_flight": replica.in_flight,
+                    "queries_served": replica.queries_served,
+                    "restarts": replica.restarts,
+                    "last_error": replica.last_error,
+                }
+                for replica in self._replicas
+            ]
+        healthy_count = sum(1 for entry in replicas if entry["healthy"])
+        return {
+            "healthy": healthy_count > 0,
+            "num_replicas": len(self._replicas),
+            "healthy_replicas": healthy_count,
+            "failovers": self._failovers,
+            "replicas": replicas,
+        }
+
+    def lag(self) -> Dict[str, object]:
+        """Per-replica divergence from the store head (the ``/lag`` body).
+
+        Each replica reports the commit prefix it is pinned to
+        (``snapshot_commit_count``) against the head read from the
+        store; ``max_lag_commits`` is the configured bound the request
+        path enforces, so ``lag <= max_lag_commits`` is the invariant
+        an operator alerts on (modulo the one-resync race while a
+        refresh is in flight).
+        """
+        head = self._head()
+        replicas = []
+        for replica in self._replicas:
+            snapshot = replica.service.snapshot_commit_count
+            replicas.append(
+                {
+                    "replica_id": replica.replica_id,
+                    "healthy": replica.healthy,
+                    "snapshot_commit_count": snapshot,
+                    "lag": max(0, head - snapshot),
+                }
+            )
+        return {
+            "head_commit_count": head,
+            "max_lag_commits": self._max_lag_commits,
+            "max_lag": max((entry["lag"] for entry in replicas), default=0),
+            "replicas": replicas,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-compatible fleet statistics (the ``/stats`` body)."""
+        health = self.health()
+        with self._lock:
+            total_queries = sum(replica.queries_served for replica in self._replicas)
+        payload: Dict[str, object] = {
+            "mode": "fleet",
+            "num_replicas": len(self._replicas),
+            "healthy_replicas": health["healthy_replicas"],
+            "failovers": health["failovers"],
+            "queries_served": total_queries,
+            "max_lag_commits": self._max_lag_commits,
+            "refresh_interval": self._refresh_interval,
+            "replicas": [
+                dict(entry, **{"stats": self._replicas[entry["replica_id"]].service.stats()})  # type: ignore[index]
+                for entry in health["replicas"]  # type: ignore[union-attr]
+            ],
+        }
+        if self._store_path is not None:
+            payload["store_path"] = self._store_path
+        return payload

@@ -95,13 +95,17 @@ class CatalogReader:
         self._page_size = page_size
         self._max_cached_pages = max_cached_pages
         self._lock = threading.Lock()
-        #: (commit_count, after-key) -> page; cleared when the snapshot moves.
+        #: (commit_count, after-key) -> page; entries of dead snapshots
+        #: are evicted as soon as a newer commit is observed, and the
+        #: LRU bound caps residency across *all* snapshots.
         self._page_cache: "OrderedDict[Tuple[int, Optional[ClusterId]], _Page]" = (
             OrderedDict()
         )
         self._cache_snapshot = -1
         self._page_cache_hits = 0
         self._page_cache_misses = 0
+        self._pages_evicted = 0
+        self._peak_cached_pages = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -116,12 +120,20 @@ class CatalogReader:
         return self._connection is None
 
     def close(self) -> None:
-        """Release the read connection (idempotent)."""
-        if self._connection is None:
-            return
-        self._connection.close()
-        self._connection = None
-        self._page_cache.clear()
+        """Release the read connection (idempotent, thread-safe).
+
+        Taken under the reader lock: closing a sqlite3 connection while
+        another thread executes a statement on it segfaults the
+        interpreter, and the fleet closes retired replica services from
+        whatever thread called ``restart_replica``.  A read in flight
+        finishes first; later reads raise cleanly.
+        """
+        with self._lock:
+            if self._connection is None:
+                return
+            self._connection.close()
+            self._connection = None
+            self._page_cache.clear()
 
     def __enter__(self) -> "CatalogReader":
         return self
@@ -147,11 +159,33 @@ class CatalogReader:
 
         Monotonic; a change means a writer completed a commit barrier
         since the last look, i.e. a new committed prefix is visible.
+        Observing a newer commit also evicts cached pages of the now
+        dead snapshot — a lag-bounded replica that only *checks* the
+        head for a while must not keep a stale snapshot's pages pinned
+        in memory on top of the fresh ones.
         """
         with self._lock:
-            return self._read_commit_count(self._require_open())
+            head = self._read_commit_count(self._require_open())
+            if head != self._cache_snapshot:
+                self._evict_dead_pages(head)
+            return head
 
     # -- reads -----------------------------------------------------------------
+
+    def _evict_dead_pages(self, snapshot: int) -> None:
+        """Drop every cached page that belongs to a snapshot other than
+        ``snapshot`` (the caller holds the lock).
+
+        The cache key carries the snapshot, so without this sweep the
+        pages of superseded snapshots would linger until LRU pressure
+        pushed them out — across many resyncs that is memory held for
+        catalogs nobody can read any more.
+        """
+        dead = [key for key in self._page_cache if key[0] != snapshot]
+        for key in dead:
+            del self._page_cache[key]
+        self._pages_evicted += len(dead)
+        self._cache_snapshot = snapshot
 
     def _cached_page(
         self,
@@ -161,8 +195,7 @@ class CatalogReader:
     ) -> _Page:
         """One page of ``snapshot``, via the LRU cache."""
         if snapshot != self._cache_snapshot:
-            self._page_cache.clear()
-            self._cache_snapshot = snapshot
+            self._evict_dead_pages(snapshot)
         key = (snapshot, after)
         page = self._page_cache.get(key)
         if page is not None:
@@ -174,6 +207,7 @@ class CatalogReader:
         self._page_cache[key] = page
         while len(self._page_cache) > self._max_cached_pages:
             self._page_cache.popitem(last=False)
+        self._peak_cached_pages = max(self._peak_cached_pages, len(self._page_cache))
         return page
 
     def read_products(self) -> Tuple[int, List[Product]]:
@@ -276,10 +310,12 @@ class CatalogReader:
             return int(row[0])
 
     def cache_stats(self) -> Dict[str, int]:
-        """Page-cache accounting (hits, misses, resident pages)."""
+        """Page-cache accounting (hits, misses, residency, evictions)."""
         with self._lock:
             return {
                 "page_cache_hits": self._page_cache_hits,
                 "page_cache_misses": self._page_cache_misses,
                 "cached_pages": len(self._page_cache),
+                "pages_evicted": self._pages_evicted,
+                "peak_cached_pages": self._peak_cached_pages,
             }

@@ -23,7 +23,7 @@ exactly one committed prefix of the ingest stream (reported as
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.model.products import Product
 from repro.runtime.engine import CommitEvent, SynthesisEngine
@@ -134,15 +134,21 @@ class CatalogSearchService:
                 self._resyncs += 1
             return self._snapshot_commit_count
 
-    def maybe_resync(self) -> bool:
-        """Resync if (and only if) a writer committed since the last look.
+    def maybe_resync(self, max_lag_commits: int = 0) -> bool:
+        """Resync when the served snapshot trails the store's head too far.
 
-        Cheap when current — one ``meta`` row read.  Feed-driven
-        services are always current and return ``False``.
+        ``max_lag_commits`` is the divergence bound: 0 (the default)
+        resyncs on *any* newer commit — exactly-current serving; a
+        positive bound lets the service keep answering from a snapshot
+        at most that many commits behind, which is what a fleet replica
+        runs with so index rebuilds stay off the request path.  Cheap
+        when within bound — one ``meta`` row read.  Feed-driven services
+        are always current and return ``False``.
         """
         if self._reader is None:
             return False
-        if self._reader.commit_count() == self._snapshot_commit_count:
+        head = self._reader.commit_count()
+        if head - self.snapshot_commit_count <= max_lag_commits:
             return False
         self.resync()
         return True
@@ -163,19 +169,54 @@ class CatalogSearchService:
         last commit barrier at call time — and never anything newer or
         torn either.
         """
-        self.maybe_resync()
+        return self.search_pinned(
+            query, top_k=top_k, category=category, attributes=attributes
+        )[1]
+
+    def search_pinned(
+        self,
+        query: str,
+        top_k: int = 10,
+        category: Optional[str] = None,
+        attributes: Optional[Dict[str, str]] = None,
+        auto_resync: bool = True,
+        max_lag_commits: int = 0,
+    ) -> Tuple[int, List[SearchResult]]:
+        """Like :meth:`search`, returning ``(snapshot, results)`` atomically.
+
+        The snapshot is read under the same lock hold that executes the
+        search, so under concurrent maintenance (commit feed, resyncs,
+        a fleet refresher) the pair is guaranteed consistent — reading
+        :attr:`snapshot_commit_count` *after* :meth:`search` is not.
+        ``auto_resync=False`` skips the head check entirely (a fleet
+        whose refresher owns maintenance pins to whatever the replica
+        currently serves); ``max_lag_commits`` bounds the staleness the
+        inline check tolerates.
+        """
+        if auto_resync:
+            self.maybe_resync(max_lag_commits)
         with self._lock:
             self._queries_served += 1
-            return self._index.search(
+            return self._snapshot_commit_count, self._index.search(
                 query, top_k=top_k, category=category, attributes=attributes
             )
 
     def get_product(self, product_id: str) -> Optional[Product]:
         """Point lookup by product id against the served snapshot."""
-        self.maybe_resync()
+        return self.get_product_pinned(product_id)[1]
+
+    def get_product_pinned(
+        self,
+        product_id: str,
+        auto_resync: bool = True,
+        max_lag_commits: int = 0,
+    ) -> Tuple[int, Optional[Product]]:
+        """Point lookup returning ``(snapshot, product)`` atomically."""
+        if auto_resync:
+            self.maybe_resync(max_lag_commits)
         with self._lock:
             self._queries_served += 1
-            return self._index.get_product(product_id)
+            return self._snapshot_commit_count, self._index.get_product(product_id)
 
     def count_by_category(self) -> Dict[str, int]:
         """The category facet of the served snapshot."""
@@ -191,6 +232,24 @@ class CatalogSearchService:
         """Commit barrier the served index corresponds to."""
         with self._lock:
             return self._snapshot_commit_count
+
+    def head_commit_count(self) -> int:
+        """The newest committed snapshot available to this service.
+
+        Reader-driven: the store file's persistent counter (one ``meta``
+        row read).  Feed-driven: the engine store's counter — the feed
+        applies commits synchronously, so head and served snapshot only
+        diverge for the instant a commit listener is running.
+        """
+        if self._reader is not None:
+            return self._reader.commit_count()
+        if self._engine is not None:
+            return self._engine.store.commit_count
+        return self.snapshot_commit_count
+
+    def lag(self) -> int:
+        """Commits between the store head and the served snapshot (>= 0)."""
+        return max(0, self.head_commit_count() - self.snapshot_commit_count)
 
     @property
     def num_products(self) -> int:

@@ -601,3 +601,81 @@ class TestClusterFacade:
         with pytest.raises(RuntimeError, match="closed"):
             cluster.ingest(batches[1])
         cluster.close()
+
+
+class TestHintAccuracyGauge:
+    """ISSUE 8 satellite (ROADMAP 5c): hint accuracy as a first-class gauge."""
+
+    def test_transport_stats_gauge_semantics(self):
+        from repro.runtime.delta import TransportStats
+
+        stats = TransportStats()
+        assert stats.hint_accuracy is None  # hint routing never ran
+        assert stats.to_dict()["hint_accuracy"] is None
+        stats.hinted_offers = 80
+        stats.misrouted_offers = 20
+        assert stats.hint_accuracy == 0.75
+        other = TransportStats(hinted_offers=20, misrouted_offers=0)
+        stats.merge(other)
+        assert stats.hinted_offers == 100
+        assert stats.hint_accuracy == 0.80
+        assert stats.to_dict()["hinted_offers"] == 100
+
+    def test_hint_accuracy_pinned_on_fixed_stream(self, tiny_harness):
+        """The gauge equals an independent replay of the hint decisions."""
+        from repro.runtime import shard_for_category
+        from repro.runtime.cluster import CategoryHinter
+
+        batches = feed_stream(tiny_harness)
+        cluster = make_cluster(
+            tiny_harness, num_nodes=2, num_shards=8, hint_routing=True
+        )
+        probe = make_single(tiny_harness, num_shards=8)
+        hinter = CategoryHinter.from_classifier(tiny_harness.category_classifier)
+        assignment = cluster.coordinator.assignment()
+        fallback = cluster.node_ids()[0]
+
+        expected_hinted = 0
+        expected_misrouted = 0
+        try:
+            for batch in batches:
+                # Replay the routing decision offer by offer: hinted owner
+                # versus the owner the real classifier dictates.
+                for offer, classified in zip(batch, probe.classify_offers(batch)):
+                    hint = hinter.hint(offer)
+                    hinted_owner = (
+                        assignment[shard_for_category(hint, 8)] if hint else fallback
+                    )
+                    true_owner = (
+                        assignment[shard_for_category(classified.category_id, 8)]
+                        if classified.category_id is not None
+                        else fallback
+                    )
+                    expected_hinted += 1
+                    if hinted_owner != true_owner:
+                        expected_misrouted += 1
+                cluster.ingest(batch)
+
+            stats = cluster.transport_stats()
+            assert stats.hinted_offers == expected_hinted
+            assert stats.misrouted_offers == expected_misrouted
+            assert stats.hint_accuracy == 1.0 - expected_misrouted / expected_hinted
+            assert stats.to_dict()["hint_accuracy"] == stats.hint_accuracy
+            # The stream is fixed (tiny corpus, feed order), so the gauge
+            # itself is pinned: hints must be right most of the time, or
+            # hint routing would be all re-ship traffic.
+            assert expected_hinted == sum(len(batch) for batch in batches)
+            assert stats.hint_accuracy >= 0.5
+        finally:
+            probe.close()
+            cluster.close()
+
+    def test_coordinator_routing_reports_no_hinted_offers(self, tiny_harness):
+        """Without hint routing the gauge must stay None, not fake 1.0."""
+        cluster = make_cluster(tiny_harness, num_nodes=2, num_shards=8)
+        for batch in feed_stream(tiny_harness):
+            cluster.ingest(batch)
+        stats = cluster.transport_stats()
+        assert stats.hinted_offers == 0
+        assert stats.hint_accuracy is None
+        cluster.close()

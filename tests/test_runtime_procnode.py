@@ -464,3 +464,33 @@ class TestAutoRebalance:
         assert cluster.skew_watcher is not None
         assert sorted(fingerprint(cluster.products())) == feed_expected
         cluster.close()
+
+
+class TestHintTransportStats:
+    def test_hint_routing_reports_accuracy_gauge(self, tmp_path, tiny_harness, feed_expected):
+        """Hint mode counts every routed offer as hinted, and the
+        accuracy gauge is exactly 1 - misrouted/hinted after the run."""
+        cluster = make_cluster(
+            tiny_harness, tmp_path, num_nodes=2, num_shards=8, hint_routing=True
+        )
+        batches = feed_stream(tiny_harness)
+        total = sum(len(batch) for batch in batches)
+        for batch in batches:
+            cluster.ingest(batch)
+        stats = cluster.transport_stats()
+        assert stats.hinted_offers == total
+        assert 0 <= stats.misrouted_offers <= stats.hinted_offers
+        assert stats.hint_accuracy == 1.0 - stats.misrouted_offers / stats.hinted_offers
+        assert stats.to_dict()["hint_accuracy"] == stats.hint_accuracy
+        assert sorted(fingerprint(cluster.products())) == feed_expected
+        cluster.close()
+
+    def test_coordinator_routing_reports_no_hints(self, tmp_path, tiny_harness):
+        """Without hint routing the gauge stays undefined, not zero."""
+        cluster = make_cluster(tiny_harness, tmp_path, num_nodes=2, num_shards=8)
+        for batch in feed_stream(tiny_harness, num_batches=2):
+            cluster.ingest(batch)
+        stats = cluster.transport_stats()
+        assert stats.hinted_offers == 0
+        assert stats.hint_accuracy is None
+        cluster.close()

@@ -386,6 +386,8 @@ class TestDeltaProtocol:
             "frame_bytes_sent": stats.frame_bytes_sent,
             "frame_bytes_received": stats.frame_bytes_received,
             "misrouted_offers": stats.misrouted_offers,
+            "hinted_offers": stats.hinted_offers,
+            "hint_accuracy": stats.hint_accuracy,
         }
         # merge() is plain summation (the multi-node aggregation path).
         from repro.runtime import TransportStats

@@ -275,3 +275,55 @@ class TestReaderDrivenService:
             service.resync()
         service.close()
         engine.close()
+
+
+class TestPageCacheBoundedAcrossSnapshots:
+    """ISSUE 8 satellite: dead-snapshot pages must not accumulate."""
+
+    def test_memory_flat_across_100_resyncs(self, tiny_harness, tmp_path):
+        path = str(tmp_path / "resyncs.sqlite3")
+        engine = make_engine(tiny_harness, store="sqlite", store_path=path)
+        offers = tiny_harness.unmatched_offers
+        engine.ingest(offers)
+
+        reader = CatalogReader(path, page_size=4, max_cached_pages=1000)
+        snapshot, products = reader.read_products()
+        # One full scan's footprint: every product page plus the empty
+        # terminator page that ends the keyset walk.
+        pages_per_scan = len(products) // 4 + 1 + (1 if len(products) % 4 else 0)
+        assert reader.cache_stats()["cached_pages"] == pages_per_scan
+        assert pages_per_scan > 3  # the bound below must be meaningful
+
+        for round_number in range(100):
+            # Replaying seen offers still commits: a fresh snapshot id
+            # per round, with identical page contents under new keys.
+            engine.ingest([offers[round_number % len(offers)]])
+            head = reader.commit_count()
+            resynced, _ = reader.read_products()
+            assert resynced == head
+            stats = reader.cache_stats()
+            # Flat memory: never more than one snapshot's pages resident,
+            # even though the LRU bound (1000) would allow ~25 snapshots.
+            assert stats["cached_pages"] <= pages_per_scan
+            assert stats["peak_cached_pages"] <= pages_per_scan
+
+        stats = reader.cache_stats()
+        assert stats["pages_evicted"] >= 100 * (pages_per_scan - 1)
+        reader.close()
+        engine.close()
+
+    def test_lag_polling_alone_evicts_dead_snapshot_pages(self, tiny_harness, tmp_path):
+        """commit_count() — what a lag probe calls — must already evict."""
+        path = str(tmp_path / "lagpoll.sqlite3")
+        engine = make_engine(tiny_harness, store="sqlite", store_path=path)
+        engine.ingest(tiny_harness.unmatched_offers)
+        reader = CatalogReader(path, page_size=8)
+        reader.read_products()
+        assert reader.cache_stats()["cached_pages"] > 0
+        engine.ingest([tiny_harness.unmatched_offers[0]])
+        reader.commit_count()  # no page read, just the head probe
+        stats = reader.cache_stats()
+        assert stats["cached_pages"] == 0
+        assert stats["pages_evicted"] > 0
+        reader.close()
+        engine.close()
