@@ -357,6 +357,13 @@ def _parse_serving_bench_args(argv: Sequence[str]) -> argparse.Namespace:
         help="SQLite store file (default: BENCH_serving_catalog.sqlite3)",
     )
     parser.add_argument(
+        "--index-backend",
+        choices=["memory", "fts"],
+        default="memory",
+        help="serving index implementation: in-process inverted index or "
+        "SQLite FTS5 (default: memory; rankings are identical either way)",
+    )
+    parser.add_argument(
         "--clients",
         type=int,
         default=0,
@@ -426,9 +433,21 @@ def _parse_serving_bench_args(argv: Sequence[str]) -> argparse.Namespace:
     return args
 
 
+def _fts5_available() -> bool:
+    """Whether this interpreter's SQLite can back ``--index-backend fts``."""
+    # Imported here: the tables/figures paths must not drag serving in.
+    from repro.serving.fts import fts5_available
+
+    return fts5_available()
+
+
 def _run_serving_bench(argv: Sequence[str]) -> int:
     """Dispatch the ``serving-bench`` subcommand (classic or closed-loop)."""
     args = _parse_serving_bench_args(argv)
+    if args.index_backend == "fts" and not _fts5_available():
+        print("serving-bench: this SQLite build lacks FTS5; --index-backend fts "
+              "is unavailable")
+        return 2
     if args.clients:
         fleet_result = serving_bench.run_fleet(
             num_offers=args.offers,
@@ -440,6 +459,7 @@ def _run_serving_bench(argv: Sequence[str]) -> int:
             duration=args.duration,
             replicas=args.replicas,
             threads=args.threads,
+            index_backend=args.index_backend,
         )
         print(fleet_result.to_text())
         if args.json:
@@ -455,6 +475,7 @@ def _run_serving_bench(argv: Sequence[str]) -> int:
         seed=args.seed,
         store=args.store,
         store_path=args.store_path,
+        index_backend=args.index_backend,
     )
     print(result.to_text())
     if args.json:
@@ -510,6 +531,13 @@ def _parse_runtime_serve_args(argv: Sequence[str]) -> argparse.Namespace:
         help="fleet divergence bound: replicas may trail the store head "
         "by up to N commits between refreshes (default: 2)",
     )
+    parser.add_argument(
+        "--index-backend",
+        choices=["memory", "fts"],
+        default="memory",
+        help="serving index implementation: in-process inverted index or "
+        "SQLite FTS5 (default: memory; rankings are identical either way)",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.port <= 65_535:
         parser.error(f"--port must be in [0, 65535], got {args.port}")
@@ -536,6 +564,10 @@ def _run_runtime_serve(argv: Sequence[str]) -> int:
     from repro.serving.service import CatalogSearchService
 
     args = _parse_runtime_serve_args(argv)
+    if args.index_backend == "fts" and not _fts5_available():
+        print("runtime-serve: this SQLite build lacks FTS5; --index-backend fts "
+              "is unavailable")
+        return 2
     if args.replicas > 1:
         fleet = ServingFleet.from_store_path(
             args.store_path,
@@ -543,21 +575,23 @@ def _run_runtime_serve(argv: Sequence[str]) -> int:
             page_size=args.page_size,
             max_lag_commits=args.max_lag_commits,
             refresh_interval=0.1,
+            index_backend=args.index_backend,
         )
         lag = fleet.lag()
         print(
             f"runtime-serve: fleet of {args.replicas} replicas over "
             f"{args.store_path} (snapshot {lag['head_commit_count']}, "
-            f"lag bound {args.max_lag_commits})"
+            f"lag bound {args.max_lag_commits}, {args.index_backend} index)"
         )
         serve(fleet, host=args.host, port=args.port, max_workers=args.threads)
         return 0
     service = CatalogSearchService.from_store_path(
-        args.store_path, page_size=args.page_size
+        args.store_path, page_size=args.page_size, index_backend=args.index_backend
     )
     print(
         f"runtime-serve: {service.num_products:,} products from "
-        f"{args.store_path} (snapshot {service.snapshot_commit_count})"
+        f"{args.store_path} (snapshot {service.snapshot_commit_count}, "
+        f"{args.index_backend} index)"
     )
     serve(service, host=args.host, port=args.port, max_workers=args.threads)
     return 0

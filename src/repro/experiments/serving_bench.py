@@ -102,6 +102,8 @@ class ServingBenchResult:
     num_batches: int
     seed: int
     store: str
+    #: Which index backend served the queries (``memory`` or ``fts``).
+    index_backend: str
     num_products: int
     num_queries: int
     top_k: int
@@ -129,6 +131,7 @@ class ServingBenchResult:
             "num_batches": self.num_batches,
             "seed": self.seed,
             "store": self.store,
+            "index_backend": self.index_backend,
             "num_products": self.num_products,
             "num_queries": self.num_queries,
             "top_k": self.top_k,
@@ -157,7 +160,8 @@ class ServingBenchResult:
             f"(seed {self.seed}) -> {self.num_products:,} products, "
             f"{self.index_vocabulary:,} index tokens",
             f"  build           : {self.build_seconds:8.2f}s "
-            f"(ingest + incremental index maintenance, {self.store} store)",
+            f"(ingest + incremental index maintenance, {self.store} store, "
+            f"{self.index_backend} index)",
             f"  queries         : {self.num_queries:,} top-{self.top_k} searches "
             f"({self.queries_with_hits:,} with hits)",
             f"  throughput      : {self.queries_per_second:8,.0f} queries/s",
@@ -231,8 +235,14 @@ def _mixed_run(
     store: str,
     store_path: Optional[str],
     queries_per_batch: int,
+    index_backend: str = "memory",
 ) -> MixedRunResult:
-    """Interleave ingest and queries on one backend; verify isolation."""
+    """Interleave ingest and queries on one backend; verify isolation.
+
+    The reference index of the proof below is always the memory
+    :class:`CatalogIndex`, so with ``index_backend="fts"`` this doubles
+    as a cross-backend equivalence check under live ingest.
+    """
     clear_text_caches()
     if store == "sqlite":
         _remove_sqlite_files(store_path)  # type: ignore[arg-type]
@@ -246,9 +256,12 @@ def _mixed_run(
     # SQLite backend: reader-driven service over the live WAL file — a
     # second connection querying concurrently with the writer.
     if store == "sqlite":
-        service = CatalogSearchService.from_store_path(store_path)  # type: ignore[arg-type]
+        service = CatalogSearchService.from_store_path(
+            store_path,  # type: ignore[arg-type]
+            index_backend=index_backend,
+        )
     else:
-        service = CatalogSearchService.from_engine(engine)
+        service = CatalogSearchService.from_engine(engine, index_backend=index_backend)
 
     #: commit_count -> products of that committed prefix.
     prefix_products: Dict[int, List[Product]] = {}
@@ -307,16 +320,24 @@ def run(
     store_path: Optional[str] = None,
     harness: Optional[ExperimentHarness] = None,
     mixed_queries_per_batch: int = 25,
+    index_backend: str = "memory",
 ) -> ServingBenchResult:
     """Run both serving-benchmark phases and return the measurements.
 
     Parameters mirror :func:`repro.experiments.runtime_bench.run` where
     they overlap; ``num_queries`` sizes the throughput workload, and
     ``mixed_queries_per_batch`` the per-commit query burst of the mixed
-    phase (which always runs on both backends).
+    phase (which always runs on both backends).  ``index_backend``
+    selects the serving index implementation (``memory`` or ``fts``);
+    the mixed-phase proof always checks against the memory reference, so
+    an ``fts`` run proves cross-backend ranking equivalence at scale.
     """
     if store not in ("memory", "sqlite"):
         raise ValueError(f"store must be 'memory' or 'sqlite', got {store!r}")
+    if index_backend not in ("memory", "fts"):
+        raise ValueError(
+            f"index_backend must be 'memory' or 'fts', got {index_backend!r}"
+        )
     if store == "sqlite" and store_path is None:
         raise ValueError("store='sqlite' requires store_path")
     if harness is None:
@@ -331,7 +352,7 @@ def run(
     if store == "sqlite":
         _remove_sqlite_files(store_path)  # type: ignore[arg-type]
     engine = _engine(harness, executor="serial", store=store, store_path=store_path)
-    service = CatalogSearchService.from_engine(engine)
+    service = CatalogSearchService.from_engine(engine, index_backend=index_backend)
     build_start = time.perf_counter()
     for batch in batches:
         engine.ingest(batch)
@@ -361,6 +382,7 @@ def run(
         num_batches=len(batches),
         seed=seed,
         store=store,
+        index_backend=index_backend,
         num_products=len(products),
         num_queries=len(queries),
         top_k=top_k,
@@ -379,7 +401,14 @@ def run(
     mixed_path = None if store_path is None else store_path + ".mixed"
     result.mixed.append(
         _mixed_run(
-            harness, batches, queries, top_k, "memory", None, mixed_queries_per_batch
+            harness,
+            batches,
+            queries,
+            top_k,
+            "memory",
+            None,
+            mixed_queries_per_batch,
+            index_backend=index_backend,
         )
     )
     if mixed_path is not None:
@@ -392,6 +421,7 @@ def run(
                 "sqlite",
                 mixed_path,
                 mixed_queries_per_batch,
+                index_backend=index_backend,
             )
         )
     return result
@@ -536,6 +566,7 @@ def _closed_loop_phase(
     replicas: int,
     threads: int,
     max_lag_commits: int,
+    index_backend: str = "memory",
 ) -> FleetPhaseResult:
     """One measurement window: clients vs one serving target over HTTP.
 
@@ -553,9 +584,12 @@ def _closed_loop_phase(
             num_replicas=replicas,
             max_lag_commits=max_lag_commits,
             refresh_interval=0.05,
+            index_backend=index_backend,
         )
     else:
-        target = CatalogSearchService.from_store_path(store_path)
+        target = CatalogSearchService.from_store_path(
+            store_path, index_backend=index_backend
+        )
     server = CatalogHTTPServer(("127.0.0.1", 0), target, max_workers=threads)
     host, port = server.server_address[:2]
     server_thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -655,6 +689,7 @@ def run_fleet(
     threads: Optional[int] = None,
     max_lag_commits: int = 2,
     harness: Optional[ExperimentHarness] = None,
+    index_backend: str = "memory",
 ) -> FleetBenchResult:
     """Closed-loop fleet stress: single-replica baseline vs the fleet.
 
@@ -712,6 +747,7 @@ def run_fleet(
                 replicas,
                 threads,
                 max_lag_commits,
+                index_backend=index_backend,
             )
         finally:
             _remove_sqlite_files(phase_path)

@@ -236,6 +236,26 @@ class FencedStoreView(CatalogStore):
         """The base store's durable resync location (or ``None``)."""
         return self._base.worker_resync_path()
 
+    # -- changed-cluster commit journal (delegated) ----------------------------
+    # Mutations delegate to the base store, so the touched-cluster set —
+    # and therefore the journal written at the barrier — lives there;
+    # the read API follows it.
+
+    def journal_floor(self) -> int:
+        """The shared base store's journal floor."""
+        with self._lock:
+            return self._base.journal_floor()
+
+    def journal_entries(self, since: int):
+        """The shared base store's per-commit deltas after ``since``."""
+        with self._lock:
+            return self._base.journal_entries(since)
+
+    def compact_journal(self, retain_commits: int = 0) -> int:
+        """Compact the shared base store's journal."""
+        with self._lock:
+            return self._base.compact_journal(retain_commits)
+
     # -- seen offers -----------------------------------------------------------
 
     def is_seen(self, offer_id: str) -> bool:

@@ -99,6 +99,10 @@ class CatalogStore(abc.ABC):
         self._fault_hook: Optional[Callable[[str], None]] = None
         self._commit_count = 0
         self._commit_intent: Optional[Tuple[int, bytes]] = None
+        # Clusters mutated since the last commit barrier (insertion
+        # ordered, deduplicated).  Backends with a commit journal drain
+        # this at the barrier to record "commit k touched these clusters".
+        self._touched_clusters: Dict[ClusterId, None] = {}
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -355,6 +359,81 @@ class CatalogStore(abc.ABC):
                 f"store is at epoch {current}: the writing node was fenced "
                 "(it lagged, restarted, or lost the shard to reassignment)"
             )
+
+    # -- changed-cluster commit journal ----------------------------------------
+
+    def _journal_touch(self, cluster_id: ClusterId) -> None:
+        """Mark a cluster as touched by the in-flight batch.
+
+        Concrete mutators (:meth:`create_cluster`, :meth:`append_offers`,
+        :meth:`set_product`) call this so the commit barrier knows which
+        clusters the next journal entry must name.  Insertion order is
+        preserved and repeats dedup away.
+        """
+        self._touched_clusters[cluster_id] = None
+
+    def _drain_touched(self) -> List[ClusterId]:
+        """Take (and clear) the touched-cluster set of the in-flight batch."""
+        touched = list(self._touched_clusters)
+        self._touched_clusters.clear()
+        return touched
+
+    def journal_floor(self) -> int:
+        """Highest commit id *not* covered by the commit journal.
+
+        Entries exist only for commits ``floor < commit_id <= commit_count``
+        that touched at least one cluster; a commit in that range with no
+        entry rows touched nothing.  The default (no journal) reports the
+        current :attr:`commit_count`, i.e. nothing is covered and readers
+        must fall back to a full rebuild.
+        """
+        return self._commit_count
+
+    def journal_entries(
+        self, since: int
+    ) -> Optional[List[Tuple[int, List[Tuple[ClusterId, Optional[Product]]]]]]:
+        """Per-commit deltas after snapshot ``since``, oldest first.
+
+        Each element is ``(commit_id, [(cluster_id, product-or-None), ...])``
+        — the product each touched cluster carried *at that barrier*
+        (``None`` = no synthesized product, i.e. an index remove).
+        Returns ``None`` when the journal cannot prove coverage of
+        ``(since, commit_count]`` (journal absent, truncated by
+        compaction, or ``since`` predates the floor): the caller must
+        fall back to a full read.  The default backend has no journal.
+        """
+        return None
+
+    def read_journal_delta(
+        self, since: int
+    ) -> Optional[Dict[ClusterId, Optional[Product]]]:
+        """The folded journal delta after ``since``, or ``None`` if uncovered.
+
+        Merges :meth:`journal_entries` newest-wins into one
+        ``cluster_id -> product-or-None`` map — the exact upsert/remove
+        set a reader applies to move an index from snapshot ``since`` to
+        the current head without rebuilding.
+        """
+        entries = self.journal_entries(since)
+        if entries is None:
+            return None
+        delta: Dict[ClusterId, Optional[Product]] = {}
+        for _, touched in entries:
+            for cluster_id, product in touched:
+                delta[cluster_id] = product
+        return delta
+
+    def compact_journal(self, retain_commits: int = 0) -> int:
+        """Drop journal entries, keeping at most the last ``retain_commits``.
+
+        Raises the floor accordingly; readers pinned below the new floor
+        are forced onto the full-rebuild fallback (which the serving
+        layer reports distinctly — see ``CatalogSearchService`` resync
+        stats).  Returns the new floor.  No-op for journal-less backends.
+        """
+        if retain_commits < 0:
+            raise ValueError(f"retain_commits must be >= 0, got {retain_commits}")
+        return self.journal_floor()
 
     # -- commit intents (cluster barrier bookkeeping) --------------------------
 

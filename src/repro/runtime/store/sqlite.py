@@ -12,6 +12,8 @@ Layout (one row per fact, JSON payloads via the
     shard_versions(shard, version)        -- delta-protocol counters
     shard_epochs(shard, epoch)            -- multi-node fencing epochs
     reconciliation_stats(id=1, ...)       -- running totals
+    commit_journal(commit_id, category_id, cluster_key, product)
+                                          -- changed-cluster journal
 
 The store keeps a full in-memory mirror (reads never touch disk on the
 hot path) and journals mutations, flushing them in one transaction per
@@ -131,6 +133,13 @@ CREATE TABLE IF NOT EXISTS commit_intents (
     sequence INTEGER NOT NULL,
     payload BLOB NOT NULL
 );
+CREATE TABLE IF NOT EXISTS commit_journal (
+    commit_id INTEGER NOT NULL,
+    category_id TEXT NOT NULL,
+    cluster_key TEXT NOT NULL,
+    product TEXT,
+    PRIMARY KEY (commit_id, category_id, cluster_key)
+) WITHOUT ROWID;
 """
 
 
@@ -265,7 +274,15 @@ class SqliteCatalogStore(CatalogStore):
                 "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
                 ("format_version", str(_FORMAT_VERSION)),
             )
-            self._connection.commit()
+        # Initialise the journal floor exactly once per file: a fresh
+        # store covers everything (floor 0); a legacy file that predates
+        # the journal covers nothing before its current head.  INSERT OR
+        # IGNORE keeps concurrent multi-process opens race-safe.
+        self._connection.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("journal_floor", str(self._commit_count)),
+        )
+        self._connection.commit()
 
     # -- restore ---------------------------------------------------------------
 
@@ -501,8 +518,38 @@ class SqliteCatalogStore(CatalogStore):
             " ON CONFLICT(key) DO UPDATE SET"
             " value = CAST(CAST(value AS INTEGER) + 1 AS TEXT)"
         )
+        # The new commit id is read *inside* the open write transaction:
+        # another process committing concurrently cannot slip between the
+        # increment and the read, so the journal rows below carry exactly
+        # this barrier's id.  This is also why every engine flavor gets a
+        # journal for free — single, multi-node (FencedStoreView
+        # delegates here) and multi-process (each node process commits
+        # through its own instance of this store) all pass this point.
+        commit_id = int(self._meta("commit_count") or 0)
+        self._fault_point("journal")
+        if self._touched_clusters:
+            connection.executemany(
+                "INSERT OR REPLACE INTO commit_journal"
+                " (commit_id, category_id, cluster_key, product) VALUES (?, ?, ?, ?)",
+                [
+                    (
+                        commit_id,
+                        cluster_id[0],
+                        cluster_id[1],
+                        None
+                        if state.product is None
+                        else json.dumps(product_to_dict(state.product)),
+                    )
+                    for cluster_id, state in (
+                        (cluster_id, self._state.clusters[cluster_id])
+                        for cluster_id in self._touched_clusters
+                        if cluster_id in self._state.clusters
+                    )
+                ],
+            )
         connection.commit()
-        self._commit_count = int(self._meta("commit_count") or 0)
+        self._commit_count = commit_id
+        self._touched_clusters.clear()
         self._new_seen = []
         self._new_categories = []
         self._new_clusters = []
@@ -535,6 +582,7 @@ class SqliteCatalogStore(CatalogStore):
         self._dirty_stats = set()
         self._dirty_versions = set()
         self._stats_dirty = False
+        self._touched_clusters.clear()
 
     def _has_pending_mutations(self) -> bool:
         """Whether the journal holds mutations a mirror rebuild would lose."""
@@ -723,6 +771,66 @@ class SqliteCatalogStore(CatalogStore):
         self._commit_intent = None if row is None else (int(row[0]), row[1])
         return self._commit_intent
 
+    # -- changed-cluster commit journal ----------------------------------------
+
+    def journal_floor(self) -> int:
+        """Highest commit id not covered by the durable journal."""
+        self._require_open()
+        floor = self._meta("journal_floor")
+        return self._commit_count if floor is None else int(floor)
+
+    def journal_entries(
+        self, since: int
+    ) -> Optional[List[Tuple[int, List[Tuple[ClusterId, Optional[Product]]]]]]:
+        """Per-commit deltas after ``since`` from ``commit_journal``.
+
+        Head and floor come from the file (not the mirror), so the call
+        is correct even when other processes committed since this
+        instance's last barrier.  Returns ``None`` when coverage of
+        ``(since, head]`` cannot be proven.
+        """
+        connection = self._require_open()
+        head = int(self._meta("commit_count") or 0)
+        floor = self._meta("journal_floor")
+        if floor is None or since < int(floor) or since > head:
+            return None
+        grouped: Dict[int, List[Tuple[ClusterId, Optional[Product]]]] = {}
+        for commit_id, category_id, cluster_key, product_json in connection.execute(
+            "SELECT commit_id, category_id, cluster_key, product FROM commit_journal"
+            " WHERE commit_id > ? ORDER BY commit_id, category_id, cluster_key",
+            (since,),
+        ):
+            product = (
+                None
+                if product_json is None
+                else product_from_dict(json.loads(product_json))
+            )
+            grouped.setdefault(int(commit_id), []).append(
+                ((category_id, cluster_key), product)
+            )
+        return [(commit_id, grouped[commit_id]) for commit_id in sorted(grouped)]
+
+    def compact_journal(self, retain_commits: int = 0) -> int:
+        """Drop journal rows, keeping coverage of the last ``retain_commits``.
+
+        Flushed immediately (like fencing epochs): the raised floor must
+        be visible to every reader process at once, or a reader could
+        apply a delta the deleted rows no longer back.  Readers pinned
+        below the new floor fall back to a full rebuild.
+        """
+        if retain_commits < 0:
+            raise ValueError(f"retain_commits must be >= 0, got {retain_commits}")
+        connection = self._require_open()
+        head = int(self._meta("commit_count") or 0)
+        floor = max(self.journal_floor(), head - retain_commits)
+        connection.execute("DELETE FROM commit_journal WHERE commit_id <= ?", (floor,))
+        connection.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES ('journal_floor', ?)",
+            (str(floor),),
+        )
+        connection.commit()
+        return floor
+
     # -- seen offers -----------------------------------------------------------
 
     def is_seen(self, offer_id: str) -> bool:
@@ -773,6 +881,7 @@ class SqliteCatalogStore(CatalogStore):
         self._state.clusters[cluster_id] = state
         self._state.shard_index.setdefault(shard_index, []).append(cluster_id)
         self._new_clusters.append(cluster_id)
+        self._journal_touch(cluster_id)
         return state
 
     def append_offers(self, cluster_id: ClusterId, offers: List[Offer]) -> None:
@@ -787,6 +896,7 @@ class SqliteCatalogStore(CatalogStore):
                 (category_id, cluster_key, position + offset, json.dumps(offer_to_dict(offer)))
             )
         cluster.offers.extend(offers)
+        self._journal_touch(cluster_id)
 
     def set_product(self, cluster_id: ClusterId, product: Optional[Product]) -> None:
         """Record a cluster's fused product (journalled)."""
@@ -794,6 +904,7 @@ class SqliteCatalogStore(CatalogStore):
         self._fault_point("set_product")
         self._state.clusters[cluster_id].product = product
         self._dirty_products[cluster_id] = product
+        self._journal_touch(cluster_id)
 
     def iter_clusters(self) -> Iterator[Tuple[ClusterId, ClusterState]]:
         """Iterate over every mirrored cluster."""

@@ -12,12 +12,19 @@ propagation from the transactional side):
     ranked search, category/attribute filters, and faceted counts;
     maintained incrementally from the engine's commit feed with a
     full-rebuild fallback.
+``fts``
+    :class:`~repro.serving.fts.FtsCatalogIndex` — the SQLite FTS5
+    backend behind the same index surface: documents, postings and the
+    ``product_search`` virtual table live in SQLite instead of Python
+    dicts, with rankings provably bit-identical to the memory index
+    (select with ``--index-backend fts``).
 ``reader``
     :class:`~repro.serving.reader.CatalogReader` — a read-only WAL
     connection onto the shared store file, so queries run concurrently
     with a live ingesting engine and observe only committed batches
     (keyset-paged disk reads, LRU page cache, snapshot identity via the
-    store's persistent commit counter).
+    store's persistent commit counter, and journal deltas via
+    ``read_delta`` so resyncs cost O(changed), not O(catalog)).
 ``service``
     :class:`~repro.serving.service.CatalogSearchService` — the facade
     gluing index to feed or reader, with the snapshot-isolation
@@ -35,6 +42,7 @@ propagation from the transactional side):
 """
 
 from repro.serving.fleet import FleetSearchResponse, FleetUnavailableError, ServingFleet
+from repro.serving.fts import FtsCatalogIndex, create_catalog_index, fts5_available
 from repro.serving.http import CatalogHTTPServer, serve
 from repro.serving.index import CatalogIndex, SearchResult
 from repro.serving.reader import CatalogReader, StaleSnapshotError
@@ -42,6 +50,9 @@ from repro.serving.service import CatalogSearchService
 
 __all__ = [
     "CatalogIndex",
+    "FtsCatalogIndex",
+    "create_catalog_index",
+    "fts5_available",
     "SearchResult",
     "CatalogReader",
     "StaleSnapshotError",

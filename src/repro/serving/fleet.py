@@ -101,6 +101,7 @@ class ServingFleet:
         max_cached_pages: int = 64,
         max_lag_commits: int = 0,
         refresh_interval: Optional[float] = None,
+        index_backend: str = "memory",
     ) -> None:
         if not services:
             raise ValueError("a serving fleet needs at least one replica service")
@@ -116,6 +117,7 @@ class ServingFleet:
         self._page_size = page_size
         self._max_cached_pages = max_cached_pages
         self._max_lag_commits = max_lag_commits
+        self._index_backend = index_backend
         self._lock = threading.Lock()
         self._cursor = 0
         self._failovers = 0
@@ -141,6 +143,7 @@ class ServingFleet:
         max_cached_pages: int = 64,
         max_lag_commits: int = 0,
         refresh_interval: Optional[float] = None,
+        index_backend: str = "memory",
     ) -> "ServingFleet":
         """N reader-driven replicas over one shared WAL store file.
 
@@ -151,7 +154,10 @@ class ServingFleet:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
         services = [
             CatalogSearchService.from_store_path(
-                path, page_size=page_size, max_cached_pages=max_cached_pages
+                path,
+                page_size=page_size,
+                max_cached_pages=max_cached_pages,
+                index_backend=index_backend,
             )
             for _ in range(num_replicas)
         ]
@@ -162,11 +168,15 @@ class ServingFleet:
             max_cached_pages=max_cached_pages,
             max_lag_commits=max_lag_commits,
             refresh_interval=refresh_interval,
+            index_backend=index_backend,
         )
 
     @classmethod
     def from_engine(
-        cls, engine: SynthesisEngine, num_replicas: int = 2
+        cls,
+        engine: SynthesisEngine,
+        num_replicas: int = 2,
+        index_backend: str = "memory",
     ) -> "ServingFleet":
         """N feed-driven replicas subscribed to one live engine.
 
@@ -177,9 +187,10 @@ class ServingFleet:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
         services = [
-            CatalogSearchService.from_engine(engine) for _ in range(num_replicas)
+            CatalogSearchService.from_engine(engine, index_backend=index_backend)
+            for _ in range(num_replicas)
         ]
-        return cls(services, engine=engine)
+        return cls(services, engine=engine, index_backend=index_backend)
 
     def _default_head(self) -> int:
         """Store-head commit counter when no explicit ``head`` was given."""
@@ -392,9 +403,12 @@ class ServingFleet:
                 self._store_path,
                 page_size=self._page_size,
                 max_cached_pages=self._max_cached_pages,
+                index_backend=self._index_backend,
             )
         elif self._engine is not None:
-            fresh = CatalogSearchService.from_engine(self._engine)
+            fresh = CatalogSearchService.from_engine(
+                self._engine, index_backend=self._index_backend
+            )
         else:
             raise RuntimeError(
                 "this fleet was built from detached services; there is no "
@@ -447,20 +461,23 @@ class ServingFleet:
         store; ``max_lag_commits`` is the configured bound the request
         path enforces, so ``lag <= max_lag_commits`` is the invariant
         an operator alerts on (modulo the one-resync race while a
-        refresh is in flight).
+        refresh is in flight).  Each entry also carries the replica's
+        resync-mode counters (``delta_resyncs`` / ``full_resyncs`` /
+        ``journal_truncations``), so operators can tell journal-delta
+        catch-ups apart from full index rebuilds.
         """
         head = self._head()
         replicas = []
         for replica in self._replicas:
             snapshot = replica.service.snapshot_commit_count
-            replicas.append(
-                {
-                    "replica_id": replica.replica_id,
-                    "healthy": replica.healthy,
-                    "snapshot_commit_count": snapshot,
-                    "lag": max(0, head - snapshot),
-                }
-            )
+            entry = {
+                "replica_id": replica.replica_id,
+                "healthy": replica.healthy,
+                "snapshot_commit_count": snapshot,
+                "lag": max(0, head - snapshot),
+            }
+            entry.update(replica.service.resync_stats())
+            replicas.append(entry)
         return {
             "head_commit_count": head,
             "max_lag_commits": self._max_lag_commits,
@@ -475,6 +492,7 @@ class ServingFleet:
             total_queries = sum(replica.queries_served for replica in self._replicas)
         payload: Dict[str, object] = {
             "mode": "fleet",
+            "index_backend": self._index_backend,
             "num_replicas": len(self._replicas),
             "healthy_replicas": health["healthy_replicas"],
             "failovers": health["failovers"],

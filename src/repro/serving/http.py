@@ -195,20 +195,20 @@ class CatalogRequestHandler(BaseHTTPRequestHandler):
         service = self._target
         snapshot = service.snapshot_commit_count  # type: ignore[union-attr]
         head = service.head_commit_count()  # type: ignore[union-attr]
+        entry: Dict[str, object] = {
+            "replica_id": 0,
+            "healthy": True,
+            "snapshot_commit_count": snapshot,
+            "lag": max(0, head - snapshot),
+        }
+        entry.update(service.resync_stats())  # type: ignore[union-attr]
         self._reply(
             200,
             {
                 "head_commit_count": head,
                 "max_lag_commits": 0,
                 "max_lag": max(0, head - snapshot),
-                "replicas": [
-                    {
-                        "replica_id": 0,
-                        "healthy": True,
-                        "snapshot_commit_count": snapshot,
-                        "lag": max(0, head - snapshot),
-                    }
-                ],
+                "replicas": [entry],
             },
         )
 

@@ -19,12 +19,14 @@ memory.
 
 from __future__ import annotations
 
+import json
 import os
 import sqlite3
 import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.model.persistence import product_from_dict
 from repro.model.products import Product
 from repro.runtime.state import ClusterId
 from repro.runtime.store.sqlite import read_product_page
@@ -275,6 +277,58 @@ class CatalogReader:
             for _, product in page:
                 yield product
             after = page[-1][0]
+
+    def read_delta(
+        self, since: int
+    ) -> Tuple[int, Optional[Dict[ClusterId, Optional[Product]]]]:
+        """The journal delta from snapshot ``since`` to the current head.
+
+        One WAL read transaction covers the commit counter, the journal
+        floor and the ``commit_journal`` rows, so the returned
+        ``(head, delta)`` pair is internally consistent: applying
+        ``delta`` (cluster id -> product-or-``None``, newest commit
+        wins) on top of an index pinned at ``since`` yields exactly the
+        catalog of commit ``head`` — no rebuild required.
+
+        ``delta`` is ``None`` when the journal cannot prove coverage of
+        ``(since, head]``: the store predates the journal, the rows were
+        compacted past ``since``, or ``since`` is from another store's
+        history (ahead of this head).  The caller must then fall back to
+        :meth:`read_products` + a full index rebuild.  ``head == since``
+        returns an empty delta (nothing to apply).
+        """
+        with self._lock:
+            connection = self._require_open()
+            connection.execute("BEGIN")
+            try:
+                head = self._read_commit_count(connection)
+                if head == since:
+                    return head, {}
+                try:
+                    floor_row = connection.execute(
+                        "SELECT value FROM meta WHERE key = 'journal_floor'"
+                    ).fetchone()
+                    if floor_row is None or since < int(floor_row[0]) or since > head:
+                        return head, None
+                    delta: Dict[ClusterId, Optional[Product]] = {}
+                    for category_id, cluster_key, product_json in connection.execute(
+                        "SELECT category_id, cluster_key, product FROM commit_journal"
+                        " WHERE commit_id > ? AND commit_id <= ?"
+                        " ORDER BY commit_id",
+                        (since, head),
+                    ):
+                        product = (
+                            None
+                            if product_json is None
+                            else product_from_dict(json.loads(product_json))
+                        )
+                        delta[(category_id, cluster_key)] = product
+                    return head, delta
+                except sqlite3.OperationalError:
+                    # Legacy store file without a commit_journal table.
+                    return head, None
+            finally:
+                connection.execute("COMMIT")
 
     def count_by_category(self) -> Tuple[int, Dict[str, int]]:
         """Category facet straight from disk: ``(commit_count, counts)``.

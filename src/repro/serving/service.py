@@ -9,10 +9,19 @@ and keeps it current through one of two maintenance modes:
   co-located deployment pays O(changed) index work per commit;
 * **reader-driven** (:meth:`CatalogSearchService.from_store_path`) — a
   separate serving process watches the store file through a read-only
-  :class:`~repro.serving.reader.CatalogReader` and rebuilds the index
-  from the committed snapshot whenever the commit counter moves (the
-  full-rebuild fallback, same resync philosophy as the delta
-  protocol's workers).
+  :class:`~repro.serving.reader.CatalogReader`.  When the commit
+  counter moves it first tries a **journal-delta resync**: the store's
+  changed-cluster commit journal names exactly the clusters every
+  commit touched, so the service applies O(changed) upserts/removes
+  instead of rebuilding.  Only when the journal cannot prove coverage
+  (legacy file, compacted rows) does it fall back to the full rebuild —
+  and the two paths are reported distinctly (``delta_resyncs`` /
+  ``full_resyncs`` / ``journal_truncations`` in :meth:`stats`).
+
+The index backend is pluggable (``index_backend="memory"`` or
+``"fts"`` — see :mod:`repro.serving.fts`); both enforce the same
+ranking semantics, so the choice is operational (RAM vs disk), not
+behavioural.
 
 Either way the service guarantees **snapshot isolation**: every query
 runs under the service lock against an index state that corresponds to
@@ -27,8 +36,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.model.products import Product
 from repro.runtime.engine import CommitEvent, SynthesisEngine
+from repro.runtime.state import ClusterId
+from repro.serving.fts import create_catalog_index
 from repro.serving.index import CatalogIndex, SearchResult
 from repro.serving.reader import CatalogReader
+from repro.synthesis.pipeline import stable_product_id
 
 __all__ = ["CatalogSearchService"]
 
@@ -36,26 +48,43 @@ __all__ = ["CatalogSearchService"]
 class CatalogSearchService:
     """Thread-safe query front end over an incrementally maintained index."""
 
-    def __init__(self, index: Optional[CatalogIndex] = None) -> None:
-        self._index = index if index is not None else CatalogIndex()
+    def __init__(
+        self,
+        index: Optional[CatalogIndex] = None,
+        index_backend: str = "memory",
+        index_path: Optional[str] = None,
+    ) -> None:
+        self._index = (
+            index
+            if index is not None
+            else create_catalog_index(index_backend, path=index_path)
+        )
         self._lock = threading.RLock()
         self._engine: Optional[SynthesisEngine] = None
         self._reader: Optional[CatalogReader] = None
         self._snapshot_commit_count = 0
         self._queries_served = 0
         self._resyncs = 0
+        self._delta_resyncs = 0
+        self._full_resyncs = 0
+        self._journal_truncations = 0
 
     # -- construction ----------------------------------------------------------
 
     @classmethod
-    def from_engine(cls, engine: SynthesisEngine) -> "CatalogSearchService":
+    def from_engine(
+        cls,
+        engine: SynthesisEngine,
+        index_backend: str = "memory",
+        index_path: Optional[str] = None,
+    ) -> "CatalogSearchService":
         """Serve a live engine's catalog, maintained by its commit feed.
 
         The initial index is built from the engine's current product
         listing; afterwards every committed ingest batch is folded in
         incrementally.  Call :meth:`close` to unsubscribe.
         """
-        service = cls()
+        service = cls(index_backend=index_backend, index_path=index_path)
         service._engine = engine
         with service._lock:
             service._index.rebuild(engine.products())
@@ -69,6 +98,8 @@ class CatalogSearchService:
         path: str,
         page_size: int = 256,
         max_cached_pages: int = 64,
+        index_backend: str = "memory",
+        index_path: Optional[str] = None,
     ) -> "CatalogSearchService":
         """Serve a store file written by another process (read-only).
 
@@ -77,7 +108,7 @@ class CatalogSearchService:
         Queries transparently resync when a writer commits — see
         :meth:`maybe_resync`.
         """
-        service = cls()
+        service = cls(index_backend=index_backend, index_path=index_path)
         service._reader = CatalogReader(
             path, page_size=page_size, max_cached_pages=max_cached_pages
         )
@@ -85,13 +116,16 @@ class CatalogSearchService:
         return service
 
     def close(self) -> None:
-        """Detach from the feed / close the reader (idempotent)."""
+        """Detach from the feed / close the reader and index (idempotent)."""
         if self._engine is not None:
             self._engine.remove_commit_listener(self._on_commit)
             self._engine = None
         if self._reader is not None:
             self._reader.close()
             self._reader = None
+        index_close = getattr(self._index, "close", None)
+        if callable(index_close):
+            index_close()
 
     def __enter__(self) -> "CatalogSearchService":
         return self
@@ -107,19 +141,57 @@ class CatalogSearchService:
             self._index.apply_commit(event)
             self._snapshot_commit_count = event.commit_count
 
+    def _apply_delta(
+        self, delta: Dict[ClusterId, Optional[Product]]
+    ) -> None:
+        """Apply one journal delta to the index (caller holds the lock)."""
+        for cluster_id, product in delta.items():
+            if product is None:
+                self._index.remove(stable_product_id(*cluster_id))
+            else:
+                self._index.upsert(product)
+
     def resync(self) -> int:
-        """Rebuild the index from the store's committed snapshot.
+        """Catch the index up to the store's committed head.
 
         Reader-driven mode only; returns the commit count of the
-        snapshot now served.  The read is atomic (one WAL read
-        transaction), so the swapped-in index is exactly the catalog of
-        that commit.
+        snapshot now served.  Two paths, reported distinctly in
+        :meth:`stats`:
+
+        * **journal delta** — once primed, the service asks the reader
+          for the changed-cluster journal entries between its pinned
+          snapshot and the head and applies O(changed) upserts/removes
+          (``delta_resyncs``).  The read is one WAL transaction, so the
+          delta moves the index to exactly the head's catalog.
+        * **full rebuild** — the explicit fallback when the journal
+          cannot prove coverage (store predates the journal, rows were
+          compacted past the pinned snapshot — counted as
+          ``journal_truncations``) and for the initial priming build
+          (``full_resyncs``).
         """
         if self._reader is None:
             raise RuntimeError(
                 "resync() requires a reader-driven service "
                 "(CatalogSearchService.from_store_path)"
             )
+        with self._lock:
+            since = self._snapshot_commit_count
+            primed = self._resyncs > 0
+        if primed:
+            head, delta = self._reader.read_delta(since)
+            if delta is not None:
+                with self._lock:
+                    # Apply only if no concurrent resync moved the
+                    # snapshot: the delta is valid on top of `since` and
+                    # nothing else.  A racer that won resynced for us.
+                    if self._snapshot_commit_count == since and head > since:
+                        self._apply_delta(delta)
+                        self._snapshot_commit_count = head
+                        self._resyncs += 1
+                        self._delta_resyncs += 1
+                    return self._snapshot_commit_count
+            with self._lock:
+                self._journal_truncations += 1
         snapshot, products = self._reader.read_products()
         with self._lock:
             # Concurrent resyncs race on the read: if another thread
@@ -132,6 +204,7 @@ class CatalogSearchService:
                 self._index.rebuild(products)
                 self._snapshot_commit_count = snapshot
                 self._resyncs += 1
+                self._full_resyncs += 1
             return self._snapshot_commit_count
 
     def maybe_resync(self, max_lag_commits: int = 0) -> bool:
@@ -257,6 +330,24 @@ class CatalogSearchService:
         with self._lock:
             return self._index.num_products
 
+    def resync_stats(self) -> Dict[str, int]:
+        """Resync-mode counters: how the index has been kept current.
+
+        ``delta_resyncs`` counts journal-delta applies, ``full_resyncs``
+        full rebuilds (including the priming build), and
+        ``journal_truncations`` the times a truncated/absent journal
+        forced the fallback; ``resyncs`` is the total.  The fleet's
+        ``/lag`` endpoint surfaces these per replica so operators can
+        tell O(changed) maintenance from O(catalog) rebuild storms.
+        """
+        with self._lock:
+            return {
+                "resyncs": self._resyncs,
+                "delta_resyncs": self._delta_resyncs,
+                "full_resyncs": self._full_resyncs,
+                "journal_truncations": self._journal_truncations,
+            }
+
     def stats(self) -> Dict[str, object]:
         """JSON-compatible service + index statistics (the ``/stats`` body)."""
         with self._lock:
@@ -265,6 +356,10 @@ class CatalogSearchService:
                 "snapshot_commit_count": self._snapshot_commit_count,
                 "queries_served": self._queries_served,
                 "resyncs": self._resyncs,
+                "delta_resyncs": self._delta_resyncs,
+                "full_resyncs": self._full_resyncs,
+                "journal_truncations": self._journal_truncations,
+                "index_backend": getattr(self._index, "backend_name", "memory"),
                 "index": self._index.stats(),
                 "count_by_category": self._index.count_by_category(),
             }

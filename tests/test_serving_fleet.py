@@ -354,3 +354,74 @@ class TestFleetHTTP:
             server.server_close()
             service.close()
             engine.close()
+
+
+class TestResyncModeReporting:
+    """ISSUE 9 satellite: journal-delta resyncs vs full rebuilds in /lag."""
+
+    def test_lag_distinguishes_delta_resyncs_from_full_rebuilds(self, sqlite_fleet):
+        engine, fleet, second = sqlite_fleet
+        # Construction primes every replica with one full rebuild.
+        for entry in fleet.lag()["replicas"]:
+            assert entry["full_resyncs"] == 1
+            assert entry["delta_resyncs"] == 0
+            assert entry["journal_truncations"] == 0
+
+        # An intact journal turns the refresh into a delta application.
+        engine.ingest(second)
+        for _ in range(3):
+            fleet.refresh_once()
+        lag = fleet.lag()
+        assert lag["max_lag"] == 0
+        for entry in lag["replicas"]:
+            assert entry["delta_resyncs"] == 1
+            assert entry["full_resyncs"] == 1
+            assert entry["journal_truncations"] == 0
+            assert entry["resyncs"] == 2
+
+        # A journal compacted past the replicas' snapshots forces the
+        # full-rebuild fallback — reported distinctly.
+        engine.ingest(tiny_batch := second[: max(1, len(second) // 4)])
+        assert tiny_batch
+        engine.store.compact_journal()
+        for _ in range(3):
+            fleet.refresh_once()
+        lag = fleet.lag()
+        assert lag["max_lag"] == 0
+        for entry in lag["replicas"]:
+            assert entry["journal_truncations"] == 1
+            assert entry["full_resyncs"] == 2
+            assert entry["delta_resyncs"] == 1
+
+    def test_single_service_lag_endpoint_reports_resync_modes(
+        self, tiny_harness, tmp_path
+    ):
+        path = str(tmp_path / "single-modes.sqlite3")
+        engine = make_engine(tiny_harness, store="sqlite", store_path=path)
+        first, second = halves(tiny_harness.unmatched_offers)
+        engine.ingest(first)
+        service = CatalogSearchService.from_store_path(path)
+        server = CatalogHTTPServer(("127.0.0.1", 0), service)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://{host}:{port}"
+        try:
+            status, payload = TestFleetHTTP.get_json(f"{base}/lag")
+            assert status == 200
+            entry = payload["replicas"][0]
+            assert entry["full_resyncs"] == 1
+            assert entry["delta_resyncs"] == 0
+            engine.ingest(second)
+            service.resync()
+            status, payload = TestFleetHTTP.get_json(f"{base}/lag")
+            entry = payload["replicas"][0]
+            assert entry["delta_resyncs"] == 1
+            assert entry["full_resyncs"] == 1
+            assert entry["journal_truncations"] == 0
+            assert entry["lag"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            engine.close()

@@ -1,0 +1,343 @@
+"""Tests for the changed-cluster commit journal (ISSUE 9 tentpole).
+
+Every engine flavor must durably record, at each commit barrier, which
+clusters that commit touched — so serving readers can resync by
+applying per-commit deltas instead of rebuilding.  Covered here:
+
+* the memory store's bounded ring (entries, newest-wins folding,
+  eviction raising the floor, compaction) and the SQLite store's
+  ``commit_journal`` table (persistence across reopen, folding);
+* journal/commit-feed agreement on single-engine runs over both store
+  backends, and journal coverage of multi-node and multi-process
+  cluster runs (every flavor commits through the same barrier);
+* crash injection at the ``journal`` fault point: the failed commit
+  rolls back to a consistent journal and a replay lands intact;
+* the serving fallback: a compacted (truncated) journal forces a full
+  index rebuild, reported distinctly from delta resyncs; legacy store
+  files without the journal table degrade to the same fallback.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.model.attributes import Specification
+from repro.model.products import Product
+from repro.model.products import product_fingerprint as fingerprint
+from repro.runtime import (
+    MemoryCatalogStore,
+    MultiNodeEngine,
+    MultiProcessEngine,
+    SynthesisEngine,
+)
+from repro.runtime.store.sqlite import SqliteCatalogStore
+from repro.serving import CatalogReader, CatalogSearchService
+
+
+def make_product(pid, category, title, pairs=()):
+    return Product(
+        product_id=pid,
+        category_id=category,
+        title=title,
+        specification=Specification(list(pairs)),
+    )
+
+
+def put(store, key, title, category="cat.widgets"):
+    """Create-or-touch one cluster and set its product."""
+    cluster_id = (category, key)
+    if store.get_cluster(cluster_id) is None:
+        store.create_cluster(0, cluster_id)
+    store.set_product(
+        cluster_id, make_product(f"p-{key}", category, title)
+    )
+    return cluster_id
+
+
+def make_engine(harness, **kwargs):
+    return SynthesisEngine(
+        catalog=harness.corpus.catalog,
+        correspondences=harness.offline_result.correspondences,
+        extractor=harness.extractor,
+        category_classifier=harness.category_classifier,
+        num_shards=4,
+        **kwargs,
+    )
+
+
+def feed_stream(harness, num_batches=3):
+    offers = sorted(harness.unmatched_offers, key=lambda offer: offer.merchant_id)
+    size = max(1, (len(offers) + num_batches - 1) // num_batches)
+    return [offers[start : start + size] for start in range(0, len(offers), size)]
+
+
+def assert_journal_folds_to_catalog(store, products):
+    """The journal replayed from commit 0 reproduces the full catalog."""
+    delta = store.read_journal_delta(0)
+    assert delta is not None
+    survivors = [product for product in delta.values() if product is not None]
+    assert sorted(fingerprint(survivors)) == sorted(fingerprint(products))
+
+
+class TestMemoryJournalRing:
+    def test_entries_cover_commits_and_fold_newest_wins(self):
+        store = MemoryCatalogStore()
+        cluster_id = put(store, "a", "first title")
+        store.commit()
+        put(store, "a", "second title")
+        put(store, "b", "other product")
+        store.commit()
+
+        entries = store.journal_entries(0)
+        assert [commit_id for commit_id, _ in entries] == [1, 2]
+        assert dict(entries[0][1])[cluster_id].title == "first title"
+        delta = store.read_journal_delta(0)
+        assert delta[cluster_id].title == "second title"
+        assert len(delta) == 2
+        # A resync already at head applies an empty delta.
+        assert store.read_journal_delta(2) == {}
+
+    def test_empty_commit_is_covered_without_an_entry(self):
+        store = MemoryCatalogStore()
+        put(store, "a", "title")
+        store.commit()
+        store.commit()  # nothing touched
+        assert store.commit_count == 2
+        assert store.journal_floor() == 0
+        assert [commit_id for commit_id, _ in store.journal_entries(1)] == []
+        assert store.read_journal_delta(1) == {}
+
+    def test_ring_eviction_raises_the_floor(self):
+        store = MemoryCatalogStore(journal_ring_size=2)
+        for key in ("a", "b", "c"):
+            put(store, key, f"title {key}")
+            store.commit()
+        assert store.journal_floor() == 1
+        # Since-0 now reaches below the floor: coverage is gone.
+        assert store.journal_entries(0) is None
+        assert store.read_journal_delta(0) is None
+        assert [commit_id for commit_id, _ in store.journal_entries(1)] == [2, 3]
+
+    def test_compaction_and_validation(self):
+        store = MemoryCatalogStore()
+        for key in ("a", "b", "c"):
+            put(store, key, f"title {key}")
+            store.commit()
+        assert store.compact_journal(retain_commits=1) == 2
+        assert store.journal_entries(1) is None
+        assert [commit_id for commit_id, _ in store.journal_entries(2)] == [3]
+        with pytest.raises(ValueError, match="retain_commits"):
+            store.compact_journal(retain_commits=-1)
+        with pytest.raises(ValueError, match="journal_ring_size"):
+            MemoryCatalogStore(journal_ring_size=0)
+        # Asking for the future is not coverage either.
+        assert store.journal_entries(store.commit_count + 1) is None
+
+
+class TestSqliteJournal:
+    def test_journal_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "journal.sqlite3")
+        store = SqliteCatalogStore(path)
+        cluster_id = put(store, "a", "durable title")
+        store.commit()
+        store.close()
+
+        reopened = SqliteCatalogStore(path)
+        try:
+            assert reopened.journal_floor() == 0
+            entries = reopened.journal_entries(0)
+            assert [commit_id for commit_id, _ in entries] == [1]
+            assert dict(entries[0][1])[cluster_id].title == "durable title"
+        finally:
+            reopened.close()
+
+    def test_crash_at_the_journal_fault_point_rolls_back_cleanly(self, tmp_path):
+        path = str(tmp_path / "crash.sqlite3")
+        store = SqliteCatalogStore(path)
+        put(store, "a", "committed before the crash")
+        store.commit()
+        head = store.commit_count
+
+        def explode(operation):
+            if operation == "journal":
+                raise RuntimeError("injected journal crash")
+
+        store.set_fault_hook(explode)
+        put(store, "b", "lost to the crash")
+        with pytest.raises(RuntimeError, match="injected journal crash"):
+            store.commit()
+        store.set_fault_hook(None)
+        store.rollback()
+
+        # The journal is consistent with the surviving commit count: the
+        # half-written barrier left no trace.
+        assert store.commit_count == head
+        assert store.journal_entries(0) is not None
+        assert [commit_id for commit_id, _ in store.journal_entries(0)] == [head]
+
+        # Replaying the batch lands it intact, journal included.
+        cluster_id = put(store, "b", "replayed after the crash")
+        store.commit()
+        assert store.commit_count == head + 1
+        entries = store.journal_entries(head)
+        assert [commit_id for commit_id, _ in entries] == [head + 1]
+        assert dict(entries[0][1])[cluster_id].title == "replayed after the crash"
+
+        reader = CatalogReader(path)
+        try:
+            new_head, delta = reader.read_delta(head)
+            assert new_head == head + 1
+            assert delta is not None
+            assert delta[cluster_id].title == "replayed after the crash"
+        finally:
+            reader.close()
+        store.close()
+
+    def test_legacy_file_without_journal_reports_no_coverage(self, tmp_path):
+        path = str(tmp_path / "legacy.sqlite3")
+        store = SqliteCatalogStore(path)
+        put(store, "a", "pre-journal catalog")
+        store.commit()
+        store.close()  # the closing flush is one more (empty) commit
+        head = 2
+        # Strip the journal artefacts, simulating a file written before
+        # the journal existed.
+        connection = sqlite3.connect(path)
+        connection.execute("DROP TABLE commit_journal")
+        connection.execute("DELETE FROM meta WHERE key = 'journal_floor'")
+        connection.commit()
+        connection.close()
+
+        reader = CatalogReader(path)
+        try:
+            seen_head, delta = reader.read_delta(0)
+            assert seen_head == head
+            assert delta is None
+        finally:
+            reader.close()
+
+        # Reopening through the store recreates the journal with a floor
+        # at the current head: old commits are never claimed as covered.
+        reopened = SqliteCatalogStore(path)
+        try:
+            assert reopened.journal_floor() == reopened.commit_count == head
+            assert reopened.journal_entries(0) is None
+            assert reopened.journal_entries(head) == []
+        finally:
+            reopened.close()
+
+
+class TestJournalMatchesCommitFeed:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_journal_agrees_with_the_commit_feed(
+        self, tiny_harness, tmp_path, backend
+    ):
+        store_path = (
+            str(tmp_path / "feed.sqlite3") if backend == "sqlite" else None
+        )
+        engine = make_engine(tiny_harness, store=backend, store_path=store_path)
+        events = []
+        engine.add_commit_listener(events.append)
+        for batch in feed_stream(tiny_harness):
+            engine.ingest(batch)
+
+        entries = engine.store.journal_entries(0)
+        assert entries is not None
+        by_commit = {commit_id: dict(touched) for commit_id, touched in entries}
+        for event in events:
+            journal = by_commit.get(event.commit_count, {})
+            changed = dict(event.changed)
+            # The journal names at least every cluster the feed reported
+            # changed, with the same post-commit product.
+            assert set(changed) <= set(journal)
+            for cluster_id, product in changed.items():
+                recorded = journal[cluster_id]
+                assert (recorded is None) == (product is None)
+                if product is not None:
+                    assert fingerprint([recorded]) == fingerprint([product])
+        assert_journal_folds_to_catalog(engine.store, engine.products())
+        engine.close()
+
+
+class TestClusterJournalCoverage:
+    def test_multi_node_commits_are_journalled(self, tiny_harness):
+        cluster = MultiNodeEngine(
+            catalog=tiny_harness.corpus.catalog,
+            correspondences=tiny_harness.offline_result.correspondences,
+            extractor=tiny_harness.extractor,
+            category_classifier=tiny_harness.category_classifier,
+            num_nodes=2,
+            num_shards=8,
+        )
+        for batch in feed_stream(tiny_harness):
+            cluster.ingest(batch)
+        assert_journal_folds_to_catalog(cluster.store, cluster.products())
+        cluster.close()
+
+    def test_multi_process_commits_are_journalled(self, tiny_harness, tmp_path):
+        path = str(tmp_path / "procjournal.sqlite3")
+        cluster = MultiProcessEngine(
+            catalog=tiny_harness.corpus.catalog,
+            correspondences=tiny_harness.offline_result.correspondences,
+            extractor=tiny_harness.extractor,
+            category_classifier=tiny_harness.category_classifier,
+            store_path=path,
+            num_nodes=2,
+            num_shards=8,
+        )
+        for batch in feed_stream(tiny_harness, num_batches=2):
+            cluster.ingest(batch)
+        products = cluster.products()
+        cluster.close()
+        # The node processes are gone; the journal rows they wrote at
+        # their commit barriers must survive in the shared file.
+        store = SqliteCatalogStore(path)
+        try:
+            assert_journal_folds_to_catalog(store, products)
+        finally:
+            store.close()
+
+
+class TestServiceFallback:
+    def test_truncated_journal_forces_a_full_rebuild(self, tmp_path):
+        path = str(tmp_path / "fallback.sqlite3")
+        store = SqliteCatalogStore(path)
+        put(store, "a", "seed product alpha")
+        store.commit()
+
+        service = CatalogSearchService.from_store_path(path)
+        try:
+            assert service.resync_stats() == {
+                "resyncs": 1,
+                "delta_resyncs": 0,
+                "full_resyncs": 1,
+                "journal_truncations": 0,
+            }
+            # Journal intact: the next resync applies a delta.
+            put(store, "b", "second product beta")
+            store.commit()
+            service.resync()
+            assert service.resync_stats()["delta_resyncs"] == 1
+            assert service.search("beta")
+
+            # Compacted past our snapshot: fallback, counted distinctly.
+            put(store, "c", "third product gamma")
+            store.commit()
+            store.compact_journal()
+            service.resync()
+            stats = service.resync_stats()
+            assert stats == {
+                "resyncs": 3,
+                "delta_resyncs": 1,
+                "full_resyncs": 2,
+                "journal_truncations": 1,
+            }
+            assert service.search("gamma")
+            assert service.num_products == 3
+            payload = service.stats()
+            assert payload["delta_resyncs"] == 1
+            assert payload["full_resyncs"] == 2
+            assert payload["journal_truncations"] == 1
+        finally:
+            service.close()
+            store.close()

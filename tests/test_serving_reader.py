@@ -252,6 +252,11 @@ class TestReaderDrivenService:
             def read_products(self):
                 return 1, []
 
+            def read_delta(self, since):
+                # Journal coverage unavailable: force the full-rebuild
+                # path, whose stale read the monotonic guard must drop.
+                return 1, None
+
             def close(self):
                 real_reader.close()
 
