@@ -38,6 +38,7 @@ from conftest import run_once
 from repro.corpus.config import CorpusPreset
 from repro.experiments import runtime_bench
 from repro.experiments.harness import ExperimentHarness
+from repro.obs import NULL_REGISTRY, get_registry, set_registry
 
 #: Stream size of the headline run (matches the acceptance criterion).
 STREAM_OFFERS = 10_000
@@ -194,6 +195,66 @@ def test_bench_runtime_multinode_scaling(benchmark):
     assert four.scaling_bound >= 2.5, f"4-node scaling bound {four.scaling_bound:.2f}"
     # The routed offers themselves stay balanced after the rebalance.
     assert max(four.node_offers) <= 0.40 * STREAM_OFFERS
+
+
+def test_bench_runtime_metrics_overhead(benchmark):
+    """Observability guard: instrumentation costs < 5% engine throughput.
+
+    The same serial workload runs with the no-op ``NULL_REGISTRY``
+    injected (counters/spans become method calls that record nothing)
+    and with a live registry.  Runs alternate and each side keeps its
+    best-of-three, so machine noise hits both equally; the guard then
+    bounds the *relative* cost of recording metrics, which is what the
+    <5% acceptance criterion is about.  Serial execution keeps process-
+    pool spin-up out of the measurement.
+    """
+    harness = ExperimentHarness(CorpusPreset.SMALL.config(seed=2011))
+    _ = harness.unmatched_offers
+    _ = harness.offline_result
+    _ = harness.category_classifier
+
+    def throughput_with(registry):
+        previous = get_registry()
+        set_registry(registry)
+        try:
+            result = runtime_bench.run(
+                num_offers=1_000,
+                num_batches=5,
+                executor="serial",
+                num_shards=4,
+                harness=harness,
+            )
+        finally:
+            set_registry(previous)
+        assert result.products_identical
+        return result.engine_offers_per_second, result
+
+    def measure():
+        best = {"null": 0.0, "live": 0.0}
+        live_result = None
+        for _ in range(3):
+            null_rate, _unused = throughput_with(NULL_REGISTRY)
+            live_rate, live_result = throughput_with(get_registry())
+            best["null"] = max(best["null"], null_rate)
+            best["live"] = max(best["live"], live_rate)
+        return best, live_result
+
+    best, live_result = run_once(benchmark, measure)
+    print(
+        f"\nmetrics overhead: null {best['null']:.1f} offers/s, "
+        f"instrumented {best['live']:.1f} offers/s "
+        f"({100.0 * (1.0 - best['live'] / best['null']):.2f}% cost)"
+    )
+    assert best["live"] >= 0.95 * best["null"], (
+        f"instrumentation costs more than 5% throughput: "
+        f"{best['live']:.1f} offers/s instrumented vs {best['null']:.1f} null"
+    )
+    # The live run's artifact embeds its registry snapshot; the null run
+    # records nothing, so the live one must carry real series.
+    assert live_result.metrics["counters"]
+    assert any(
+        key.startswith("span_seconds") for key in live_result.metrics["histograms"]
+    )
 
 
 def test_bench_runtime_sqlite_store(benchmark, tmp_path):

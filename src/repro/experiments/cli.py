@@ -54,6 +54,12 @@ replicated fleet with ``/health`` and ``/lag``::
 
     repro-synthesize runtime-serve --store-path catalog.sqlite3 --port 8080
     repro-synthesize runtime-serve --store-path catalog.sqlite3 --replicas 2
+
+Pretty-print the metrics snapshot of a running server, or the
+``metrics`` section embedded in a bench artifact::
+
+    repro-synthesize runtime-obs --url http://127.0.0.1:8080
+    repro-synthesize runtime-obs --artifact BENCH_runtime.json
 """
 
 from __future__ import annotations
@@ -99,7 +105,8 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
         epilog=(
             "additional commands: 'repro-synthesize runtime-bench --help' "
             "(streaming-engine throughput benchmark), 'serving-bench --help' "
-            "(query-side benchmark), 'runtime-serve --help' (HTTP serving)"
+            "(query-side benchmark), 'runtime-serve --help' (HTTP serving), "
+            "'runtime-obs --help' (metrics snapshot viewer)"
         ),
     )
     parser.add_argument(
@@ -597,6 +604,71 @@ def _run_runtime_serve(argv: Sequence[str]) -> int:
     return 0
 
 
+def _parse_runtime_obs_args(argv: Sequence[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-synthesize runtime-obs",
+        description="Pretty-print a metrics snapshot: counters, gauges, and "
+        "histogram latency percentiles from a running runtime-serve "
+        "(its /metrics.json endpoint) or from the 'metrics' section "
+        "embedded in a bench JSON artifact",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--url",
+        metavar="URL",
+        help="base URL of a running runtime-serve (e.g. http://127.0.0.1:8080)",
+    )
+    source.add_argument(
+        "--artifact",
+        metavar="PATH",
+        help="bench JSON artifact with an embedded metrics section "
+        "(e.g. BENCH_runtime.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.url is not None and not args.url.startswith(("http://", "https://")):
+        parser.error(f"--url must start with http:// or https://, got {args.url!r}")
+    return args
+
+
+def _run_runtime_obs(argv: Sequence[str]) -> int:
+    """Dispatch the ``runtime-obs`` subcommand (snapshot pretty-printer)."""
+    # Imported here: the tables/figures paths must not drag the obs
+    # rendering helpers in.
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.obs import format_snapshot
+
+    args = _parse_runtime_obs_args(argv)
+    if args.url is not None:
+        url = args.url.rstrip("/") + "/metrics.json"
+        try:
+            with urlopen(url, timeout=10) as response:
+                snapshot = json.load(response)
+        except (URLError, OSError, ValueError) as exc:
+            print(f"runtime-obs: cannot fetch {url}: {exc}")
+            return 2
+        print(f"metrics snapshot from {url}")
+    else:
+        try:
+            with open(args.artifact, "r", encoding="utf-8") as handle:
+                artifact = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"runtime-obs: cannot read {args.artifact!r}: {exc}")
+            return 2
+        snapshot = artifact.get("metrics") if isinstance(artifact, dict) else None
+        if not isinstance(snapshot, dict):
+            print(
+                f"runtime-obs: {args.artifact!r} has no 'metrics' section "
+                "(regenerate it with a current runtime-bench/serving-bench)"
+            )
+            return 2
+        print(f"metrics snapshot from {args.artifact}")
+    print(format_snapshot(snapshot), end="")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the selected experiments (or one of the runtime subcommands)."""
     if argv is None:
@@ -607,6 +679,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serving_bench(list(argv[1:]))
     if argv and argv[0] == "runtime-serve":
         return _run_runtime_serve(list(argv[1:]))
+    if argv and argv[0] == "runtime-obs":
+        return _run_runtime_obs(list(argv[1:]))
     args = _parse_args(argv)
     preset = CorpusPreset(args.preset)
     harness = ExperimentHarness(preset.config(seed=args.seed))

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.corpus.config import CorpusPreset
 from repro.experiments.harness import ExperimentHarness
 from repro.model.products import Product, product_fingerprint
+from repro.obs import get_registry
 from repro.runtime import MultiNodeEngine, MultiProcessEngine, SynthesisEngine
 from repro.runtime.executors import ShardExecutor
 from repro.synthesis.pipeline import ProductSynthesisPipeline
@@ -76,6 +77,9 @@ class RuntimeBenchResult:
     worker_resyncs: int = 0
     #: Whether the engine resumed a previously persisted stream.
     resumed: bool = False
+    #: ``MetricsRegistry.snapshot()`` taken right after the engine run
+    #: (counters, gauges, histogram percentiles; see docs/observability.md).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -127,6 +131,7 @@ class RuntimeBenchResult:
         ratio = self.delta_payload_ratio
         if ratio is not None:
             payload["delta_payload_ratio"] = round(ratio, 4)
+        payload["metrics"] = self.metrics
         return payload
 
     def write_json(self, path: str) -> None:
@@ -225,6 +230,10 @@ def run(
         raise ValueError("store='sqlite' requires store_path")
     if resume and store != "sqlite":
         raise ValueError("resume=True requires store='sqlite'")
+    # The artifact's metrics section should cover this run only, not
+    # whatever an earlier bench in the same process accumulated.
+    registry = get_registry()
+    registry.clear()
     if harness is None:
         # SMALL yields ~1.3k unmatched offers at scale 1; overshoot a little
         # so the stream can be truncated to exactly num_offers.
@@ -298,6 +307,9 @@ def run(
     engine_seconds, engine_products, engine = run_engine(store, store_path, None)
     snapshot = engine.snapshot()
     transport = engine.transport_stats()
+    # Taken before close() — close detaches the engine's transport
+    # bridge, and the comparison run below must not leak in.
+    metrics_snapshot = registry.snapshot()
     engine.close()
 
     # -- comparison: same engine with the delta protocol disabled
@@ -344,6 +356,7 @@ def run(
         offers_shipped_full=offers_shipped_full,
         worker_resyncs=transport.worker_resyncs,
         resumed=resume,
+        metrics=metrics_snapshot,
     )
 
 
@@ -434,6 +447,9 @@ class MultiNodeBenchResult:
     #: is physically bounded by it, so readings travel with it.
     cpu_count: Optional[int] = None
     runs: List[MultiNodeRun] = field(default_factory=list)
+    #: ``MetricsRegistry.snapshot()`` taken after the largest cluster's
+    #: run (process mode merges the node processes' fragments in).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def products_identical(self) -> bool:
@@ -463,6 +479,7 @@ class MultiNodeBenchResult:
             "single_engine_seconds": round(self.single_engine_seconds, 4),
             "products_identical": self.products_identical,
             "runs": [entry.to_dict() for entry in self.runs],
+            "metrics": self.metrics,
         }
 
     def write_json(self, path: str) -> None:
@@ -560,6 +577,9 @@ def run_multinode(
         raise ValueError("mode='processes' requires store_path (the shared WAL file)")
     if store == "sqlite" and store_path is None:
         raise ValueError("store='sqlite' requires store_path")
+    # The artifact's metrics section should cover this run only.
+    registry = get_registry()
+    registry.clear()
     if harness is None:
         factor = max(1.0, num_offers / 1200.0)
         harness = ExperimentHarness(CorpusPreset.SMALL.config(seed=seed).scaled(factor))
@@ -648,6 +668,14 @@ def run_multinode(
         node_stats = cluster.node_stats()
         transport = cluster.transport_stats()
         coordinator_seconds = cluster.coordinator_seconds
+        # Snapshot before close() — close detaches the cluster's metric
+        # providers.  Process mode first pulls every node process's
+        # registry over the pipe so the merged view includes node-side
+        # engine counters and spans; the last (largest) cluster's
+        # snapshot is the one the artifact keeps.
+        if mode == "processes":
+            cluster.node_metrics()
+        result.metrics = registry.snapshot()
         cluster.close()
         if cluster_path is not None:
             _remove_sqlite_files(cluster_path)

@@ -53,6 +53,7 @@ from repro.experiments.harness import ExperimentHarness
 # sidecar cleanup, so the two benches can never drift apart on either.
 from repro.experiments.runtime_bench import _batches, _remove_sqlite_files
 from repro.model.products import Product
+from repro.obs import get_registry, percentile
 from repro.runtime import SynthesisEngine
 from repro.serving.fleet import ServingFleet
 from repro.serving.http import CatalogHTTPServer
@@ -118,6 +119,9 @@ class ServingBenchResult:
     queries_with_hits: int
     index_vocabulary: int
     mixed: List[MixedRunResult] = field(default_factory=list)
+    #: ``MetricsRegistry.snapshot()`` taken after the query phase, while
+    #: the service still bridges its counters (see docs/observability.md).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def snapshot_isolation_proven(self) -> bool:
@@ -144,6 +148,7 @@ class ServingBenchResult:
             "index_vocabulary": self.index_vocabulary,
             "snapshot_isolation_proven": self.snapshot_isolation_proven,
             "mixed": [entry.to_dict() for entry in self.mixed],
+            "metrics": self.metrics,
         }
 
     def write_json(self, path: str) -> None:
@@ -175,14 +180,6 @@ class ServingBenchResult:
                 f"observed -> {verdict}"
             )
         return "\n".join(lines)
-
-
-def _percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already sorted sample."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1, max(0, int(fraction * len(sorted_values))))
-    return sorted_values[rank]
 
 
 def _query_workload(
@@ -340,6 +337,9 @@ def run(
         )
     if store == "sqlite" and store_path is None:
         raise ValueError("store='sqlite' requires store_path")
+    # The artifact's metrics section should cover this run only.
+    registry = get_registry()
+    registry.clear()
     if harness is None:
         factor = max(1.0, num_offers / 1200.0)
         harness = ExperimentHarness(CorpusPreset.SMALL.config(seed=seed).scaled(factor))
@@ -371,6 +371,9 @@ def run(
             queries_with_hits += 1
     query_seconds = time.perf_counter() - query_start
     index_vocabulary = service.stats()["index"]["vocabulary_size"]  # type: ignore[index]
+    # Taken before close() — close detaches the service's and engine's
+    # metric bridges, and the mixed phase below must not leak in.
+    metrics_snapshot = registry.snapshot()
     service.close()
     engine.close()
     if store == "sqlite":
@@ -391,10 +394,11 @@ def run(
         queries_per_second=(
             len(queries) / query_seconds if query_seconds > 0 else float("inf")
         ),
-        p50_ms=_percentile(latencies, 0.50) * 1000.0,
-        p95_ms=_percentile(latencies, 0.95) * 1000.0,
+        p50_ms=percentile(latencies, 0.50) * 1000.0,
+        p95_ms=percentile(latencies, 0.95) * 1000.0,
         queries_with_hits=queries_with_hits,
         index_vocabulary=int(index_vocabulary),
+        metrics=metrics_snapshot,
     )
 
     # -- phase 2: mixed ingest+query isolation proof on both backends
@@ -493,6 +497,9 @@ class FleetBenchResult:
     num_products: int
     single: "FleetPhaseResult"
     fleet: "FleetPhaseResult"
+    #: ``MetricsRegistry.snapshot()`` of the fleet measurement window
+    #: (per-endpoint HTTP latency, per-replica lag, resync counters).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def fleet_speedup(self) -> float:
@@ -516,6 +523,7 @@ class FleetBenchResult:
             "fleet_speedup": round(self.fleet_speedup, 3),
             "single": self.single.to_dict(),
             "fleet": self.fleet.to_dict(),
+            "metrics": self.metrics,
         }
 
     def write_json(self, path: str) -> None:
@@ -567,7 +575,7 @@ def _closed_loop_phase(
     threads: int,
     max_lag_commits: int,
     index_backend: str = "memory",
-) -> FleetPhaseResult:
+) -> Tuple[FleetPhaseResult, Dict[str, object]]:
     """One measurement window: clients vs one serving target over HTTP.
 
     ``mode="single"`` serves a lone reader-driven service (every request
@@ -576,7 +584,14 @@ def _closed_loop_phase(
     so rebuilds stay off the request path.  The writer engine ingests
     ``live_batches`` paced across the window either way, so both phases
     face the same commit pressure on identical store copies.
+
+    Returns the phase measurements plus the metrics-registry snapshot of
+    the window (the registry is cleared on entry, so the snapshot covers
+    exactly this phase: HTTP latency histograms, replica lag gauges,
+    writer engine counters).
     """
+    registry = get_registry()
+    registry.clear()
     writer = _engine(harness, executor="serial", store="sqlite", store_path=store_path)
     if mode == "fleet":
         target = ServingFleet.from_store_path(
@@ -650,6 +665,8 @@ def _closed_loop_phase(
     writer_thread.join()
     window_seconds = time.perf_counter() - window_start
 
+    # Snapshot while the target and writer still bridge their counters.
+    metrics_snapshot = registry.snapshot()
     server.shutdown()
     server.server_close()
     target.close()
@@ -659,7 +676,7 @@ def _closed_loop_phase(
         latency for bucket in per_client_latencies for latency in bucket
     )
     requests = len(latencies)
-    return FleetPhaseResult(
+    phase = FleetPhaseResult(
         mode=mode,
         replicas=replicas if mode == "fleet" else 1,
         threads=threads,
@@ -668,13 +685,14 @@ def _closed_loop_phase(
         requests=requests,
         errors=sum(per_client_errors),
         queries_per_second=requests / window_seconds if window_seconds > 0 else 0.0,
-        p50_ms=_percentile(latencies, 0.50) * 1000.0,
-        p95_ms=_percentile(latencies, 0.95) * 1000.0,
-        p99_ms=_percentile(latencies, 0.99) * 1000.0,
+        p50_ms=percentile(latencies, 0.50) * 1000.0,
+        p95_ms=percentile(latencies, 0.95) * 1000.0,
+        p99_ms=percentile(latencies, 0.99) * 1000.0,
         commits_during_run=len(live_batches),
         distinct_snapshots=len(set().union(*per_client_snapshots)),
         max_lag_observed=max_lag_observed[0],
     )
+    return phase, metrics_snapshot
 
 
 def run_fleet(
@@ -731,11 +749,12 @@ def run_fleet(
     queries = _query_workload(products, max(256, clients * 64), seed)
 
     phases: Dict[str, FleetPhaseResult] = {}
+    phase_metrics: Dict[str, Dict[str, object]] = {}
     for mode in ("single", "fleet"):
         phase_path = f"{store_path}.{mode}"
         _copy_store(store_path, phase_path)
         try:
-            phases[mode] = _closed_loop_phase(
+            phases[mode], phase_metrics[mode] = _closed_loop_phase(
                 mode,
                 phase_path,
                 harness,
@@ -765,4 +784,5 @@ def run_fleet(
         num_products=len(products),
         single=phases["single"],
         fleet=phases["fleet"],
+        metrics=phase_metrics["fleet"],
     )

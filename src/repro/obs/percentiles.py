@@ -1,0 +1,32 @@
+"""Nearest-rank percentile selection, shared by benches and histograms.
+
+One implementation for every latency summary in the repo: the serving
+benches summarise raw latency samples with :func:`percentile`, and
+:meth:`repro.obs.metrics.Histogram.percentile` maps the same rank rule
+onto its bucket counts — so a ``p95`` printed by a bench and a ``p95``
+scraped from ``/metrics`` mean the same thing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["nearest_rank", "percentile"]
+
+
+def nearest_rank(num_samples: int, fraction: float) -> int:
+    """Index of the nearest-rank percentile in a sorted sample.
+
+    ``fraction`` is in ``[0, 1]``; the result is clamped into
+    ``[0, num_samples - 1]`` so edge fractions (0.0, 1.0) stay valid.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    return min(num_samples - 1, max(0, int(fraction * num_samples)))
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted sample (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    return sorted_values[nearest_rank(len(sorted_values), fraction)]

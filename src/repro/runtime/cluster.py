@@ -51,6 +51,7 @@ import concurrent.futures
 import itertools
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -59,6 +60,7 @@ from repro.matching.correspondence import CorrespondenceSet
 from repro.model.catalog import Catalog
 from repro.model.offers import Offer
 from repro.model.products import Product
+from repro.obs import get_registry
 from repro.runtime.delta import TransportStats
 from repro.runtime.engine import EngineSnapshot, IngestReport, SynthesisEngine
 from repro.runtime.executors import ShardExecutor
@@ -251,10 +253,10 @@ class FencedStoreView(CatalogStore):
         with self._lock:
             return self._base.journal_entries(since)
 
-    def compact_journal(self, retain_commits: int = 0) -> int:
+    def compact_journal(self, retain_commits: int = 0, auto: bool = False) -> int:
         """Compact the shared base store's journal."""
         with self._lock:
-            return self._base.compact_journal(retain_commits)
+            return self._base.compact_journal(retain_commits, auto=auto)
 
     # -- seen offers -----------------------------------------------------------
 
@@ -872,6 +874,48 @@ class MultiNodeEngine:
         self._routing_seconds = 0.0
         self._barrier_seconds = 0.0
         self._closed = False
+        # Observability: the coordinator publishes only its *own*
+        # accounting (coordinator + retired transport) — each node engine
+        # bridges its transport itself, and counters sum at collection,
+        # so the merged view equals transport_stats() without double
+        # counting.  Callback gauges hold a weakref only.
+        registry = get_registry()
+        self._obs = registry
+        self._obs_cluster_batches = registry.counter(
+            "cluster_batches_total",
+            help="Micro-batches absorbed by cluster coordinators.",
+        )
+        cluster_ref = weakref.ref(self)
+
+        def _coordinator_provider() -> Dict[str, object]:
+            cluster = cluster_ref()
+            if cluster is None:
+                return {}
+            stats = TransportStats()
+            stats.merge(cluster._retired_transport)
+            stats.merge(cluster._coordinator_transport)
+            return stats.metrics_fragment()
+
+        self._obs_provider = registry.add_provider(_coordinator_provider)
+        registry.gauge(
+            "cluster_routing_seconds",
+            help="Coordinator time spent deduplicating and routing batches.",
+            callback=lambda: (lambda c: 0.0 if c is None else c._routing_seconds)(
+                cluster_ref()
+            ),
+        )
+        registry.gauge(
+            "cluster_barrier_wait_seconds",
+            help="Coordinator time spent waiting on commit barriers.",
+            callback=lambda: (lambda c: 0.0 if c is None else c._barrier_seconds)(
+                cluster_ref()
+            ),
+        )
+        registry.gauge(
+            "cluster_nodes",
+            help="Live cluster members.",
+            callback=lambda: (lambda c: 0 if c is None else len(c._nodes))(cluster_ref()),
+        )
         # Bootstrap membership in one layout pass: registering the nodes
         # first and granting shards once avoids fencing every shard
         # through N-1 intermediate layouts (and, on sqlite, one durable
@@ -935,6 +979,9 @@ class MultiNodeEngine:
         node = self._nodes.pop(node_id)
         self._coordinator.retire_node(node_id, fence=fence)
         self._retired_transport.merge(node.engine.transport_stats())
+        # The retired totals now carry this engine's counters; its own
+        # provider has to go, or the frames would be counted twice.
+        node.engine.detach_metrics_provider()
         node.engine.release_workers()
         return node
 
@@ -1090,7 +1137,8 @@ class MultiNodeEngine:
                 # re-routes against the post-fence layout (deterministic,
                 # so an un-fenced replay routes identically).
                 routing_started = time.perf_counter()
-                routed = self._route(fresh)
+                with self._obs.span("cluster.route"):
+                    routed = self._route(fresh)
                 self._routing_seconds += time.perf_counter() - routing_started
                 node_reports = self._dispatch(routed)
                 break
@@ -1136,13 +1184,15 @@ class MultiNodeEngine:
         else:
             barrier_started = time.perf_counter()
             try:
-                self._store.commit()
+                with self._obs.span("cluster.commit_barrier"):
+                    self._store.commit()
             except Exception:
                 if self._store.supports_rollback and not self._store.closed:
                     self._store.rollback()
                 raise
             finally:
                 self._barrier_seconds += time.perf_counter() - barrier_started
+        self._obs_cluster_batches.inc()
         self._maybe_auto_rebalance(busy_before)
         return report
 
@@ -1159,7 +1209,8 @@ class MultiNodeEngine:
         self._pending_commit = False
         barrier_started = time.perf_counter()
         try:
-            self._store.commit()
+            with self._obs.span("cluster.commit_barrier"):
+                self._store.commit()
         except Exception:
             if self._store.supports_rollback and not self._store.closed:
                 self._store.rollback()
@@ -1302,9 +1353,11 @@ class MultiNodeEngine:
         if self._closed:
             return
         self._closed = True
+        self._obs.remove_provider(self._obs_provider)
         if not self._store.closed:
             self.flush()
         for node in self._nodes.values():
+            node.engine.detach_metrics_provider()
             node.engine.release_workers()
         if self._owns_store:
             self._store.close()

@@ -186,6 +186,68 @@ class TransportStats:
         self.misrouted_offers += other.misrouted_offers
         self.hinted_offers += other.hinted_offers
 
+    def metrics_fragment(
+        self, labels: Optional[Dict[str, str]] = None
+    ) -> Dict[str, object]:
+        """This accounting as a :mod:`repro.obs` snapshot fragment.
+
+        The registry *reads through* pre-existing stat objects instead of
+        double-writing them: engines and cluster coordinators register a
+        provider that calls this, so ``registry.snapshot()`` and
+        ``/metrics`` expose the same counters ``transport_stats()``
+        reports, under stable family names.
+        """
+        from repro.obs import series_key, snapshot_fragment
+
+        fields = {
+            "transport_batches_total": self.batches,
+            "transport_shard_tasks_total": self.shard_tasks,
+            "transport_clusters_shipped_total": self.clusters_shipped,
+            "transport_offers_shipped_total": self.offers_shipped,
+            "transport_worker_resyncs_total": self.worker_resyncs,
+            "transport_full_retries_total": self.full_retries,
+            "pipe_frames_sent_total": self.frames_sent,
+            "pipe_frames_received_total": self.frames_received,
+            "pipe_frame_bytes_sent_total": self.frame_bytes_sent,
+            "pipe_frame_bytes_received_total": self.frame_bytes_received,
+            "routing_misrouted_offers_total": self.misrouted_offers,
+            "routing_hinted_offers_total": self.hinted_offers,
+        }
+        help_texts = {
+            "transport_batches_total": "Engine batches shipped to shard executors.",
+            "transport_shard_tasks_total": "Per-shard executor tasks dispatched.",
+            "transport_clusters_shipped_total": "Touched clusters shipped (delta or full).",
+            "transport_offers_shipped_total": "Offers serialised into executor payloads.",
+            "transport_worker_resyncs_total": "Clusters workers reloaded from the durable store.",
+            "transport_full_retries_total": "Clusters re-shipped in full after a cache miss.",
+            "pipe_frames_sent_total": "Pipe-protocol frames sent to cluster node processes.",
+            "pipe_frames_received_total": "Pipe-protocol frames received from node processes.",
+            "pipe_frame_bytes_sent_total": "Serialized payload bytes of sent pipe frames.",
+            "pipe_frame_bytes_received_total": "Serialized payload bytes of received pipe frames.",
+            "routing_misrouted_offers_total": "Hint-routed offers re-homed at the classify barrier.",
+            "routing_hinted_offers_total": "Offers routed via category hints at all.",
+        }
+        counters = {
+            series_key(name, labels): float(value)
+            for name, value in fields.items()
+            if value
+        }
+        gauges: Dict[str, float] = {}
+        accuracy = self.hint_accuracy
+        if accuracy is not None:
+            gauges[series_key("routing_hint_accuracy", labels)] = accuracy
+        families = {
+            name: {"type": "counter", "help": help_texts[name]}
+            for name in fields
+            if fields[name]
+        }
+        if accuracy is not None:
+            families["routing_hint_accuracy"] = {
+                "type": "gauge",
+                "help": "Fraction of hint-routed offers whose hint was correct.",
+            }
+        return snapshot_fragment(counters=counters, gauges=gauges, families=families)
+
 
 @dataclass
 class _ShardCache:

@@ -50,6 +50,7 @@ Examples
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -58,6 +59,7 @@ from repro.matching.correspondence import CorrespondenceSet
 from repro.model.catalog import Catalog
 from repro.model.offers import Offer
 from repro.model.products import Product
+from repro.obs import get_registry
 from repro.runtime.delta import (
     ClusterDelta,
     DeltaShardTask,
@@ -287,6 +289,40 @@ class SynthesisEngine:
         self._commit_listeners: List[Callable[[CommitEvent], None]] = []
         self._closed = False
 
+        # Observability: handles are resolved once (per-batch increments
+        # only — nothing on the per-offer path touches the registry), and
+        # the pre-existing transport accounting is bridged through a
+        # weakref provider so the registry reads it without double-writes.
+        registry = get_registry()
+        self._obs = registry
+        self._obs_batches = registry.counter(
+            "engine_batches_total", help="Micro-batches ingested by synthesis engines."
+        )
+        offers_help = "Offers seen by ingest, by dedup outcome."
+        self._obs_offers_new = registry.counter(
+            "engine_offers_total", help=offers_help, labels={"outcome": "new"}
+        )
+        self._obs_offers_dup = registry.counter(
+            "engine_offers_total", help=offers_help, labels={"outcome": "duplicate"}
+        )
+        self._obs_clusters = registry.counter(
+            "engine_clusters_touched_total",
+            help="Clusters mutated by ingested batches.",
+        )
+        self._obs_products = registry.counter(
+            "engine_products_refreshed_total",
+            help="Products (re-)fused by ingested batches.",
+        )
+        engine_ref = weakref.ref(self)
+
+        def _transport_provider() -> Dict[str, object]:
+            engine = engine_ref()
+            if engine is None:
+                return {}
+            return engine._transport_stats.metrics_fragment()
+
+        self._obs_provider = registry.add_provider(_transport_provider)
+
         # Full-state process payloads get the plain fusion (shipping a
         # memo there is dead weight: its updates never come back); delta
         # workers wrap the base fusion in their own shard-resident memo.
@@ -319,28 +355,37 @@ class SynthesisEngine:
                 "(reopen the store path with a new engine to resume)"
             )
         # Ingesting re-arms a closed engine (memory-store engines stay
-        # usable after close(); executor pools are re-created lazily).
-        self._closed = False
+        # usable after close(); executor pools are re-created lazily —
+        # and the transport provider close() unregistered comes back).
+        if self._closed:
+            self._obs.add_provider(self._obs_provider)
+            self._closed = False
         # Filtering against both sets also deduplicates repeats inside a
         # single batch, not just across batches.  Ids are only *marked*
         # seen after the fallible pipeline stages below succeed, so a
         # batch that raises (untrained classifier, extractor failure)
         # can be retried instead of being silently dropped as duplicate.
         fresh: List[Offer] = []
-        batch_ids = set()
-        for offer in offers:
-            if self._store.is_seen(offer.offer_id) or offer.offer_id in batch_ids:
-                continue
-            batch_ids.add(offer.offer_id)
-            fresh.append(offer)
+        with self._obs.span("ingest.dedup"):
+            batch_ids = set()
+            for offer in offers:
+                if self._store.is_seen(offer.offer_id) or offer.offer_id in batch_ids:
+                    continue
+                batch_ids.add(offer.offer_id)
+                fresh.append(offer)
         report.offers_new = len(fresh)
         report.offers_duplicate = report.offers_in_batch - report.offers_new
         if not fresh:
-            self._store.commit()
+            with self._obs.span("ingest.commit_barrier"):
+                self._store.commit()
+            self._obs_batches.inc()
+            if report.offers_duplicate:
+                self._obs_offers_dup.inc(report.offers_duplicate)
             self._notify_commit(report, [])
             return report
 
-        categorised = self._pipeline._assign_categories(fresh)
+        with self._obs.span("ingest.classify"):
+            categorised = self._pipeline._assign_categories(fresh)
         extracted = self._extract_specifications(categorised)
         reconciled, stats = self._pipeline.reconciler.reconcile_offers(extracted)
         for offer in fresh:
@@ -350,11 +395,20 @@ class SynthesisEngine:
             if offer.category_id is not None:
                 self._store.record_category(offer.offer_id, offer.category_id)
 
-        pending = self._route_to_clusters(reconciled, report)
+        with self._obs.span("ingest.route"):
+            pending = self._route_to_clusters(reconciled, report)
         report.clusters_touched = len(pending)
-        report.products_refreshed = self._refuse_clusters(pending)
+        with self._obs.span("ingest.fuse"):
+            report.products_refreshed = self._refuse_clusters(pending)
         self._transport_stats.batches += 1
-        self._store.commit()
+        with self._obs.span("ingest.commit_barrier"):
+            self._store.commit()
+        self._obs_batches.inc()
+        self._obs_offers_new.inc(report.offers_new)
+        if report.offers_duplicate:
+            self._obs_offers_dup.inc(report.offers_duplicate)
+        self._obs_clusters.inc(report.clusters_touched)
+        self._obs_products.inc(report.products_refreshed)
         self._notify_commit(report, list(pending))
         return report
 
@@ -615,6 +669,16 @@ class SynthesisEngine:
         """Cumulative executor-payload accounting (see :class:`TransportStats`)."""
         return self._transport_stats
 
+    def detach_metrics_provider(self) -> None:
+        """Stop contributing transport counters to the metrics registry.
+
+        ``close`` calls this; so does the cluster layer when retiring a
+        node whose transport accounting it folds into its own retired
+        totals — leaving the provider registered would count the same
+        frames twice in every later snapshot.
+        """
+        self._obs.remove_provider(self._obs_provider)
+
     # -- commit feed -----------------------------------------------------------
 
     def add_commit_listener(self, listener: Callable[[CommitEvent], None]) -> None:
@@ -691,6 +755,7 @@ class SynthesisEngine:
         if self._closed:
             return
         self._closed = True
+        self.detach_metrics_provider()
         self.release_workers()
         if self._owns_store:
             self._store.close()

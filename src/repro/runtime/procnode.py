@@ -83,6 +83,7 @@ import multiprocessing.connection
 import os
 import pickle
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -91,6 +92,7 @@ from repro.matching.correspondence import CorrespondenceSet
 from repro.model.catalog import Catalog
 from repro.model.offers import Offer
 from repro.model.products import Product
+from repro.obs import get_registry, merge_snapshot
 from repro.runtime.cluster import (
     CategoryHinter,
     FencedStoreView,
@@ -271,6 +273,13 @@ def _node_main(
                 lease.epochs.update(payload["epochs"])
                 store.refresh_shards(payload["refresh"])
                 channel.send(("lease-ok", None))
+            elif kind == "stats":
+                # The node's whole registry snapshot (engine counters,
+                # spans, its store series, the bridged transport stats)
+                # rides the pipe back; the coordinator folds the live
+                # nodes' fragments into one fleet view with
+                # merge_snapshot (counters sum across processes).
+                channel.send(("stats", get_registry().snapshot()))
             elif kind == "crash":
                 _arm_fault(
                     store,
@@ -638,6 +647,51 @@ class MultiProcessEngine:
         self._window: Optional[_CommitWindow] = None
         self._routing_seconds = 0.0
         self._barrier_seconds = 0.0
+        # Observability: the coordinator bridges its own accounting
+        # (pipe frames + retired nodes) plus the *cached* node-process
+        # fragments fetched by node_metrics() — a scrape must never talk
+        # to the node processes, so the cache is only as fresh as the
+        # last explicit fetch.
+        registry = get_registry()
+        self._obs = registry
+        self._obs_cluster_batches = registry.counter(
+            "cluster_batches_total",
+            help="Micro-batches absorbed by cluster coordinators.",
+        )
+        self._node_metrics: Dict[str, object] = {}
+        cluster_ref = weakref.ref(self)
+
+        def _coordinator_provider() -> Dict[str, object]:
+            cluster = cluster_ref()
+            if cluster is None:
+                return {}
+            stats = TransportStats()
+            stats.merge(cluster._retired_transport)
+            stats.merge(cluster._pipe_stats)
+            fragment = stats.metrics_fragment()
+            merge_snapshot(fragment, cluster._node_metrics)
+            return fragment
+
+        self._obs_provider = registry.add_provider(_coordinator_provider)
+        registry.gauge(
+            "cluster_routing_seconds",
+            help="Coordinator time spent deduplicating and routing batches.",
+            callback=lambda: (lambda c: 0.0 if c is None else c._routing_seconds)(
+                cluster_ref()
+            ),
+        )
+        registry.gauge(
+            "cluster_barrier_wait_seconds",
+            help="Coordinator time spent waiting on commit barriers.",
+            callback=lambda: (lambda c: 0.0 if c is None else c._barrier_seconds)(
+                cluster_ref()
+            ),
+        )
+        registry.gauge(
+            "cluster_nodes",
+            help="Live cluster members.",
+            callback=lambda: (lambda c: 0 if c is None else len(c._nodes))(cluster_ref()),
+        )
         # One layout pass for the whole initial membership, then spawn
         # each node with its final epochs.
         node_ids = [f"node-{next(self._node_counter)}" for _ in range(num_nodes)]
@@ -945,7 +999,8 @@ class MultiProcessEngine:
             # partition is a dict lookup per offer and classification
             # itself runs on the nodes.)
             routing_started = time.perf_counter()
-            categorised = self._route_categories(fresh)
+            with self._obs.span("cluster.route"):
+                categorised = self._route_categories(fresh)
             self._routing_seconds += time.perf_counter() - routing_started
         self._drain_window()
         votes = self._dispatch_with_retry(fresh, categorised)
@@ -961,6 +1016,7 @@ class MultiProcessEngine:
         report.clusters_touched = aggregate.clusters_touched
         report.products_refreshed = aggregate.products_refreshed
         self._commit_phase(sorted(votes), fresh)
+        self._obs_cluster_batches.inc()
         self._seen.update(offer.offer_id for offer in fresh)
         self._dirty = True
         if self._skew_watcher is not None:
@@ -1239,16 +1295,17 @@ class MultiProcessEngine:
         failed: List[str] = []
         errors: List[str] = []
         started = time.perf_counter()
-        for node_id in sent:
-            try:
-                kind, payload = self._nodes[node_id].recv()
-            except NodeDeadError as exc:
-                failed.append(node_id)
-                errors.append(str(exc))
-                continue
-            if kind != "committed":
-                failed.append(node_id)
-                errors.append(f"node {node_id!r}: {payload}")
+        with self._obs.span("cluster.commit_barrier"):
+            for node_id in sent:
+                try:
+                    kind, payload = self._nodes[node_id].recv()
+                except NodeDeadError as exc:
+                    failed.append(node_id)
+                    errors.append(str(exc))
+                    continue
+                if kind != "committed":
+                    failed.append(node_id)
+                    errors.append(f"node {node_id!r}: {payload}")
         self._barrier_seconds += time.perf_counter() - started
         return failed, errors
 
@@ -1389,6 +1446,30 @@ class MultiProcessEngine:
             merged.merge(node.transport)
         return merged
 
+    def node_metrics(self) -> Dict[str, object]:
+        """Fetch and merge every live node process's metrics snapshot.
+
+        One explicit ``stats`` pipe round per node.  The pipelined
+        commit window is drained first so the round can never race a
+        pending flush ack, which is also why this runs on demand (the
+        benches call it right before ``close``) rather than at scrape
+        time: the merged result is cached, and the registry provider
+        serves the cache.  Nodes that died since the last layout change
+        simply drop out of the merge.
+        """
+        self._ensure_open()
+        self._drain_window()
+        merged: Dict[str, object] = {}
+        for _, node in sorted(self._nodes.items()):
+            try:
+                fragment = node.request("stats")
+            except (NodeDeadError, RuntimeError):
+                continue
+            if isinstance(fragment, dict):
+                merge_snapshot(merged, fragment)
+        self._node_metrics = merged
+        return merged
+
     @property
     def routing_seconds(self) -> float:
         """Coordinator time spent deduplicating, classifying and routing."""
@@ -1424,6 +1505,7 @@ class MultiProcessEngine:
         if self._closed:
             return
         self._closed = True
+        self._obs.remove_provider(self._obs_provider)
         try:
             self._drain_window()
         except Exception:  # noqa: BLE001 - teardown proceeds regardless

@@ -24,11 +24,13 @@ from __future__ import annotations
 import abc
 import itertools
 import os
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.model.offers import Offer
 from repro.model.products import Product
+from repro.obs import get_registry
 from repro.synthesis.clustering import OfferCluster
 from repro.synthesis.reconciliation import ReconciliationStats
 from repro.text.tfidf import IncrementalTfIdf
@@ -103,6 +105,49 @@ class CatalogStore(abc.ABC):
         # ordered, deduplicated).  Backends with a commit journal drain
         # this at the barrier to record "commit k touched these clusters".
         self._touched_clusters: Dict[ClusterId, None] = {}
+        # Deepest journal-reader position observed since the last
+        # auto-compaction (the ``compact_journal(auto=True)`` signal);
+        # ``None`` until a reader proves coverage via journal_entries.
+        self._journal_reader_low_water: Optional[int] = None
+        # Wrapper views (FencedStoreView) run this before assigning their
+        # instance name, so they still resolve the class-level "abstract"
+        # here — and they must *not* publish store series: they delegate
+        # to a base store that already did.
+        if self.name == "abstract":
+            from repro.obs import NULL_REGISTRY
+
+            self._obs_commits = NULL_REGISTRY.counter("store_commits_total")
+            return
+        registry = get_registry()
+        labels = {"backend": self.name}
+        self._obs_commits = registry.counter(
+            "store_commits_total",
+            help="Commit barriers completed, by store backend.",
+            labels=labels,
+        )
+        # Callback gauges hold only a weak reference: a replaced or
+        # closed store must not be pinned in memory by the registry.
+        ref = weakref.ref(self)
+        registry.gauge(
+            "store_commit_count",
+            help="Commit counter (snapshot identity) of the newest store.",
+            labels=labels,
+            callback=lambda: (lambda s: 0 if s is None else s.commit_count)(ref()),
+        )
+        registry.gauge(
+            "journal_floor",
+            help="Highest commit id not covered by the commit journal.",
+            labels=labels,
+            callback=lambda: (lambda s: 0 if s is None else s.journal_floor())(ref()),
+        )
+        registry.gauge(
+            "journal_reader_lag_commits",
+            help="Deepest reader lag observed since the last auto-compaction.",
+            labels=labels,
+            callback=lambda: (lambda s: 0 if s is None else s.journal_reader_lag() or 0)(
+                ref()
+            ),
+        )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -404,6 +449,47 @@ class CatalogStore(abc.ABC):
         """
         return None
 
+    def _observe_journal_read(self, since: int) -> None:
+        """Record a reader's proven journal position.
+
+        Backends call this from :meth:`journal_entries` when coverage of
+        ``(since, head]`` was proven — the reader is guaranteed able to
+        delta-sync from ``since``, so an auto-compaction must not raise
+        the floor above it.  Tracks the *minimum* position seen since
+        the last ``compact_journal(auto=True)``.
+        """
+        low = self._journal_reader_low_water
+        if low is None or since < low:
+            self._journal_reader_low_water = since
+
+    def journal_reader_lag(self) -> Optional[int]:
+        """Deepest observed reader lag in commits, or ``None``.
+
+        The distance between the current head and the lowest journal
+        position a reader proved coverage from since the last
+        auto-compaction — the retention target
+        ``compact_journal(auto=True)`` keeps, and the lag gauge the
+        observability layer exposes.
+        """
+        low = self._journal_reader_low_water
+        if low is None:
+            return None
+        return max(0, self._commit_count - low)
+
+    def _take_auto_floor(self) -> Optional[int]:
+        """Consume the auto-compaction floor target (the reader low water).
+
+        ``None`` means no reader proved journal coverage since the last
+        auto pass — auto-compaction then keeps everything, the safe
+        default.  Consuming resets the window: the next reader poll
+        re-establishes it, so retention follows the *current* slowest
+        reader instead of pinning on one that disappeared.  Run auto
+        compaction at most as often as the slowest reader polls.
+        """
+        low = self._journal_reader_low_water
+        self._journal_reader_low_water = None
+        return low
+
     def read_journal_delta(
         self, since: int
     ) -> Optional[Dict[ClusterId, Optional[Product]]]:
@@ -423,16 +509,26 @@ class CatalogStore(abc.ABC):
                 delta[cluster_id] = product
         return delta
 
-    def compact_journal(self, retain_commits: int = 0) -> int:
+    def compact_journal(self, retain_commits: int = 0, auto: bool = False) -> int:
         """Drop journal entries, keeping at most the last ``retain_commits``.
 
         Raises the floor accordingly; readers pinned below the new floor
         are forced onto the full-rebuild fallback (which the serving
         layer reports distinctly — see ``CatalogSearchService`` resync
         stats).  Returns the new floor.  No-op for journal-less backends.
+
+        ``auto=True`` ignores ``retain_commits`` and instead retains the
+        deepest observed reader lag (ROADMAP 3c): the floor rises at
+        most to the lowest position a reader proved delta coverage from
+        (via :meth:`journal_entries`) since the last auto pass, so a
+        slow-but-polling reader is never forced onto the full-rebuild
+        fallback.  With no observed reader the auto pass keeps
+        everything.
         """
         if retain_commits < 0:
             raise ValueError(f"retain_commits must be >= 0, got {retain_commits}")
+        if auto:
+            self._take_auto_floor()
         return self.journal_floor()
 
     # -- commit intents (cluster barrier bookkeeping) --------------------------

@@ -70,6 +70,7 @@ class MemoryCatalogStore(CatalogStore):
                 # to (and including) its commit id stops being covered.
                 self._journal_floor = self._journal[0][0]
             self._journal.append((self._commit_count, touched))
+        self._obs_commits.inc()
 
     # -- changed-cluster commit journal ----------------------------------------
 
@@ -83,17 +84,28 @@ class MemoryCatalogStore(CatalogStore):
         """Per-commit deltas after ``since`` from the ring (oldest first)."""
         if since > self._commit_count or since < self._journal_floor:
             return None
+        self._observe_journal_read(since)
         return [
             (commit_id, list(touched))
             for commit_id, touched in self._journal
             if commit_id > since
         ]
 
-    def compact_journal(self, retain_commits: int = 0) -> int:
-        """Drop ring entries, keeping at most the last ``retain_commits``."""
+    def compact_journal(self, retain_commits: int = 0, auto: bool = False) -> int:
+        """Drop ring entries, keeping at most the last ``retain_commits``.
+
+        ``auto=True`` retains the deepest observed reader lag instead
+        (see :meth:`repro.runtime.state.CatalogStore.compact_journal`).
+        """
         if retain_commits < 0:
             raise ValueError(f"retain_commits must be >= 0, got {retain_commits}")
-        floor = max(self._journal_floor, self._commit_count - retain_commits)
+        if auto:
+            low_water = self._take_auto_floor()
+            if low_water is None:
+                return self._journal_floor
+            floor = max(self._journal_floor, min(low_water, self._commit_count))
+        else:
+            floor = max(self._journal_floor, self._commit_count - retain_commits)
         while self._journal and self._journal[0][0] <= floor:
             self._journal.popleft()
         self._journal_floor = floor

@@ -66,6 +66,7 @@ from repro.model.persistence import (
     product_to_dict,
 )
 from repro.model.products import Product
+from repro.obs import get_registry
 from repro.runtime.sharding import shard_for_category
 from repro.runtime.state import CatalogStore, ClusterId, ClusterState, _InMemoryState
 from repro.synthesis.clustering import OfferCluster
@@ -528,26 +529,28 @@ class SqliteCatalogStore(CatalogStore):
         commit_id = int(self._meta("commit_count") or 0)
         self._fault_point("journal")
         if self._touched_clusters:
-            connection.executemany(
-                "INSERT OR REPLACE INTO commit_journal"
-                " (commit_id, category_id, cluster_key, product) VALUES (?, ?, ?, ?)",
-                [
-                    (
-                        commit_id,
-                        cluster_id[0],
-                        cluster_id[1],
-                        None
-                        if state.product is None
-                        else json.dumps(product_to_dict(state.product)),
-                    )
-                    for cluster_id, state in (
-                        (cluster_id, self._state.clusters[cluster_id])
-                        for cluster_id in self._touched_clusters
-                        if cluster_id in self._state.clusters
-                    )
-                ],
-            )
+            with get_registry().span("store.journal_write"):
+                connection.executemany(
+                    "INSERT OR REPLACE INTO commit_journal"
+                    " (commit_id, category_id, cluster_key, product) VALUES (?, ?, ?, ?)",
+                    [
+                        (
+                            commit_id,
+                            cluster_id[0],
+                            cluster_id[1],
+                            None
+                            if state.product is None
+                            else json.dumps(product_to_dict(state.product)),
+                        )
+                        for cluster_id, state in (
+                            (cluster_id, self._state.clusters[cluster_id])
+                            for cluster_id in self._touched_clusters
+                            if cluster_id in self._state.clusters
+                        )
+                    ],
+                )
         connection.commit()
+        self._obs_commits.inc()
         self._commit_count = commit_id
         self._touched_clusters.clear()
         self._new_seen = []
@@ -794,6 +797,7 @@ class SqliteCatalogStore(CatalogStore):
         floor = self._meta("journal_floor")
         if floor is None or since < int(floor) or since > head:
             return None
+        self._observe_journal_read(since)
         grouped: Dict[int, List[Tuple[ClusterId, Optional[Product]]]] = {}
         for commit_id, category_id, cluster_key, product_json in connection.execute(
             "SELECT commit_id, category_id, cluster_key, product FROM commit_journal"
@@ -810,19 +814,32 @@ class SqliteCatalogStore(CatalogStore):
             )
         return [(commit_id, grouped[commit_id]) for commit_id in sorted(grouped)]
 
-    def compact_journal(self, retain_commits: int = 0) -> int:
+    def compact_journal(self, retain_commits: int = 0, auto: bool = False) -> int:
         """Drop journal rows, keeping coverage of the last ``retain_commits``.
 
         Flushed immediately (like fencing epochs): the raised floor must
         be visible to every reader process at once, or a reader could
         apply a delta the deleted rows no longer back.  Readers pinned
         below the new floor fall back to a full rebuild.
+
+        ``auto=True`` retains the deepest observed reader lag instead
+        (see :meth:`repro.runtime.state.CatalogStore.compact_journal`);
+        only readers of *this* store instance count — cross-process
+        readers (:class:`~repro.serving.reader.CatalogReader`) read the
+        file directly and are invisible here, so auto-compact from the
+        connection the readers poll through.
         """
         if retain_commits < 0:
             raise ValueError(f"retain_commits must be >= 0, got {retain_commits}")
         connection = self._require_open()
         head = int(self._meta("commit_count") or 0)
-        floor = max(self.journal_floor(), head - retain_commits)
+        if auto:
+            low_water = self._take_auto_floor()
+            if low_water is None:
+                return self.journal_floor()
+            floor = max(self.journal_floor(), min(low_water, head))
+        else:
+            floor = max(self.journal_floor(), head - retain_commits)
         connection.execute("DELETE FROM commit_journal WHERE commit_id <= ?", (floor,))
         connection.execute(
             "INSERT OR REPLACE INTO meta (key, value) VALUES ('journal_floor', ?)",

@@ -34,9 +34,11 @@ HTTP layer serves either interchangeably.
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.obs import get_registry, series_key, snapshot_fragment
 from repro.runtime.engine import SynthesisEngine
 from repro.serving.index import SearchResult
 from repro.serving.service import CatalogSearchService
@@ -123,6 +125,20 @@ class ServingFleet:
         self._failovers = 0
         self._closed = False
         self._head = head if head is not None else self._default_head
+        # Observability: per-replica pinned-snapshot lag rides the
+        # registry as labelled gauges, read through a weakref provider
+        # (the replica services bridge their own query/resync counters).
+        registry = get_registry()
+        self._obs = registry
+        fleet_ref = weakref.ref(self)
+
+        def _fleet_provider() -> Dict[str, object]:
+            fleet = fleet_ref()
+            if fleet is None:
+                return {}
+            return fleet._metrics_fragment()
+
+        self._obs_provider = registry.add_provider(_fleet_provider)
         self._refresh_interval = refresh_interval
         self._stop_refresher = threading.Event()
         self._refresher: Optional[threading.Thread] = None
@@ -221,6 +237,7 @@ class ServingFleet:
         if self._closed:
             return
         self._closed = True
+        self._obs.remove_provider(self._obs_provider)
         self._stop_refresher.set()
         if self._refresher is not None:
             self._refresher.join(timeout=5)
@@ -425,6 +442,71 @@ class ServingFleet:
 
     # -- introspection ---------------------------------------------------------
 
+    def _metrics_fragment(self) -> Dict[str, object]:
+        """Fleet gauges and counters as a registry snapshot fragment.
+
+        Per-replica pinned-snapshot lag (against the store head, one
+        cheap ``meta`` row read on reader fleets) plus health flags as
+        labelled gauges, and failover/restart counters.
+        """
+        try:
+            head = self._head()
+        except Exception:  # noqa: BLE001 - a scrape must never fail
+            head = 0
+        with self._lock:
+            replicas = list(self._replicas)
+            failovers = self._failovers
+        gauges: Dict[str, float] = {"serving_fleet_head_commit_count": float(head)}
+        counters: Dict[str, float] = {}
+        restarts = 0
+        for replica in replicas:
+            try:
+                snapshot = replica.service.snapshot_commit_count
+            except Exception:  # noqa: BLE001 - a dead replica still scrapes
+                snapshot = 0
+            labels = {"replica": str(replica.replica_id)}
+            gauges[series_key("serving_replica_lag_commits", labels)] = float(
+                max(0, head - snapshot)
+            )
+            gauges[series_key("serving_replica_snapshot_commit_count", labels)] = float(
+                snapshot
+            )
+            gauges[series_key("serving_replica_healthy", labels)] = (
+                1.0 if replica.healthy else 0.0
+            )
+            restarts += replica.restarts
+        if failovers:
+            counters["serving_failovers_total"] = float(failovers)
+        if restarts:
+            counters["serving_replica_restarts_total"] = float(restarts)
+        families = {
+            "serving_fleet_head_commit_count": {
+                "type": "gauge",
+                "help": "Store-head commit counter the fleet measures lag against.",
+            },
+            "serving_replica_lag_commits": {
+                "type": "gauge",
+                "help": "Commits each replica's pinned snapshot trails the head by.",
+            },
+            "serving_replica_snapshot_commit_count": {
+                "type": "gauge",
+                "help": "Commit prefix each replica currently serves.",
+            },
+            "serving_replica_healthy": {
+                "type": "gauge",
+                "help": "1 when the replica is admitted to routing, else 0.",
+            },
+            "serving_failovers_total": {
+                "type": "counter",
+                "help": "Requests routed around a failed replica.",
+            },
+            "serving_replica_restarts_total": {
+                "type": "counter",
+                "help": "Replica services replaced via restart_replica.",
+            },
+        }
+        return snapshot_fragment(counters=counters, gauges=gauges, families=families)
+
     def health(self) -> Dict[str, object]:
         """Fleet and per-replica health (the ``/health`` body).
 
@@ -462,21 +544,24 @@ class ServingFleet:
         path enforces, so ``lag <= max_lag_commits`` is the invariant
         an operator alerts on (modulo the one-resync race while a
         refresh is in flight).  Each entry also carries the replica's
-        resync-mode counters (``delta_resyncs`` / ``full_resyncs`` /
-        ``journal_truncations``), so operators can tell journal-delta
-        catch-ups apart from full index rebuilds.
+        resync-mode counters under the nested ``resync`` key (the same
+        shape a single service's ``/stats`` uses), so operators can tell
+        journal-delta catch-ups apart from full index rebuilds; the flat
+        per-entry copies are deprecated aliases kept for one release.
         """
         head = self._head()
         replicas = []
         for replica in self._replicas:
             snapshot = replica.service.snapshot_commit_count
+            resync = replica.service.resync_stats()
             entry = {
                 "replica_id": replica.replica_id,
                 "healthy": replica.healthy,
                 "snapshot_commit_count": snapshot,
                 "lag": max(0, head - snapshot),
+                "resync": resync,
             }
-            entry.update(replica.service.resync_stats())
+            entry.update(resync)  # deprecated flat aliases (one release)
             replicas.append(entry)
         return {
             "head_commit_count": head,
@@ -486,10 +571,19 @@ class ServingFleet:
         }
 
     def stats(self) -> Dict[str, object]:
-        """JSON-compatible fleet statistics (the ``/stats`` body)."""
+        """JSON-compatible fleet statistics (the ``/stats`` body).
+
+        The nested ``resync`` key aggregates the replicas' resync-mode
+        counters — the same normalized shape a single service's
+        ``/stats`` reports, so dashboards read one path for both.
+        """
         health = self.health()
         with self._lock:
             total_queries = sum(replica.queries_served for replica in self._replicas)
+        resync_totals: Dict[str, int] = {}
+        for replica in self._replicas:
+            for key, value in replica.service.resync_stats().items():
+                resync_totals[key] = resync_totals.get(key, 0) + value
         payload: Dict[str, object] = {
             "mode": "fleet",
             "index_backend": self._index_backend,
@@ -497,6 +591,7 @@ class ServingFleet:
             "healthy_replicas": health["healthy_replicas"],
             "failovers": health["failovers"],
             "queries_served": total_queries,
+            "resync": resync_totals,
             "max_lag_commits": self._max_lag_commits,
             "refresh_interval": self._refresh_interval,
             "replicas": [

@@ -10,7 +10,14 @@ bounded worker pool) that answers
 * ``GET /health`` — liveness: fleet/replica health, 503 when no replica
   can serve,
 * ``GET /lag`` — per-replica pinned ``commit_count`` vs the store head,
-* ``GET /stats`` — service, index, and snapshot statistics.
+* ``GET /stats`` — service, index, and snapshot statistics,
+* ``GET /metrics`` — the process metrics registry in Prometheus text
+  exposition format (scrape target; see docs/observability.md),
+* ``GET /metrics.json`` — the same snapshot as JSON (what the
+  ``runtime-obs`` CLI pretty-prints).
+
+Every request is timed into the ``http_request_seconds`` histogram,
+labelled by endpoint.
 
 The server fronts either a single
 :class:`~repro.serving.service.CatalogSearchService` or a whole
@@ -26,11 +33,13 @@ from __future__ import annotations
 import json
 import queue
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro.model.persistence import product_to_dict
+from repro.obs import MetricsRegistry, get_registry
 from repro.serving.fleet import FleetUnavailableError, ServingFleet
 from repro.serving.service import CatalogSearchService
 
@@ -75,21 +84,56 @@ class CatalogRequestHandler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._reply(status, {"error": message})
 
+    _ENDPOINTS = ("/search", "/health", "/lag", "/stats", "/metrics", "/metrics.json")
+
+    @property
+    def _registry(self) -> "MetricsRegistry":
+        return self.server.registry  # type: ignore[attr-defined]
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
-        """Dispatch one GET request to its endpoint."""
+        """Dispatch one GET request to its endpoint (timed per endpoint)."""
         parsed = urlparse(self.path)
-        if parsed.path == "/search":
-            self._do_search(parse_qs(parsed.query))
+        # Bounded label cardinality: known endpoints by literal path,
+        # point lookups collapse to "/product", everything else "other".
+        if parsed.path in self._ENDPOINTS:
+            endpoint = parsed.path
         elif parsed.path.startswith("/product/"):
-            self._do_product(parsed.path[len("/product/") :])
-        elif parsed.path == "/health":
-            self._do_health()
-        elif parsed.path == "/lag":
-            self._do_lag()
-        elif parsed.path == "/stats":
-            self._reply(200, self._target.stats())
+            endpoint = "/product"
         else:
-            self._error(404, f"unknown endpoint {parsed.path!r}")
+            endpoint = "other"
+        started = time.perf_counter()
+        try:
+            if parsed.path == "/search":
+                self._do_search(parse_qs(parsed.query))
+            elif parsed.path.startswith("/product/"):
+                self._do_product(parsed.path[len("/product/") :])
+            elif parsed.path == "/health":
+                self._do_health()
+            elif parsed.path == "/lag":
+                self._do_lag()
+            elif parsed.path == "/stats":
+                self._reply(200, self._target.stats())
+            elif parsed.path == "/metrics":
+                self._do_metrics()
+            elif parsed.path == "/metrics.json":
+                self._reply(200, self._registry.snapshot())
+            else:
+                self._error(404, f"unknown endpoint {parsed.path!r}")
+        finally:
+            self._registry.histogram(
+                "http_request_seconds",
+                help="Serving endpoint latency, by endpoint.",
+                labels={"endpoint": endpoint},
+            ).observe(time.perf_counter() - started)
+
+    def _do_metrics(self) -> None:
+        """The registry in Prometheus text exposition format."""
+        body = self._registry.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _parse_search_params(
         self, params: Dict[str, list]
@@ -195,13 +239,15 @@ class CatalogRequestHandler(BaseHTTPRequestHandler):
         service = self._target
         snapshot = service.snapshot_commit_count  # type: ignore[union-attr]
         head = service.head_commit_count()  # type: ignore[union-attr]
+        resync = service.resync_stats()  # type: ignore[union-attr]
         entry: Dict[str, object] = {
             "replica_id": 0,
             "healthy": True,
             "snapshot_commit_count": snapshot,
             "lag": max(0, head - snapshot),
+            "resync": resync,
         }
-        entry.update(service.resync_stats())  # type: ignore[union-attr]
+        entry.update(resync)  # deprecated flat aliases (one release)
         self._reply(
             200,
             {
@@ -239,11 +285,13 @@ class CatalogHTTPServer(ThreadingHTTPServer):
         service: ServingTarget,
         log_requests: bool = False,
         max_workers: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         super().__init__(address, CatalogRequestHandler)
         self.service = service
+        self.registry = registry if registry is not None else get_registry()
         self.log_requests = log_requests
         self._max_workers = max_workers
         self._work_queue: Optional["queue.Queue[Optional[Tuple[object, object]]]"] = None
@@ -294,10 +342,15 @@ def serve(
     port: int = 8080,
     log_requests: bool = True,
     max_workers: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> None:
     """Run the serving endpoints until interrupted (the CLI entry point)."""
     server = CatalogHTTPServer(
-        (host, port), service, log_requests=log_requests, max_workers=max_workers
+        (host, port),
+        service,
+        log_requests=log_requests,
+        max_workers=max_workers,
+        registry=registry,
     )
     bound_host, bound_port = server.server_address[:2]
     mode = (
@@ -307,7 +360,10 @@ def serve(
     )
     pool = f", {max_workers} workers" if max_workers is not None else ""
     print(f"runtime-serve: listening on http://{bound_host}:{bound_port} ({mode}{pool})")
-    print("  endpoints: /search?q=...&k=10  /product/<id>  /health  /lag  /stats")
+    print(
+        "  endpoints: /search?q=...&k=10  /product/<id>  /health  /lag  /stats"
+        "  /metrics  /metrics.json"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -32,9 +32,11 @@ exactly one committed prefix of the ingest stream (reported as
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 from repro.model.products import Product
+from repro.obs import get_registry, series_key, snapshot_fragment
 from repro.runtime.engine import CommitEvent, SynthesisEngine
 from repro.runtime.state import ClusterId
 from repro.serving.fts import create_catalog_index
@@ -68,6 +70,28 @@ class CatalogSearchService:
         self._delta_resyncs = 0
         self._full_resyncs = 0
         self._journal_truncations = 0
+        # Observability: the per-instance counters above stay the source
+        # of truth for stats(); the registry reads them through a weakref
+        # provider, so N replicas naturally sum into fleet-wide series.
+        registry = get_registry()
+        self._obs = registry
+        self._obs_index_upserts = registry.counter(
+            "serving_index_upserts_total",
+            help="Products upserted into serving indexes (feed or delta).",
+        )
+        self._obs_index_removes = registry.counter(
+            "serving_index_removes_total",
+            help="Products removed from serving indexes (feed or delta).",
+        )
+        service_ref = weakref.ref(self)
+
+        def _service_provider() -> Dict[str, object]:
+            service = service_ref()
+            if service is None:
+                return {}
+            return service._metrics_fragment()
+
+        self._obs_provider = registry.add_provider(_service_provider)
 
     # -- construction ----------------------------------------------------------
 
@@ -117,6 +141,7 @@ class CatalogSearchService:
 
     def close(self) -> None:
         """Detach from the feed / close the reader and index (idempotent)."""
+        self._obs.remove_provider(self._obs_provider)
         if self._engine is not None:
             self._engine.remove_commit_listener(self._on_commit)
             self._engine = None
@@ -140,16 +165,29 @@ class CatalogSearchService:
         with self._lock:
             self._index.apply_commit(event)
             self._snapshot_commit_count = event.commit_count
+        upserts = sum(1 for _, product in event.changed if product is not None)
+        removes = len(event.changed) - upserts
+        if upserts:
+            self._obs_index_upserts.inc(upserts)
+        if removes:
+            self._obs_index_removes.inc(removes)
 
     def _apply_delta(
         self, delta: Dict[ClusterId, Optional[Product]]
     ) -> None:
         """Apply one journal delta to the index (caller holds the lock)."""
+        upserts = removes = 0
         for cluster_id, product in delta.items():
             if product is None:
                 self._index.remove(stable_product_id(*cluster_id))
+                removes += 1
             else:
                 self._index.upsert(product)
+                upserts += 1
+        if upserts:
+            self._obs_index_upserts.inc(upserts)
+        if removes:
+            self._obs_index_removes.inc(removes)
 
     def resync(self) -> int:
         """Catch the index up to the store's committed head.
@@ -174,38 +212,40 @@ class CatalogSearchService:
                 "resync() requires a reader-driven service "
                 "(CatalogSearchService.from_store_path)"
             )
-        with self._lock:
-            since = self._snapshot_commit_count
-            primed = self._resyncs > 0
-        if primed:
-            head, delta = self._reader.read_delta(since)
-            if delta is not None:
-                with self._lock:
-                    # Apply only if no concurrent resync moved the
-                    # snapshot: the delta is valid on top of `since` and
-                    # nothing else.  A racer that won resynced for us.
-                    if self._snapshot_commit_count == since and head > since:
-                        self._apply_delta(delta)
-                        self._snapshot_commit_count = head
-                        self._resyncs += 1
-                        self._delta_resyncs += 1
-                    return self._snapshot_commit_count
+        with self._obs.span("serving.resync"):
             with self._lock:
-                self._journal_truncations += 1
-        snapshot, products = self._reader.read_products()
-        with self._lock:
-            # Concurrent resyncs race on the read: if another thread
-            # already swapped in this snapshot (or a newer one), keeping
-            # ours would roll the served index *backwards* — the
-            # non-monotonic read the snapshot contract forbids.
-            if snapshot > self._snapshot_commit_count or (
-                snapshot == self._snapshot_commit_count and self._resyncs == 0
-            ):
-                self._index.rebuild(products)
-                self._snapshot_commit_count = snapshot
-                self._resyncs += 1
-                self._full_resyncs += 1
-            return self._snapshot_commit_count
+                since = self._snapshot_commit_count
+                primed = self._resyncs > 0
+            if primed:
+                head, delta = self._reader.read_delta(since)
+                if delta is not None:
+                    with self._lock:
+                        # Apply only if no concurrent resync moved the
+                        # snapshot: the delta is valid on top of `since`
+                        # and nothing else.  A racer that won resynced
+                        # for us.
+                        if self._snapshot_commit_count == since and head > since:
+                            self._apply_delta(delta)
+                            self._snapshot_commit_count = head
+                            self._resyncs += 1
+                            self._delta_resyncs += 1
+                        return self._snapshot_commit_count
+                with self._lock:
+                    self._journal_truncations += 1
+            snapshot, products = self._reader.read_products()
+            with self._lock:
+                # Concurrent resyncs race on the read: if another thread
+                # already swapped in this snapshot (or a newer one),
+                # keeping ours would roll the served index *backwards* —
+                # the non-monotonic read the snapshot contract forbids.
+                if snapshot > self._snapshot_commit_count or (
+                    snapshot == self._snapshot_commit_count and self._resyncs == 0
+                ):
+                    self._index.rebuild(products)
+                    self._snapshot_commit_count = snapshot
+                    self._resyncs += 1
+                    self._full_resyncs += 1
+                return self._snapshot_commit_count
 
     def maybe_resync(self, max_lag_commits: int = 0) -> bool:
         """Resync when the served snapshot trails the store's head too far.
@@ -348,21 +388,62 @@ class CatalogSearchService:
                 "journal_truncations": self._journal_truncations,
             }
 
+    def _metrics_fragment(self) -> Dict[str, object]:
+        """Service counters as a registry snapshot fragment.
+
+        Counters sum at collection time, so every live service (each
+        fleet replica included) contributes to the same fleet-wide
+        series; zero-valued series are omitted to keep scrapes compact.
+        """
+        with self._lock:
+            values = {
+                "serving_queries_total": float(self._queries_served),
+                series_key("serving_resyncs_total", {"mode": "delta"}): float(
+                    self._delta_resyncs
+                ),
+                series_key("serving_resyncs_total", {"mode": "full"}): float(
+                    self._full_resyncs
+                ),
+                "serving_journal_truncations_total": float(self._journal_truncations),
+            }
+        counters = {key: value for key, value in values.items() if value}
+        families = {
+            "serving_queries_total": {
+                "type": "counter",
+                "help": "Queries served (search, lookup, facet), all replicas.",
+            },
+            "serving_resyncs_total": {
+                "type": "counter",
+                "help": "Index resyncs by mode (journal delta vs full rebuild).",
+            },
+            "serving_journal_truncations_total": {
+                "type": "counter",
+                "help": "Resyncs forced onto the full rebuild by a truncated journal.",
+            },
+        }
+        return snapshot_fragment(counters=counters, families=families)
+
     def stats(self) -> Dict[str, object]:
-        """JSON-compatible service + index statistics (the ``/stats`` body)."""
+        """JSON-compatible service + index statistics (the ``/stats`` body).
+
+        Resync counters live under the nested ``resync`` key — the same
+        shape the fleet reports per replica.  The flat top-level copies
+        (``resyncs``, ``delta_resyncs``, ``full_resyncs``,
+        ``journal_truncations``) are deprecated aliases kept for one
+        release; consumers should move to ``payload["resync"]``.
+        """
+        resync = self.resync_stats()
         with self._lock:
             payload: Dict[str, object] = {
                 "mode": "reader" if self._reader is not None else "feed",
                 "snapshot_commit_count": self._snapshot_commit_count,
                 "queries_served": self._queries_served,
-                "resyncs": self._resyncs,
-                "delta_resyncs": self._delta_resyncs,
-                "full_resyncs": self._full_resyncs,
-                "journal_truncations": self._journal_truncations,
+                "resync": resync,
                 "index_backend": getattr(self._index, "backend_name", "memory"),
                 "index": self._index.stats(),
                 "count_by_category": self._index.count_by_category(),
             }
+        payload.update(resync)  # deprecated flat aliases (one release)
         if self._reader is not None:
             payload["reader"] = self._reader.cache_stats()
             payload["store_path"] = self._reader.path

@@ -14,8 +14,10 @@ import urllib.request
 
 import pytest
 
+from exposition_parser import parse, validate_histograms
 from repro.model.attributes import Specification
 from repro.model.products import Product
+from repro.obs import MetricsRegistry
 from repro.serving import CatalogHTTPServer, CatalogIndex, CatalogSearchService
 
 
@@ -168,3 +170,90 @@ class TestStatsAndRouting:
             thread.join()
         assert not errors
         assert len(set(results)) == 1
+
+
+class TestNestedResyncShape:
+    """Satellite: /stats and /lag nest resync counters under "resync".
+
+    The flat top-level keys stay for one release as deprecated aliases;
+    both shapes must agree until the aliases are dropped.
+    """
+
+    RESYNC_KEYS = ("resyncs", "delta_resyncs", "full_resyncs", "journal_truncations")
+
+    def test_stats_nests_resync_with_flat_aliases(self, server_url):
+        _, payload = get_json(f"{server_url}/stats")
+        assert isinstance(payload["resync"], dict)
+        assert set(payload["resync"]) == set(self.RESYNC_KEYS)
+        for key in self.RESYNC_KEYS:
+            assert payload[key] == payload["resync"][key]
+
+    def test_lag_replicas_nest_resync_with_flat_aliases(self, server_url):
+        _, payload = get_json(f"{server_url}/lag")
+        assert payload["replicas"]
+        for entry in payload["replicas"]:
+            assert set(entry["resync"]) == set(self.RESYNC_KEYS)
+            for key in self.RESYNC_KEYS:
+                assert entry[key] == entry["resync"][key]
+
+
+class TestMetricsEndpoints:
+    """/metrics (Prometheus text) and /metrics.json on an injected registry."""
+
+    @pytest.fixture()
+    def metrics_server(self):
+        registry = MetricsRegistry()
+        service = CatalogSearchService(CatalogIndex(PRODUCTS))
+        server = CatalogHTTPServer(("127.0.0.1", 0), service, registry=registry)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}", registry
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_metrics_renders_valid_exposition_text(self, metrics_server):
+        base, _ = metrics_server
+        # Touch a few endpoints first so latency series exist to scrape.
+        get_json(f"{base}/health")
+        get_json(f"{base}/stats")
+        get_json(f"{base}/search?q={urllib.parse.quote('hard drive')}")
+        with urllib.request.urlopen(f"{base}/metrics") as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            body = response.read().decode("utf-8")
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        parsed = parse(body)
+        validate_histograms(parsed)
+        assert parsed.types["http_request_seconds"] == "histogram"
+        for endpoint in ("/health", "/stats", "/search"):
+            assert parsed.value("http_request_seconds_count", endpoint=endpoint) >= 1
+
+    def test_metrics_json_is_the_registry_snapshot(self, metrics_server):
+        base, registry = metrics_server
+        get_json(f"{base}/health")
+        status, payload = get_json(f"{base}/metrics.json")
+        assert status == 200
+        assert set(payload) == {"counters", "gauges", "histograms", "families"}
+        local = registry.snapshot()
+        # The scrape itself is still in flight when the body is built, so
+        # compare series names rather than exact observation counts.
+        assert set(payload["histograms"]) <= set(local["histograms"])
+        key = 'http_request_seconds{endpoint="/health"}'
+        assert key in payload["histograms"]
+        assert payload["histograms"][key]["count"] >= 1
+
+    def test_label_cardinality_is_bounded(self, metrics_server):
+        base, registry = metrics_server
+        get_json(f"{base}/product/p-1")
+        get_error(f"{base}/no/such/route")
+        get_error(f"{base}/product/p-999")  # any id collapses to "/product"
+        snapshot = registry.snapshot()
+        histograms = snapshot["histograms"]
+        assert histograms['http_request_seconds{endpoint="/product"}']["count"] == 2
+        assert histograms['http_request_seconds{endpoint="other"}']["count"] == 1
+        endpoints = {key for key in histograms if key.startswith("http_request_seconds")}
+        assert len(endpoints) <= 8  # the literal set + "/product" + "other"

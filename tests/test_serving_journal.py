@@ -298,6 +298,154 @@ class TestClusterJournalCoverage:
             store.close()
 
 
+class TestAutoCompaction:
+    """ROADMAP 3c: ``compact_journal(auto=True)`` tracks reader lag."""
+
+    def test_auto_floor_stops_at_the_deepest_observed_reader(self):
+        store = MemoryCatalogStore()
+        for key in ("a", "b", "c"):
+            put(store, key, f"title {key}")
+            store.commit()
+        # A reader proves delta coverage from commit 1 (lag 2).
+        assert store.journal_entries(1) is not None
+        assert store.journal_reader_lag() == 2
+        put(store, "d", "title d")
+        store.commit()
+        # Auto compaction may only raise the floor to that reader's
+        # position, never past it.
+        assert store.compact_journal(auto=True) == 1
+        assert store.journal_entries(0) is None
+        assert store.journal_entries(1) is not None
+
+    def test_auto_without_observed_readers_keeps_everything(self):
+        store = MemoryCatalogStore()
+        for key in ("a", "b"):
+            put(store, key, f"title {key}")
+            store.commit()
+        # No journal_entries() call since the store was created: the
+        # auto pass has no evidence and must not truncate.
+        assert store.compact_journal(auto=True) == 0
+        # A reader proven at 0 pins the floor there.
+        assert store.journal_entries(0) is not None
+        assert store.compact_journal(auto=True) == 0
+        # Each pass consumes the observation window: once only a reader
+        # at 1 is seen, the old position no longer holds the floor down.
+        assert store.journal_entries(1) is not None
+        assert store.compact_journal(auto=True) == 1
+        # And with no fresh observation the floor simply holds.
+        assert store.compact_journal(auto=True) == 1
+
+    def test_auto_retains_the_slowest_of_several_readers(self):
+        store = MemoryCatalogStore()
+        for key in ("a", "b", "c", "d"):
+            put(store, key, f"title {key}")
+            store.commit()
+        # A fast reader at 3 and a slow one at 1: retention follows the
+        # slow one, whichever order they polled in.
+        assert store.journal_entries(3) is not None
+        assert store.journal_entries(1) is not None
+        assert store.journal_reader_lag() == 3
+        assert store.compact_journal(auto=True) == 1
+        assert store.journal_entries(1) is not None
+
+    def test_sqlite_auto_floor_matches_memory_semantics(self, tmp_path):
+        store = SqliteCatalogStore(str(tmp_path / "auto.sqlite3"))
+        try:
+            for key in ("a", "b", "c"):
+                put(store, key, f"title {key}")
+                store.commit()
+            assert store.journal_entries(2) is not None
+            assert store.compact_journal(auto=True) == 2
+            assert store.journal_entries(1) is None
+            assert store.journal_entries(2) is not None
+            # No fresh observation: the next pass keeps the floor.
+            assert store.compact_journal(auto=True) == 2
+        finally:
+            store.close()
+
+    def test_slow_reader_never_loses_delta_coverage(self, tmp_path):
+        """A polling-but-slow reader always delta-syncs under auto compaction.
+
+        The writer commits twice and auto-compacts *every* cycle while a
+        slow reader polls ``read_journal_delta`` through the store API
+        only every other cycle.  Because the auto floor stops at the
+        deepest position the reader proved coverage from, the reader is
+        never forced onto the full-rebuild fallback — every poll yields
+        a delta — while the floor demonstrably rises behind it.
+        """
+        path = str(tmp_path / "slowreader.sqlite3")
+        store = SqliteCatalogStore(path)
+        try:
+            sequence = 0
+            put(store, f"k{sequence}", "seed product")
+            store.commit()
+            snapshot = store.commit_count
+            mirror = dict(store.read_journal_delta(0))
+            fallbacks = 0
+            for cycle in range(1, 9):
+                for _ in range(2):
+                    sequence += 1
+                    put(store, f"k{sequence}", f"product number {sequence}")
+                    store.commit()
+                if cycle % 2 == 0:
+                    delta = store.read_journal_delta(snapshot)
+                    if delta is None:
+                        fallbacks += 1
+                    else:
+                        mirror.update(delta)
+                        snapshot = store.commit_count
+                store.compact_journal(auto=True)
+            assert fallbacks == 0
+            # The floor really rose — compaction is not vacuous — yet
+            # never past the reader's pinned snapshot.
+            assert 0 < store.journal_floor() <= snapshot
+            # Catch up and verify the delta-maintained mirror matches.
+            delta = store.read_journal_delta(snapshot)
+            assert delta is not None
+            mirror.update(delta)
+            survivors = [product for product in mirror.values() if product is not None]
+            assert len(survivors) == sequence + 1
+        finally:
+            store.close()
+
+    def test_unobserved_cross_process_readers_keep_the_journal_intact(self, tmp_path):
+        """Cross-process readers are invisible — so auto keeps everything.
+
+        A :class:`CatalogReader`-backed service polls through its own
+        read-only connection, which the writer's store instance cannot
+        observe.  The safe default the auto pass must take is to not
+        truncate at all: the slow service keeps delta-syncing and never
+        falls back to a full rebuild.
+        """
+        path = str(tmp_path / "crossproc.sqlite3")
+        store = SqliteCatalogStore(path)
+        sequence = 0
+        put(store, f"k{sequence}", "seed product")
+        store.commit()
+        service = CatalogSearchService.from_store_path(path)
+        try:
+            assert service.resync_stats()["full_resyncs"] == 1
+            for cycle in range(1, 9):
+                for _ in range(2):
+                    sequence += 1
+                    put(store, f"k{sequence}", f"product number {sequence}")
+                    store.commit()
+                store.compact_journal(auto=True)
+                if cycle % 2 == 0:
+                    service.resync()
+            service.resync()
+            stats = service.resync_stats()
+            assert stats["full_resyncs"] == 1
+            assert stats["journal_truncations"] == 0
+            assert stats["delta_resyncs"] >= 4
+            assert service.num_products == sequence + 1
+            # No observed reader -> the journal floor never moved.
+            assert store.journal_floor() == 0
+        finally:
+            service.close()
+            store.close()
+
+
 class TestServiceFallback:
     def test_truncated_journal_forces_a_full_rebuild(self, tmp_path):
         path = str(tmp_path / "fallback.sqlite3")
